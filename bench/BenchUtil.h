@@ -1,0 +1,32 @@
+//===- bench/BenchUtil.h - Shared benchmark plumbing ------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_BENCH_BENCHUTIL_H
+#define MCFI_BENCH_BENCHUTIL_H
+
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <string>
+
+namespace mcfi {
+
+inline std::string pct(double Value) { return formatString("%.1f%%", Value); }
+
+inline void benchHeader(const char *Title, const char *PaperRef) {
+  std::printf("==============================================================="
+              "=\n%s\n(reproduces %s of Niu & Tan, \"Modular Control-Flow "
+              "Integrity\", PLDI 2014)\n"
+              "================================================================"
+              "\n",
+              Title, PaperRef);
+}
+
+} // namespace mcfi
+
+#endif // MCFI_BENCH_BENCHUTIL_H

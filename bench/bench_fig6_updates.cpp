@@ -1,0 +1,115 @@
+//===- bench/bench_fig6_updates.cpp - Figure 6 reproduction ---------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 6: overhead when update transactions run concurrently with the
+/// program. Following the paper's methodology exactly: a separate
+/// ID-table update thread performs a full TxUpdate (bumping every ID's
+/// version while preserving the ECNs) at a fixed 50 Hz — the code
+/// installation frequency the authors measured in Google V8. Check
+/// transactions racing the updates must retry, so overhead rises
+/// slightly above Fig. 5 (paper: 6-7% average).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "metrics/Harness.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace mcfi;
+
+namespace {
+
+/// Runs the instrumented profile with a 50 Hz updater thread.
+Measured runWithUpdates(const BenchProfile &P) {
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+  BuildSpec Spec;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  Measured M;
+  if (!BP.Ok) {
+    M.Result.Message = BP.Error;
+    return M;
+  }
+
+  const CFGPolicy &Policy = BP.L->policy();
+  uint64_t TaryLimit = BP.M->codeTop() - Machine::CodeBase;
+  std::atomic<bool> Stop{false};
+  std::thread Updater([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      // Full-table update, ECN-preserving (the paper's simulation).
+      BP.M->tables().txUpdate(
+          TaryLimit,
+          [&](uint64_t Off) {
+            return Policy.getTaryECN(Machine::CodeBase + Off);
+          },
+          static_cast<uint32_t>(Policy.BranchECN.size()),
+          [&](uint32_t I) { return Policy.getBaryECN(I); });
+      std::this_thread::sleep_for(std::chrono::milliseconds(20)); // 50 Hz
+    }
+  });
+
+  M = measureRun(BP);
+  Stop.store(true);
+  Updater.join();
+  return M;
+}
+
+} // namespace
+
+int main() {
+  benchHeader(
+      "MCFI overhead with 50 Hz concurrent update transactions",
+      "Figure 6");
+
+  TablePrinter Table;
+  Table.addRow({"benchmark", "instr ov (no upd)", "instr ov (50Hz upd)",
+                "time ov (50Hz upd)", "updates"});
+
+  double SumI = 0, SumT = 0;
+  unsigned Count = 0;
+  for (const BenchProfile &P : specProfiles()) {
+    Measured Base = runProfile(P, /*Instrument=*/false);
+    Measured Quiet = runProfile(P, /*Instrument=*/true);
+    if (Base.Result.Reason != StopReason::Exited ||
+        Quiet.Result.Reason != StopReason::Exited) {
+      std::fprintf(stderr, "%s control failed: %s %s\n", P.Name.c_str(),
+                   Base.Result.Message.c_str(),
+                   Quiet.Result.Message.c_str());
+      return 1;
+    }
+    Measured Inst = runWithUpdates(P);
+    if (Inst.Result.Reason != StopReason::Exited) {
+      std::fprintf(stderr, "%s failed: %s\n", P.Name.c_str(),
+                   Inst.Result.Message.c_str());
+      return 1;
+    }
+    double QuietOv =
+        100.0 * (static_cast<double>(Quiet.Result.Instructions) /
+                     static_cast<double>(Base.Result.Instructions) -
+                 1.0);
+    double InstrOv =
+        100.0 * (static_cast<double>(Inst.Result.Instructions) /
+                     static_cast<double>(Base.Result.Instructions) -
+                 1.0);
+    double TimeOv = 100.0 * (Inst.Seconds / Base.Seconds - 1.0);
+    SumI += InstrOv;
+    SumT += TimeOv;
+    ++Count;
+    Table.addRow({P.Name, pct(QuietOv), pct(InstrOv), pct(TimeOv),
+                  std::to_string(
+                      static_cast<unsigned>(Inst.Seconds * 50.0))});
+  }
+  Table.addRow({"average", "", pct(SumI / Count), pct(SumT / Count), ""});
+  Table.print();
+  std::printf("\npaper: 6-7%% average with 50 Hz updates (Fig. 6); the key\n"
+              "property is overhead slightly above Fig. 5 with no check\n"
+              "transaction ever failing spuriously\n");
+  return 0;
+}

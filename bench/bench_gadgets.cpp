@@ -1,0 +1,64 @@
+//===- bench/bench_gadgets.cpp - ROP gadget elimination -------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Gadget elimination (Sec. 8.3, measured with rp++ in the paper): count
+/// unique ROP gadgets in the original binaries (reachable from any byte
+/// offset, including instruction middles) vs. the MCFI-hardened binaries
+/// (reachable only from addresses with valid Tary IDs). Paper: ~96% of
+/// gadgets eliminated on average.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "metrics/Harness.h"
+#include "metrics/Metrics.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+int main() {
+  benchHeader("Unique ROP gadgets: original vs. MCFI-hardened",
+              "the gadget-elimination result of Sec. 8.3");
+
+  TablePrinter Table;
+  Table.addRow({"benchmark", "original", "hardened", "eliminated"});
+
+  double Sum = 0;
+  unsigned Count = 0;
+  for (const BenchProfile &P : specProfiles()) {
+    std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+
+    BuildSpec Plain;
+    Plain.Instrument = false;
+    BuiltProgram Orig = buildProgram({Source}, Plain);
+    BuiltProgram Hard = buildProgram({Source});
+    if (!Orig.Ok || !Hard.Ok) {
+      std::fprintf(stderr, "%s failed: %s%s\n", P.Name.c_str(),
+                   Orig.Error.c_str(), Hard.Error.c_str());
+      return 1;
+    }
+
+    // Scan the whole mapped code region of each machine.
+    uint64_t OrigSize = Orig.M->codeTop() - Machine::CodeBase;
+    uint64_t HardSize = Hard.M->codeTop() - Machine::CodeBase;
+    GadgetReport R = countGadgets(
+        Orig.M->codePtr(Machine::CodeBase, OrigSize), OrigSize,
+        Hard.M->codePtr(Machine::CodeBase, HardSize), HardSize,
+        Hard.L->policy(), Machine::CodeBase);
+
+    Sum += R.ReductionPct;
+    ++Count;
+    Table.addRow({P.Name, std::to_string(R.OriginalGadgets),
+                  std::to_string(R.HardenedGadgets), pct(R.ReductionPct)});
+  }
+  Table.addRow({"average", "", "", pct(Sum / Count)});
+  Table.print();
+  std::printf("\npaper: 96.93%% (x86-32) / 95.75%% (x86-64) of gadgets\n"
+              "eliminated; every mid-instruction gadget must disappear\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+//===- bench/bench_table1_analyzer.cpp - Table 1 reproduction -------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 1: C1 violations found by the static analyzer in the (raw,
+/// pre-fix) benchmark sources, before false-positive elimination (VBE)
+/// and the counts removed by each elimination rule (UC, DC, MF, SU, NF),
+/// leaving the residue VAE. The violation mixes are the paper's Table 1
+/// scaled by ~10x along with the rest of the synthetic suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "bench/BenchUtil.h"
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+#include "workload/Workload.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+int main() {
+  benchHeader("C1 violations before/after false-positive elimination",
+              "Table 1");
+
+  TablePrinter Table;
+  Table.addRow({"benchmark", "SLOC", "VBE", "UC", "DC", "MF", "SU", "NF",
+                "VAE"});
+
+  for (const BenchProfile &P : specProfiles()) {
+    std::string Source = generateWorkload(P, WorkloadVariant::Raw);
+    unsigned Sloc = 0;
+    for (char C : Source)
+      Sloc += C == '\n';
+
+    std::vector<std::string> Errors;
+    auto Prog = minic::parseProgram(Source, Errors);
+    if (!Prog || !minic::analyze(*Prog, Errors)) {
+      std::fprintf(stderr, "%s failed to compile: %s\n", P.Name.c_str(),
+                   Errors.empty() ? "?" : Errors.front().c_str());
+      return 1;
+    }
+    AnalyzerConfig Config;
+    // The DC rule requires attesting the tag-checked abstract structs
+    // (paper: "such association can be specified manually ... and fed to
+    // the analyzer").
+    Config.TaggedAbstractStructs.insert("VBase");
+    AnalysisReport R = analyzeConditions(*Prog, Config);
+
+    Table.addRow({P.Name, std::to_string(Sloc), std::to_string(R.VBE),
+                  std::to_string(R.UC), std::to_string(R.DC),
+                  std::to_string(R.MF), std::to_string(R.SU),
+                  std::to_string(R.NF), std::to_string(R.VAE)});
+  }
+  Table.print();
+  std::printf("\npaper (scaled ~10x down): perlbench and gcc dominate VBE;\n"
+              "mcf/gobmk/sjeng/lbm report zero; elimination rules remove\n"
+              "most candidates\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/bench_table3_cfgstats.cpp - Table 3 reproduction -------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 3: CFG statistics per benchmark when statically linked with the
+/// rt library — IBs (instrumented indirect branches), IBTs (indirect-
+/// branch targets: address-taken functions + return sites), and EQCs
+/// (equivalence classes of targets). Two columns per metric: tail-call
+/// optimization off ("x86-32 mode") and on ("x86-64 mode"); the paper
+/// observes fewer EQCs with tail calls because returns merge through
+/// tail-call chains.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "metrics/Harness.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+namespace {
+
+CFGPolicy statsFor(const BenchProfile &P, bool TailCalls) {
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+  BuildSpec Spec;
+  Spec.TailCalls = TailCalls;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  if (!BP.Ok) {
+    std::fprintf(stderr, "%s failed: %s\n", P.Name.c_str(),
+                 BP.Error.c_str());
+    std::exit(1);
+  }
+  return BP.L->policy();
+}
+
+} // namespace
+
+int main() {
+  benchHeader("CFG statistics: IBs / IBTs / EQCs, statically linked with rt",
+              "Table 3");
+
+  TablePrinter Table;
+  Table.addRow({"benchmark", "IBs(32)", "IBTs(32)", "EQCs(32)", "IBs(64)",
+                "IBTs(64)", "EQCs(64)"});
+
+  for (const BenchProfile &P : specProfiles()) {
+    CFGPolicy NoTail = statsFor(P, /*TailCalls=*/false);
+    CFGPolicy Tail = statsFor(P, /*TailCalls=*/true);
+    Table.addRow({P.Name, std::to_string(NoTail.NumIBs),
+                  std::to_string(NoTail.NumIBTs),
+                  std::to_string(NoTail.NumEQCs),
+                  std::to_string(Tail.NumIBs), std::to_string(Tail.NumIBTs),
+                  std::to_string(Tail.NumEQCs)});
+  }
+  Table.print();
+  std::printf("\npaper (scaled ~10x down): EQCs per benchmark are two to\n"
+              "three orders of magnitude above the handful of classes that\n"
+              "coarse-grained CFI enforces; the x86-64 (tail-call) column\n"
+              "has fewer or equal EQCs than x86-32\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- examples/attack_demo.cpp - A hijack, with and without MCFI ---------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A dramatized version of the paper's security discussion (Sec. 8.3,
+/// the GnuPG CVE-2006-6235 scenario): a program dispatches through a
+/// function pointer stored in writable memory; the attacker — who per
+/// the threat model can write any writable memory between any two
+/// instructions — redirects it at a dangerous function of a different
+/// type. Unprotected, the attack executes the dangerous code. Under
+/// MCFI the check transaction reads mismatching equivalence-class
+/// numbers and halts the program.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+namespace {
+
+const char *Victim = R"(
+  long sum_prices(long *prices, long n, long (*fee)(long)) {
+    long total = 0;
+    long i;
+    for (i = 0; i < n; i = i + 1)
+      total = total + prices[i] + fee(prices[i]);
+    return total;
+  }
+  long flat_fee(long p) { return 2; }
+  void launch_missiles(char *target) {
+    print_str("  !!! missiles launched at ");
+    print_str(target);
+    print_str(" !!!\n");
+  }
+  void (*ui_callback)(char *) = launch_missiles; /* address-taken elsewhere */
+  long (*fee_hook)(long) = flat_fee;             /* the attacker's target */
+
+  int main() {
+    long prices[4];
+    prices[0] = 10; prices[1] = 20; prices[2] = 30; prices[3] = 40;
+    long i;
+    long total = 0;
+    for (i = 0; i < 200000; i = i + 1)
+      total = total + sum_prices(prices, 4, fee_hook);
+    print_str("checkout total: ");
+    print_int(total & 1048575);
+    return 0;
+  }
+)";
+
+int runScenario(bool Instrument) {
+  std::printf("%s\n", Instrument
+                          ? "--- with MCFI ------------------------------"
+                          : "--- unprotected ----------------------------");
+  BuildSpec Spec;
+  Spec.Instrument = Instrument;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Victim}, Spec);
+  if (!BP.Ok) {
+    std::fprintf(stderr, "build failed: %s\n", BP.Error.c_str());
+    return 1;
+  }
+
+  Thread T;
+  BP.M->makeThread("_start", T);
+  RunResult Mid = BP.M->run(T, 400'000); // victim is mid-checkout
+  if (Mid.Reason != StopReason::OutOfFuel) {
+    std::fprintf(stderr, "unexpected early stop: %s\n", Mid.Message.c_str());
+    return 1;
+  }
+
+  // The attacker overwrites fee_hook with the address of
+  // launch_missiles (type void(char*), class-mismatched with
+  // long(long)).
+  uint64_t HookAddr = 0;
+  for (const MappedModule &Mod : BP.M->modules()) {
+    auto It = Mod.Obj->DataSymbols.find("fee_hook");
+    if (It != Mod.Obj->DataSymbols.end())
+      HookAddr = Mod.DataBase + It->second;
+  }
+  uint64_t Missiles = BP.M->findFunction("launch_missiles");
+  std::printf("attacker: overwriting fee_hook (0x%llx) with "
+              "launch_missiles (0x%llx)\n",
+              static_cast<unsigned long long>(HookAddr),
+              static_cast<unsigned long long>(Missiles));
+  BP.M->store(HookAddr, 8, Missiles);
+
+  RunResult R = BP.M->run(T, ~0ull);
+  std::printf("%s", BP.M->takeOutput().c_str());
+  switch (R.Reason) {
+  case StopReason::Exited:
+    std::printf("\nprogram finished normally (exit %lld)\n",
+                static_cast<long long>(R.ExitCode));
+    break;
+  case StopReason::CfiViolation:
+    std::printf("\nMCFI: %s — attack stopped before the dangerous "
+                "function ran\n",
+                R.Message.c_str());
+    break;
+  default:
+    std::printf("\nprogram crashed: %s\n", R.Message.c_str());
+    break;
+  }
+  std::printf("\n");
+  return 0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Control-flow hijack demo (the paper's execve scenario)\n\n");
+  if (runScenario(/*Instrument=*/false))
+    return 1;
+  if (runScenario(/*Instrument=*/true))
+    return 1;
+  return 0;
+}

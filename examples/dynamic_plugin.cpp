@@ -1,0 +1,93 @@
+//===- examples/dynamic_plugin.cpp - dlopen with live CFG updates ---------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's headline scenario: a host application dynamically loads a
+/// separately compiled, separately instrumented plugin while other
+/// threads keep running. Dynamic linking performs the three steps of
+/// Sec. 6 — map writable, regenerate+verify+seal, TxUpdate with GOT
+/// updates — and the host's PLT call then reaches the plugin. The demo
+/// prints the CFG version and statistics before and after the load so
+/// you can watch the policy grow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "toolchain/Toolchain.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+int main() {
+  const char *HostSource = R"(
+    long transform(long x);                    /* provided by the plugin */
+    long reduce(long (*fn)(long), long n) {    /* plugin calls back here */
+      long acc = 0;
+      long i;
+      for (i = 0; i < n; i = i + 1)
+        acc = acc + fn(i);
+      return acc;
+    }
+    int main() {
+      print_str("host: loading plugin...\n");
+      long h = dlopen(0);
+      if (h < 0) {
+        print_str("host: dlopen failed\n");
+        return 1;
+      }
+      print_str("host: calling plugin through the PLT\n");
+      print_int(transform(100));
+      long (*fn)(long) = (long (*)(long))dlsym(h, "transform");
+      print_str("host: reducing via dlsym'd pointer\n");
+      print_int(reduce(fn, 10));
+      return 0;
+    }
+  )";
+
+  const char *PluginSource = R"(
+    long transform(long x) { return x * 3 + 1; }
+    long (*exported)(long) = transform; /* dlsym target: address-taken */
+  )";
+
+  CompileOptions HostCO;
+  HostCO.ModuleName = "host";
+  HostCO.EmitPlt = true; // imports resolve at dlopen time via GOT
+  CompileResult Host = compileModule(HostSource, HostCO);
+  CompileResult Plugin = compileModule(PluginSource, {.ModuleName = "plugin"});
+  if (!Host.Ok || !Plugin.Ok) {
+    std::fprintf(stderr, "compile failed\n");
+    return 1;
+  }
+  std::printf("host module: %zu bytes (PLT entries synthesized for its "
+              "imports)\nplugin module: %zu bytes, instrumented before "
+              "anyone knows who will load it\n",
+              Host.Obj.Code.size(), Plugin.Obj.Code.size());
+
+  Machine M;
+  Linker L(M);
+  std::string Error;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Host.Obj));
+  if (!L.linkProgram(std::move(Objs), Error)) {
+    std::fprintf(stderr, "link error: %s\n", Error.c_str());
+    return 1;
+  }
+  L.registerLibrary(std::move(Plugin.Obj));
+
+  std::printf("before dlopen: CFG version %u, %llu IBTs\n",
+              M.tables().currentVersion(),
+              static_cast<unsigned long long>(L.policy().NumIBTs));
+
+  RunResult R = runProgram(M);
+  std::printf("%s", M.takeOutput().c_str());
+
+  std::printf("after dlopen: CFG version %u, %llu IBTs "
+              "(%llu update transactions total)\n",
+              M.tables().currentVersion(),
+              static_cast<unsigned long long>(L.policy().NumIBTs),
+              static_cast<unsigned long long>(M.tables().updateCount()));
+  return R.Reason == StopReason::Exited ? 0 : 1;
+}

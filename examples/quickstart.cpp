@@ -1,0 +1,81 @@
+//===- examples/quickstart.cpp - MCFI in five minutes ---------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: compile a MiniC program into a separately instrumented
+/// MCFI module, link it (CFG generation + verification + ID-table
+/// install), and run it on the sandboxed VM. Prints the program's output
+/// and the control-flow policy statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "toolchain/Toolchain.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+int main() {
+  const char *Source = R"(
+    /* A tiny event-dispatch program: the kind of code CFI protects. */
+    long on_add(long a, long b) { return a + b; }
+    long on_mul(long a, long b) { return a * b; }
+    long (*handlers[2])(long, long);
+
+    int main() {
+      handlers[0] = on_add;
+      handlers[1] = on_mul;
+      long i;
+      long acc = 0;
+      for (i = 0; i < 10; i = i + 1)
+        acc = acc + handlers[i & 1](i, 2); /* checked indirect calls */
+      print_str("dispatched sum: ");
+      print_int(acc);
+      return 0;
+    }
+  )";
+
+  // 1. Compile: instrumentation happens per module, with no knowledge of
+  //    what the module will be linked against (separate compilation).
+  CompileResult CR = compileModule(Source, {.ModuleName = "quickstart"});
+  if (!CR.Ok) {
+    std::fprintf(stderr, "compile error: %s\n", CR.Errors.front().c_str());
+    return 1;
+  }
+  std::printf("compiled module: %zu bytes of instrumented code, %zu branch "
+              "sites, %zu functions\n",
+              CR.Obj.Code.size(), CR.Obj.Aux.BranchSites.size(),
+              CR.Obj.Aux.Functions.size());
+
+  // 2. Link: generate the type-matching CFG, verify the module against
+  //    it, seal the code RX, and install the ID tables.
+  Machine M;
+  Linker L(M);
+  std::string Error;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(CR.Obj));
+  if (!L.linkProgram(std::move(Objs), Error)) {
+    std::fprintf(stderr, "link error: %s\n", Error.c_str());
+    return 1;
+  }
+  const CFGPolicy &Policy = L.policy();
+  std::printf("policy installed: %llu indirect branches, %llu targets, "
+              "%llu equivalence classes (CFG version %u)\n",
+              static_cast<unsigned long long>(Policy.NumIBs),
+              static_cast<unsigned long long>(Policy.NumIBTs),
+              static_cast<unsigned long long>(Policy.NumEQCs),
+              M.tables().currentVersion());
+
+  // 3. Run.
+  RunResult R = runProgram(M);
+  std::printf("program output: %s", M.takeOutput().c_str());
+  std::printf("\nexit code %lld after %llu instructions (%s)\n",
+              static_cast<long long>(R.ExitCode),
+              static_cast<unsigned long long>(R.Instructions),
+              R.Reason == StopReason::Exited ? "clean exit"
+                                             : R.Message.c_str());
+  return R.Reason == StopReason::Exited ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+//===- examples/separate_compilation.cpp - .mcfo files on disk ------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demonstrates the property the paper is named for. Three translation
+/// units are compiled *independently* — each produces a self-contained
+/// .mcfo object whose instrumented code bytes never change no matter
+/// what it is later linked with — and written to disk. A "different
+/// build step" then reads the objects back and links two different
+/// programs out of overlapping module sets, regenerating the combined
+/// CFG for each combination. This is exactly what classic CFI could not
+/// do: its IDs were burned into the code and had to be globally unique,
+/// so any change of link partners forced re-instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "toolchain/Toolchain.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace mcfi;
+
+namespace {
+
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  return Out.good();
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Bytes.assign(std::istreambuf_iterator<char>(In),
+               std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool compileTo(const char *Name, const char *Source) {
+  CompileOptions CO;
+  CO.ModuleName = Name;
+  CompileResult CR = compileModule(Source, CO);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "%s: %s\n", Name, CR.Errors.front().c_str());
+    return false;
+  }
+  std::string Path = std::string(Name) + ".mcfo";
+  if (!writeFile(Path, writeObject(CR.Obj)))
+    return false;
+  std::printf("compiled %-12s -> %s (%zu bytes code, %zu branch sites)\n",
+              Name, Path.c_str(), CR.Obj.Code.size(),
+              CR.Obj.Aux.BranchSites.size());
+  return true;
+}
+
+bool linkAndRun(const std::vector<std::string> &ObjectFiles) {
+  std::printf("\nlinking {");
+  for (const std::string &F : ObjectFiles)
+    std::printf(" %s", F.c_str());
+  std::printf(" }\n");
+
+  Machine M;
+  Linker L(M);
+  std::vector<MCFIObject> Objs;
+  for (const std::string &Path : ObjectFiles) {
+    std::vector<uint8_t> Bytes;
+    MCFIObject Obj;
+    if (!readFile(Path, Bytes) || !readObject(Bytes, Obj)) {
+      std::fprintf(stderr, "cannot load %s\n", Path.c_str());
+      return false;
+    }
+    Objs.push_back(std::move(Obj));
+  }
+  std::string Error;
+  if (!L.linkProgram(std::move(Objs), Error)) {
+    std::fprintf(stderr, "link error: %s\n", Error.c_str());
+    return false;
+  }
+  std::printf("combined CFG: %llu branches, %llu targets, %llu classes\n",
+              static_cast<unsigned long long>(L.policy().NumIBs),
+              static_cast<unsigned long long>(L.policy().NumIBTs),
+              static_cast<unsigned long long>(L.policy().NumEQCs));
+  RunResult R = runProgram(M);
+  std::printf("output: %s", M.takeOutput().c_str());
+  return R.Reason == StopReason::Exited;
+}
+
+} // namespace
+
+int main() {
+  // The shared library module: instrumented once, linked twice below.
+  if (!compileTo("mathlib", R"(
+        long apply(long (*f)(long), long x) { return f(x); }
+        long triple(long x) { return 3 * x; }
+      )"))
+    return 1;
+
+  if (!compileTo("app1", R"(
+        long apply(long (*f)(long), long x);
+        long triple(long x);
+        long inc(long x) { return x + 1; }
+        int main() {
+          print_str("app1: ");
+          print_int(apply(inc, 41) + apply(triple, 5));
+          return 0;
+        }
+      )"))
+    return 1;
+
+  if (!compileTo("app2", R"(
+        long apply(long (*f)(long), long x);
+        long dec(long x) { return x - 1; }
+        int main() {
+          print_str("app2: ");
+          print_int(apply(dec, 100));
+          return 0;
+        }
+      )"))
+    return 1;
+
+  // The same mathlib.mcfo participates in two different programs; each
+  // link merges aux info and builds its own combined CFG.
+  if (!linkAndRun({"app1.mcfo", "mathlib.mcfo"}))
+    return 1;
+  if (!linkAndRun({"app2.mcfo", "mathlib.mcfo"}))
+    return 1;
+
+  std::printf("\nmathlib.mcfo was instrumented once and reused across both "
+              "programs —\nthe separate compilation classic CFI cannot "
+              "offer.\n");
+  return 0;
+}

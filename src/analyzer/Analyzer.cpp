@@ -1,0 +1,409 @@
+//===- analyzer/Analyzer.cpp - C1/C2 condition analyzer -------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+
+#include "support/Assert.h"
+
+using namespace mcfi;
+using namespace mcfi::minic;
+
+namespace {
+
+/// Walks every expression with its parent (for the NF rule's use-context
+/// check) and every statement, reporting C1/C2 findings.
+class AnalyzerImpl {
+public:
+  AnalyzerImpl(Program &Prog, const AnalyzerConfig &Config)
+      : Prog(Prog), Types(Prog.getTypes()), Config(Config) {}
+
+  AnalysisReport run() {
+    for (VarDecl *G : Prog.Globals)
+      if (G->getInit())
+        visitExpr(G->getInit(), nullptr);
+    for (FuncDecl *F : Prog.Functions)
+      if (F->isDefined())
+        visitStmt(F->getBody());
+
+    finalize();
+    return std::move(Report);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Type predicates
+  //===--------------------------------------------------------------------===//
+
+  static bool isFnPtr(const Type *T) { return T->isFunctionPointer(); }
+
+  /// Pointee of a pointer type, or null.
+  static const Type *pointee(const Type *T) {
+    const auto *PT = dyn_cast<PointerType>(T);
+    return PT ? PT->getPointee() : nullptr;
+  }
+
+  /// Is this a pointer to a record containing a function pointer?
+  static const RecordType *fnPtrRecordPointee(const Type *T) {
+    const Type *P = pointee(T);
+    if (!P)
+      return nullptr;
+    const auto *R = dyn_cast<RecordType>(P);
+    if (!R || !R->isComplete() || !R->containsFunctionPointer())
+      return nullptr;
+    return R;
+  }
+
+  /// A cast is C1-relevant when it is a conversion between inequivalent
+  /// types and a function pointer is involved on either side, directly or
+  /// through a record pointee.
+  bool isC1Relevant(const Type *From, const Type *To) {
+    if (From == To || Types.structurallyEquivalent(From, To))
+      return false;
+    // Function-designator decay (T f(...) used as a value of type T(*)())
+    // is not a cast; same for array decay.
+    if ((From->isFunction() || From->isArray()) && To->isPointer()) {
+      const Type *Decayed = From->isFunction()
+                                ? From
+                                : cast<ArrayType>(From)->getElement();
+      if (Types.structurallyEquivalent(pointee(To), Decayed))
+        return false;
+    }
+    if (isFnPtr(From) || isFnPtr(To))
+      return true;
+    // Pointer-to-record casts where a function-pointer field is in play
+    // on at least one side (includes void* <-> struct-with-fp).
+    const RecordType *FromRec = fnPtrRecordPointee(From);
+    const RecordType *ToRec = fnPtrRecordPointee(To);
+    if ((FromRec || ToRec) && From->isPointer() && To->isPointer())
+      return true;
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Source-expression inspection
+  //===--------------------------------------------------------------------===//
+
+  /// Strips nested casts.
+  static const Expr *stripCasts(const Expr *E) {
+    while (const auto *C = dyn_cast<CastExpr>(E))
+      E = C->getSub();
+    return E;
+  }
+
+  /// Does the cast source reduce to a function constant (possibly via
+  /// address-of)?
+  static bool sourceIsFunctionConstant(const Expr *E) {
+    E = stripCasts(E);
+    if (const auto *U = dyn_cast<UnaryExpr>(E);
+        U && U->getOp() == UnaryOp::AddrOf)
+      E = stripCasts(U->getSub());
+    return isa<FuncRefExpr>(E);
+  }
+
+  static bool sourceIsLiteral(const Expr *E) {
+    E = stripCasts(E);
+    return isa<IntLitExpr>(E);
+  }
+
+  static bool sourceIsMallocCall(const Expr *E) {
+    E = stripCasts(E);
+    const auto *Call = dyn_cast<CallExpr>(E);
+    if (!Call || !Call->isDirect())
+      return false;
+    return Call->getDirectCallee()->getBuiltin() == BuiltinKind::Malloc;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cast classification
+  //===--------------------------------------------------------------------===//
+
+  void reportCast(const CastExpr *Cast, const Expr *Parent) {
+    const Type *From = Cast->getSub()->getType();
+    const Type *To = Cast->getType();
+    if (!From || !isC1Relevant(From, To))
+      return;
+
+    C1Violation V;
+    V.Loc = Cast->getLoc();
+    V.From = From;
+    V.To = To;
+    V.Description = From->print() + " -> " + To->print();
+
+    // False-positive elimination, in the paper's order.
+    const RecordType *FromRec = fnPtrRecordPointee(From);
+    const RecordType *ToRec = fnPtrRecordPointee(To);
+    const auto *FromAnyRec =
+        pointee(From) ? dyn_cast<RecordType>(pointee(From)) : nullptr;
+    const auto *ToAnyRec =
+        pointee(To) ? dyn_cast<RecordType>(pointee(To)) : nullptr;
+
+    // UC: upcast — the destination's fields are a prefix of the source's.
+    if (FromAnyRec && ToAnyRec &&
+        Types.isPhysicalSubtype(FromAnyRec, ToAnyRec)) {
+      V.Eliminated = FPRule::UC;
+      Report.C1.push_back(V);
+      return;
+    }
+    // DC: downcast from an attested tag-disciplined abstract struct.
+    if (FromAnyRec && ToAnyRec &&
+        Types.isPhysicalSubtype(ToAnyRec, FromAnyRec) &&
+        Config.TaggedAbstractStructs.count(FromAnyRec->getTag())) {
+      V.Eliminated = FPRule::DC;
+      Report.C1.push_back(V);
+      return;
+    }
+    // MF: malloc result cast / free argument cast.
+    if (sourceIsMallocCall(Cast->getSub()) ||
+        (pointee(To) && pointee(To)->isVoid() && Parent &&
+         isFreeArgument(Parent))) {
+      V.Eliminated = FPRule::MF;
+      Report.C1.push_back(V);
+      return;
+    }
+    // SU: function pointer updated with a literal (NULL, 0, ...).
+    if (isFnPtr(To) && sourceIsLiteral(Cast->getSub())) {
+      V.Eliminated = FPRule::SU;
+      Report.C1.push_back(V);
+      return;
+    }
+    // NF: the cast feeds a member access that does not touch a
+    // function-pointer field.
+    if ((FromRec || ToRec) && Parent) {
+      if (const auto *M = dyn_cast<MemberExpr>(Parent)) {
+        if (M->getBase() == Cast && M->getType() &&
+            !M->getType()->isFunctionPointer() &&
+            !M->getType()->containsFunctionPointer()) {
+          V.Eliminated = FPRule::NF;
+          Report.C1.push_back(V);
+          return;
+        }
+      }
+    }
+
+    // Residual: K1 if a function constant of an incompatible type flows
+    // into a function pointer; K2 otherwise (round-trips through void*,
+    // integers, unchecked downcasts, ...).
+    if (isFnPtr(To) && sourceIsFunctionConstant(Cast->getSub()))
+      V.Residual = ResidualKind::K1;
+    else
+      V.Residual = ResidualKind::K2;
+    Report.C1.push_back(V);
+  }
+
+  bool isFreeArgument(const Expr *Parent) {
+    const auto *Call = dyn_cast<CallExpr>(Parent);
+    if (!Call || !Call->isDirect())
+      return false;
+    return Call->getDirectCallee()->getBuiltin() == BuiltinKind::Free;
+  }
+
+  /// Union accesses: reading or writing a function-pointer field of a
+  /// union that also holds non-function-pointer state is an implicit cast
+  /// involving a function pointer (paper: "when a union type includes a
+  /// function pointer field").
+  void checkUnionAccess(const MemberExpr *M) {
+    const RecordType *R = M->getRecord();
+    if (!R || !R->isUnion())
+      return;
+    const Type *FieldTy = R->getFields()[M->getFieldIndex()].FieldType;
+    if (!FieldTy->isFunctionPointer())
+      return;
+    bool HasOther = false;
+    for (const RecordField &F : R->getFields())
+      if (!Types.structurallyEquivalent(F.FieldType, FieldTy))
+        HasOther = true;
+    if (!HasOther)
+      return;
+    C1Violation V;
+    V.Loc = M->getLoc();
+    V.From = R;
+    V.To = FieldTy;
+    V.Description =
+        "function-pointer field of union '" + R->getTag() + "'";
+    V.Residual = ResidualKind::K2; // punning through a union
+    Report.C1.push_back(V);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Walk
+  //===--------------------------------------------------------------------===//
+
+  void visitExpr(const Expr *E, const Expr *Parent) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+    case ExprKind::StrLit:
+    case ExprKind::VarRef:
+    case ExprKind::FuncRef:
+    case ExprKind::SizeofType:
+    case ExprKind::NameRef:
+      return;
+    case ExprKind::Unary:
+      visitExpr(cast<UnaryExpr>(E)->getSub(), E);
+      return;
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      visitExpr(B->getLHS(), E);
+      visitExpr(B->getRHS(), E);
+      return;
+    }
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      visitExpr(A->getLHS(), E);
+      visitExpr(A->getRHS(), E);
+      return;
+    }
+    case ExprKind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      visitExpr(C->getCond(), E);
+      visitExpr(C->getThen(), E);
+      visitExpr(C->getElse(), E);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *Call = cast<CallExpr>(E);
+      visitExpr(Call->getCallee(), E);
+      for (const Expr *Arg : Call->getArgs())
+        visitExpr(Arg, E);
+      return;
+    }
+    case ExprKind::Index: {
+      const auto *Ix = cast<IndexExpr>(E);
+      visitExpr(Ix->getBase(), E);
+      visitExpr(Ix->getIdx(), E);
+      return;
+    }
+    case ExprKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      checkUnionAccess(M);
+      visitExpr(M->getBase(), E);
+      return;
+    }
+    case ExprKind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      reportCast(C, Parent);
+      visitExpr(C->getSub(), E);
+      return;
+    }
+    }
+    mcfi_unreachable("covered switch");
+  }
+
+  void visitStmt(const Stmt *S) {
+    switch (S->getKind()) {
+    case StmtKind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getStmts())
+        visitStmt(Sub);
+      return;
+    case StmtKind::Decl: {
+      const VarDecl *V = cast<DeclStmt>(S)->getDecl();
+      if (V->getInit())
+        visitExpr(V->getInit(), nullptr);
+      return;
+    }
+    case StmtKind::Expr:
+      visitExpr(cast<ExprStmt>(S)->getExpr(), nullptr);
+      return;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      visitExpr(If->getCond(), nullptr);
+      visitStmt(If->getThen());
+      if (If->getElse())
+        visitStmt(If->getElse());
+      return;
+    }
+    case StmtKind::While:
+    case StmtKind::DoWhile: {
+      const auto *W = cast<WhileStmt>(S);
+      visitExpr(W->getCond(), nullptr);
+      visitStmt(W->getBody());
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      if (F->getInit())
+        visitStmt(F->getInit());
+      if (F->getCond())
+        visitExpr(F->getCond(), nullptr);
+      if (F->getInc())
+        visitExpr(F->getInc(), nullptr);
+      visitStmt(F->getBody());
+      return;
+    }
+    case StmtKind::Return:
+      if (cast<ReturnStmt>(S)->getValue())
+        visitExpr(cast<ReturnStmt>(S)->getValue(), nullptr);
+      return;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Goto:
+    case StmtKind::Label:
+      return;
+    case StmtKind::Switch: {
+      const auto *Sw = cast<SwitchStmt>(S);
+      visitExpr(Sw->getCond(), nullptr);
+      for (const minic::SwitchArm &Arm : Sw->getArms())
+        for (const Stmt *Sub : Arm.Stmts)
+          visitStmt(Sub);
+      return;
+    }
+    case StmtKind::Asm: {
+      const auto *A = cast<AsmStmt>(S);
+      C2Violation V;
+      V.Loc = A->getLoc();
+      V.Annotated = !A->getAnnotations().empty();
+      Report.C2.push_back(V);
+      return;
+    }
+    }
+    mcfi_unreachable("covered switch");
+  }
+
+  void finalize() {
+    Report.VBE = static_cast<unsigned>(Report.C1.size());
+    for (const C1Violation &V : Report.C1) {
+      switch (V.Eliminated) {
+      case FPRule::None:
+        ++Report.VAE;
+        if (V.Residual == ResidualKind::K1)
+          ++Report.K1;
+        else if (V.Residual == ResidualKind::K2)
+          ++Report.K2;
+        break;
+      case FPRule::UC:
+        ++Report.UC;
+        break;
+      case FPRule::DC:
+        ++Report.DC;
+        break;
+      case FPRule::MF:
+        ++Report.MF;
+        break;
+      case FPRule::SU:
+        ++Report.SU;
+        break;
+      case FPRule::NF:
+        ++Report.NF;
+        break;
+      }
+    }
+    for (const C2Violation &V : Report.C2)
+      if (!V.Annotated)
+        ++Report.C2Count;
+  }
+
+  Program &Prog;
+  TypeContext &Types;
+  const AnalyzerConfig &Config;
+  AnalysisReport Report;
+};
+
+} // namespace
+
+AnalysisReport mcfi::analyzeConditions(Program &Prog,
+                                       const AnalyzerConfig &Config) {
+  return AnalyzerImpl(Prog, Config).run();
+}

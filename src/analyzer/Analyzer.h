@@ -1,0 +1,93 @@
+//===- analyzer/Analyzer.h - C1/C2 condition analyzer -----------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static analyzer of paper Sec. 6 (built on Clang's StaticChecker in
+/// the original). It over-approximates violations of the two conditions
+/// for type-matching CFG generation:
+///
+///   C1: no type cast to or from function-pointer types (including
+///       implicit casts: union fields, struct-to-struct casts whose
+///       pointees contain incompatible function-pointer fields);
+///   C2: no (unannotated) inline assembly.
+///
+/// Five false-positive elimination rules prune C1 reports (Table 1):
+///   UC — upcasts between physical-subtype structs;
+///   DC — downcasts guarded by a type-tag discipline the user attests to
+///        (AnalyzerConfig::TaggedAbstractStructs);
+///   MF — void* casts at malloc/free boundaries;
+///   SU — function pointers updated with literals (NULL etc.);
+///   NF — casts after which only non-function-pointer fields are used.
+///
+/// Remaining violations are classified (Table 2):
+///   K1 — a function pointer is initialized/assigned with the address of
+///        a function of an incompatible type (these need source fixes:
+///        the generated CFG would miss edges);
+///   K2 — a function pointer is cast to another type (and typically cast
+///        back later); these do not break the generated CFG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_ANALYZER_ANALYZER_H
+#define MCFI_ANALYZER_ANALYZER_H
+
+#include "minic/AST.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+
+/// Rules that can eliminate a C1 report as a false positive.
+enum class FPRule : uint8_t { None, UC, DC, MF, SU, NF };
+
+/// Residual classification of surviving C1 violations.
+enum class ResidualKind : uint8_t { None, K1, K2 };
+
+struct C1Violation {
+  minic::SourceLoc Loc;
+  const Type *From = nullptr;
+  const Type *To = nullptr;
+  FPRule Eliminated = FPRule::None;
+  ResidualKind Residual = ResidualKind::None;
+  std::string Description;
+};
+
+struct C2Violation {
+  minic::SourceLoc Loc;
+  bool Annotated = false; ///< annotated assemblies satisfy C2
+};
+
+struct AnalyzerConfig {
+  /// Abstract struct tags whose downcasts follow a checked type-tag
+  /// discipline (fed to the analyzer "manually or inferred", per the
+  /// paper). Downcasts from these become DC false positives.
+  std::set<std::string> TaggedAbstractStructs;
+};
+
+struct AnalysisReport {
+  std::vector<C1Violation> C1;
+  std::vector<C2Violation> C2;
+
+  /// Table 1 counters.
+  unsigned VBE = 0; ///< violations before elimination
+  unsigned UC = 0, DC = 0, MF = 0, SU = 0, NF = 0;
+  unsigned VAE = 0; ///< violations after elimination
+  /// Table 2 counters.
+  unsigned K1 = 0, K2 = 0;
+  /// Unannotated inline assemblies (C2 violations).
+  unsigned C2Count = 0;
+};
+
+/// Analyzes a type-checked program.
+AnalysisReport analyzeConditions(minic::Program &Prog,
+                                 const AnalyzerConfig &Config = {});
+
+} // namespace mcfi
+
+#endif // MCFI_ANALYZER_ANALYZER_H

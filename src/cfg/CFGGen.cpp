@@ -1,0 +1,319 @@
+//===- cfg/CFGGen.cpp - Type-matching CFG generation ----------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGGen.h"
+
+#include "cfg/SigMatch.h"
+#include "support/Assert.h"
+#include "support/UnionFind.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace mcfi;
+
+const char *const mcfi::SignalHandlerSig = "(i32,)->v";
+
+namespace {
+
+/// A function gathered from some module's aux info.
+struct FuncEntry {
+  std::string Name;
+  std::string TypeSig;
+  uint64_t Addr = 0; ///< absolute entry address
+  bool AddressTaken = false;
+  bool Variadic = false;
+};
+
+/// A call site with its resolved callee set (function indexes).
+struct CallSiteEntry {
+  uint64_t RetSiteAddr = 0;
+  bool IsSetjmp = false;
+  std::vector<uint32_t> Callees;
+};
+
+class CFGBuilder {
+public:
+  explicit CFGBuilder(const std::vector<LoadedModuleView> &Modules)
+      : Modules(Modules) {}
+
+  CFGPolicy build() {
+    collectFunctions();
+    indexBranchSites();
+    resolveCallSites();
+    propagateTailCalls();
+    computeTargetSets();
+    partition();
+    return std::move(Policy);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Collection
+  //===--------------------------------------------------------------------===//
+
+  void collectFunctions() {
+    for (const LoadedModuleView &M : Modules) {
+      for (const FunctionInfo &F : M.Obj->Aux.Functions) {
+        FuncEntry E;
+        E.Name = F.Name;
+        E.TypeSig = F.TypeSig;
+        E.Addr = M.CodeBase + F.CodeOffset;
+        E.AddressTaken = F.AddressTaken;
+        E.Variadic = F.Variadic;
+        uint32_t Idx = static_cast<uint32_t>(Funcs.size());
+        // First definition wins on name clashes (matches the loader's
+        // symbol-resolution order).
+        FuncByName.emplace(E.Name, Idx);
+        Funcs.push_back(std::move(E));
+      }
+    }
+    // A module may take the address of a function another module
+    // defines; the definition then becomes an indirect-branch target.
+    for (const LoadedModuleView &M : Modules)
+      for (const std::string &Name : M.Obj->Aux.AddressTakenImports)
+        if (auto It = FuncByName.find(Name); It != FuncByName.end())
+          Funcs[It->second].AddressTaken = true;
+    for (uint32_t Idx = 0; Idx != Funcs.size(); ++Idx)
+      if (Funcs[Idx].AddressTaken)
+        BySig[Funcs[Idx].TypeSig].push_back(Idx);
+  }
+
+  void indexBranchSites() {
+    uint32_t Next = 0;
+    for (const LoadedModuleView &M : Modules) {
+      Policy.SiteIndexBase.push_back(Next);
+      Next += static_cast<uint32_t>(M.Obj->Aux.BranchSites.size());
+    }
+    Policy.BranchECN.assign(Next, -1);
+    Policy.BranchClassSize.assign(Next, 0);
+    Policy.NumIBs = Next;
+  }
+
+  /// All address-taken functions matching a pointer signature.
+  std::vector<uint32_t> matchTargets(const std::string &Sig, bool Variadic) {
+    if (!Variadic) {
+      auto It = BySig.find(Sig);
+      return It == BySig.end() ? std::vector<uint32_t>() : It->second;
+    }
+    // Variadic pointers: exact matches plus fixed-prefix matches.
+    std::vector<uint32_t> Out;
+    for (uint32_t I = 0; I != Funcs.size(); ++I)
+      if (Funcs[I].AddressTaken &&
+          calleeSigMatches(Sig, /*PointerVariadic=*/true, Funcs[I].TypeSig))
+        Out.push_back(I);
+    return Out;
+  }
+
+  void resolveCallSites() {
+    for (const LoadedModuleView &M : Modules) {
+      for (const CallSiteInfo &CS : M.Obj->Aux.CallSites) {
+        CallSiteEntry E;
+        E.RetSiteAddr = M.CodeBase + CS.RetSiteOffset;
+        E.IsSetjmp = CS.IsSetjmp;
+        if (CS.IsSetjmp) {
+          Policy.SetjmpRetSites.push_back(E.RetSiteAddr);
+        } else if (CS.Direct) {
+          auto It = FuncByName.find(CS.Callee);
+          if (It != FuncByName.end())
+            E.Callees.push_back(It->second);
+        } else {
+          E.Callees = matchTargets(CS.TypeSig, CS.VariadicPointer);
+        }
+        CallSites.push_back(std::move(E));
+      }
+    }
+  }
+
+  /// Tail-call closure: if g may tail-call h, then h returns wherever g
+  /// would have returned, so RetTargets[h] ⊇ RetTargets[g].
+  void propagateTailCalls() {
+    // Seed return targets from ordinary call sites.
+    RetTargets.assign(Funcs.size(), {});
+    for (const CallSiteEntry &CS : CallSites) {
+      if (CS.IsSetjmp)
+        continue;
+      for (uint32_t Callee : CS.Callees)
+        RetTargets[Callee].push_back(CS.RetSiteAddr);
+    }
+
+    // Tail-call edges: caller -> callee set.
+    std::vector<std::vector<uint32_t>> TailEdges(Funcs.size());
+    for (const LoadedModuleView &M : Modules) {
+      for (const TailCallInfo &TC : M.Obj->Aux.TailCalls) {
+        auto CallerIt = FuncByName.find(TC.Caller);
+        if (CallerIt == FuncByName.end())
+          continue;
+        std::vector<uint32_t> Callees;
+        if (TC.Direct) {
+          auto It = FuncByName.find(TC.Callee);
+          if (It != FuncByName.end())
+            Callees.push_back(It->second);
+        } else {
+          Callees = matchTargets(TC.TypeSig, TC.VariadicPointer);
+        }
+        for (uint32_t C : Callees)
+          TailEdges[CallerIt->second].push_back(C);
+      }
+    }
+
+    // Worklist fixed point.
+    std::deque<uint32_t> Work;
+    for (uint32_t F = 0; F != Funcs.size(); ++F)
+      if (!RetTargets[F].empty() && !TailEdges[F].empty())
+        Work.push_back(F);
+    std::vector<std::unordered_set<uint64_t>> Seen(Funcs.size());
+    for (uint32_t F = 0; F != Funcs.size(); ++F)
+      Seen[F].insert(RetTargets[F].begin(), RetTargets[F].end());
+    while (!Work.empty()) {
+      uint32_t G = Work.front();
+      Work.pop_front();
+      for (uint32_t H : TailEdges[G]) {
+        bool Grew = false;
+        for (uint64_t R : RetTargets[G]) {
+          if (Seen[H].insert(R).second) {
+            RetTargets[H].push_back(R);
+            Grew = true;
+          }
+        }
+        if (Grew && !TailEdges[H].empty())
+          Work.push_back(H);
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Target sets per branch site
+  //===--------------------------------------------------------------------===//
+
+  void computeTargetSets() {
+    // Signal handlers may return to the sigreturn trampoline.
+    uint64_t SigTrampoline = 0;
+    if (auto It = FuncByName.find("sig$return"); It != FuncByName.end())
+      SigTrampoline = Funcs[It->second].Addr;
+
+    BranchTargets.assign(Policy.BranchECN.size(), {});
+    size_t ModIdx = 0;
+    for (const LoadedModuleView &M : Modules) {
+      uint32_t Base = Policy.SiteIndexBase[ModIdx++];
+      for (size_t S = 0; S != M.Obj->Aux.BranchSites.size(); ++S) {
+        const BranchSite &BS = M.Obj->Aux.BranchSites[S];
+        std::vector<uint64_t> &Targets = BranchTargets[Base + S];
+        switch (BS.Kind) {
+        case BranchKind::Return: {
+          auto It = FuncByName.find(BS.Function);
+          if (It != FuncByName.end()) {
+            Targets = RetTargets[It->second];
+            const FuncEntry &F = Funcs[It->second];
+            if (SigTrampoline && F.AddressTaken &&
+                F.TypeSig == SignalHandlerSig)
+              Targets.push_back(SigTrampoline);
+          }
+          break;
+        }
+        case BranchKind::IndirectCall:
+        case BranchKind::IndirectJump:
+          for (uint32_t FI : matchTargets(BS.TypeSig, BS.VariadicPointer))
+            Targets.push_back(Funcs[FI].Addr);
+          break;
+        case BranchKind::PltJump: {
+          auto It = FuncByName.find(BS.PltSymbol);
+          if (It != FuncByName.end())
+            Targets.push_back(Funcs[It->second].Addr);
+          break;
+        }
+        }
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Equivalence classes
+  //===--------------------------------------------------------------------===//
+
+  void partition() {
+    // Index the IBT universe: address-taken function entries, PLT-target
+    // entries, and return sites — i.e. every address appearing in some
+    // branch's target set, plus address-taken functions that nothing
+    // currently targets (they are still IBTs of the program).
+    auto ibtIndex = [&](uint64_t Addr) -> uint32_t {
+      auto [It, New] = IBTIndex.emplace(
+          Addr, static_cast<uint32_t>(IBTAddrs.size()));
+      if (New)
+        IBTAddrs.push_back(Addr);
+      return It->second;
+    };
+
+    for (const FuncEntry &F : Funcs)
+      if (F.AddressTaken)
+        ibtIndex(F.Addr);
+    for (const CallSiteEntry &CS : CallSites)
+      if (!CS.IsSetjmp)
+        ibtIndex(CS.RetSiteAddr);
+    for (const auto &Targets : BranchTargets)
+      for (uint64_t A : Targets)
+        ibtIndex(A);
+
+    // Merge overlapping target sets: all targets of one branch share a
+    // class (classic CFI coarsening, paper Sec. 2).
+    UnionFind UF(IBTAddrs.size());
+    for (const auto &Targets : BranchTargets) {
+      for (size_t I = 1; I < Targets.size(); ++I)
+        UF.merge(ibtIndex(Targets[0]), ibtIndex(Targets[I]));
+    }
+
+    // Assign ECNs to class roots and sizes.
+    std::unordered_map<uint32_t, uint32_t> RootECN;
+    std::unordered_map<uint32_t, uint64_t> RootSize;
+    for (uint32_t I = 0; I != IBTAddrs.size(); ++I)
+      ++RootSize[UF.find(I)];
+    uint32_t NextECN = 0;
+    for (uint32_t I = 0; I != IBTAddrs.size(); ++I) {
+      uint32_t Root = UF.find(I);
+      auto [It, New] = RootECN.emplace(Root, NextECN);
+      if (New)
+        ++NextECN;
+      Policy.TargetECN[IBTAddrs[I]] = It->second;
+    }
+
+    for (size_t B = 0; B != BranchTargets.size(); ++B) {
+      const auto &Targets = BranchTargets[B];
+      if (Targets.empty()) {
+        // Empty target set: a fresh ECN no address carries, so the
+        // check always fails closed.
+        Policy.BranchECN[B] = NextECN++;
+        Policy.BranchClassSize[B] = 0;
+        continue;
+      }
+      uint32_t Root = UF.find(IBTIndex.at(Targets[0]));
+      Policy.BranchECN[B] = RootECN.at(Root);
+      Policy.BranchClassSize[B] = RootSize.at(Root);
+    }
+
+    Policy.NumIBTs = IBTAddrs.size();
+    Policy.NumEQCs = RootECN.size();
+  }
+
+  const std::vector<LoadedModuleView> &Modules;
+  CFGPolicy Policy;
+
+  std::vector<FuncEntry> Funcs;
+  std::unordered_map<std::string, uint32_t> FuncByName;
+  std::unordered_map<std::string, std::vector<uint32_t>> BySig;
+  std::vector<CallSiteEntry> CallSites;
+  std::vector<std::vector<uint64_t>> RetTargets; ///< per function
+  std::vector<std::vector<uint64_t>> BranchTargets; ///< per global site
+  std::vector<uint64_t> IBTAddrs;
+  std::unordered_map<uint64_t, uint32_t> IBTIndex;
+};
+
+} // namespace
+
+CFGPolicy mcfi::generateCFG(const std::vector<LoadedModuleView> &Modules) {
+  CFGBuilder B(Modules);
+  return B.build();
+}

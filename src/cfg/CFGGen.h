@@ -1,0 +1,100 @@
+//===- cfg/CFGGen.h - Type-matching CFG generation --------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MCFI's CFG generator (paper Sec. 6): merges the auxiliary type info of
+/// all loaded modules and produces the control-flow policy —
+/// equivalence-class numbers for every indirect-branch target (Tary side)
+/// and every indirect-branch site (Bary side).
+///
+/// Edges:
+///  - an indirect call through a pointer of type t* may target any
+///    address-taken function whose type structurally matches t (with the
+///    variadic fixed-prefix rule);
+///  - indirect tail calls are handled identically;
+///  - returns target the return sites of call sites that may (directly,
+///    indirectly, or through tail-call chains) invoke the returning
+///    function;
+///  - PLT entries connect to the function with the matching name;
+///  - setjmp return sites are collected for the runtime's longjmp
+///    validation;
+///  - signal handlers may "return" to the runtime's sigreturn trampoline
+///    (a function named "sig$return" exported by the bootstrap module).
+///
+/// Target sets that overlap are merged into equivalence classes exactly
+/// as in the classic CFI (union-find), and each class receives an ECN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_CFG_CFGGEN_H
+#define MCFI_CFG_CFGGEN_H
+
+#include "module/MCFIObject.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mcfi {
+
+/// A module mapped into the code region at a base address, as the
+/// loader/linker sees it.
+struct LoadedModuleView {
+  const MCFIObject *Obj = nullptr;
+  uint64_t CodeBase = 0;
+};
+
+/// The generated control-flow policy.
+struct CFGPolicy {
+  /// ECN for every indirect-branch target (absolute code address).
+  std::unordered_map<uint64_t, uint32_t> TargetECN;
+
+  /// ECN per global branch-site index, or -1 for a site with an empty
+  /// target set (its check can never pass). Global index = module's
+  /// SiteIndexBase + module-local SiteId.
+  std::vector<int64_t> BranchECN;
+
+  /// Post-merge target-class size per global branch-site index (the
+  /// enforced target-set size used by the AIR metric).
+  std::vector<uint64_t> BranchClassSize;
+
+  /// Per-module base of the global branch-site index space (parallel to
+  /// the module list passed to generateCFG). The loader patches each
+  /// BaryIndex32 relocation with SiteIndexBase[m] + SiteId.
+  std::vector<uint32_t> SiteIndexBase;
+
+  /// Absolute addresses of setjmp return sites (longjmp validation).
+  std::vector<uint64_t> SetjmpRetSites;
+
+  /// Statistics (paper Table 3).
+  uint64_t NumIBs = 0;  ///< instrumented indirect branches
+  uint64_t NumIBTs = 0; ///< indirect-branch targets
+  uint64_t NumEQCs = 0; ///< equivalence classes among IBTs
+
+  /// The Tary lookup used by update transactions (Fig. 3's getTaryECN):
+  /// returns the ECN for absolute code address \p Addr or -1.
+  int64_t getTaryECN(uint64_t Addr) const {
+    auto It = TargetECN.find(Addr);
+    return It == TargetECN.end() ? -1 : static_cast<int64_t>(It->second);
+  }
+
+  /// Fig. 3's getBaryECN over global site indexes.
+  int64_t getBaryECN(uint32_t Index) const {
+    return Index < BranchECN.size() ? BranchECN[Index] : -1;
+  }
+};
+
+/// Canonical signature of a signal handler, used for the sigreturn
+/// trampoline edge ("void (*)(int)").
+extern const char *const SignalHandlerSig;
+
+/// Generates the combined CFG policy for \p Modules (in load order).
+CFGPolicy generateCFG(const std::vector<LoadedModuleView> &Modules);
+
+} // namespace mcfi
+
+#endif // MCFI_CFG_CFGGEN_H

@@ -1,0 +1,80 @@
+//===- cfg/SigMatch.cpp - Canonical function-signature matching -----------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/SigMatch.h"
+
+using namespace mcfi;
+
+bool mcfi::splitFnSig(std::string_view Sig, FnSigParts &Out) {
+  Out = FnSigParts();
+  if (Sig.empty() || Sig.front() != '(')
+    return false;
+
+  // Find the matching close paren of the leading '(' and split the
+  // parameter list at depth-0 commas. Canonical forms nest via (), {},
+  // and back-references never contain separators.
+  size_t Depth = 0;
+  size_t ParamStart = 1;
+  size_t Close = std::string_view::npos;
+  for (size_t I = 0; I != Sig.size(); ++I) {
+    char C = Sig[I];
+    if (C == '(' || C == '{' || C == '[') {
+      ++Depth;
+      continue;
+    }
+    if (C == ')' || C == '}' || C == ']') {
+      if (Depth == 0)
+        return false;
+      --Depth;
+      if (Depth == 0 && C == ')') {
+        Close = I;
+        break;
+      }
+      continue;
+    }
+    if (C == ',' && Depth == 1) {
+      std::string_view Piece = Sig.substr(ParamStart, I - ParamStart);
+      if (Piece == "...")
+        Out.Variadic = true;
+      else if (!Piece.empty())
+        Out.Params.emplace_back(Piece);
+      ParamStart = I + 1;
+    }
+  }
+  if (Close == std::string_view::npos)
+    return false;
+  std::string_view Last = Sig.substr(ParamStart, Close - ParamStart);
+  if (Last == "...")
+    Out.Variadic = true;
+  else if (!Last.empty())
+    Out.Params.emplace_back(Last);
+
+  if (Sig.substr(Close + 1, 2) != "->")
+    return false;
+  Out.Ret = std::string(Sig.substr(Close + 3));
+  return !Out.Ret.empty();
+}
+
+bool mcfi::calleeSigMatches(const std::string &PointerSig,
+                            bool PointerVariadic,
+                            const std::string &CalleeSig) {
+  if (PointerSig == CalleeSig)
+    return true;
+  if (!PointerVariadic)
+    return false;
+  FnSigParts Ptr, Callee;
+  if (!splitFnSig(PointerSig, Ptr) || !splitFnSig(CalleeSig, Callee))
+    return false;
+  if (Ptr.Ret != Callee.Ret)
+    return false;
+  if (Callee.Params.size() < Ptr.Params.size())
+    return false;
+  for (size_t I = 0; I != Ptr.Params.size(); ++I)
+    if (Ptr.Params[I] != Callee.Params[I])
+      return false;
+  return true;
+}

@@ -1,0 +1,50 @@
+//===- cfg/SigMatch.h - Canonical function-signature matching ---*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Matching over *canonical type signatures* (ctypes'
+/// TypeContext::canonicalSignature strings). Auxiliary info carries type
+/// signatures as strings so that modules compiled against different
+/// TypeContexts can be linked; the CFG generator therefore needs
+/// string-level signature matching, including the paper's
+/// variable-argument rule (Sec. 6): a variadic function-pointer type may
+/// invoke any function whose return type matches and whose parameters
+/// extend the pointer's fixed parameter list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_CFG_SIGMATCH_H
+#define MCFI_CFG_SIGMATCH_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcfi {
+
+/// A canonical function signature split into parts.
+struct FnSigParts {
+  std::vector<std::string> Params;
+  bool Variadic = false;
+  std::string Ret;
+};
+
+/// Splits a canonical function signature of the form
+/// "(<p1>,<p2>,...[...])-><ret>". Returns false if \p Sig is not a
+/// canonical function signature.
+bool splitFnSig(std::string_view Sig, FnSigParts &Out);
+
+/// Returns true if a function with canonical signature \p CalleeSig may
+/// be invoked through a pointer with canonical signature \p PointerSig
+/// that is (\p PointerVariadic ? variadic : exact). Implements exact
+/// structural matching plus the variadic fixed-prefix rule.
+bool calleeSigMatches(const std::string &PointerSig, bool PointerVariadic,
+                      const std::string &CalleeSig);
+
+} // namespace mcfi
+
+#endif // MCFI_CFG_SIGMATCH_H

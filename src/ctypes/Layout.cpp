@@ -1,0 +1,83 @@
+//===- ctypes/Layout.cpp - Type sizes and record layout -------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Layout.h"
+
+#include "support/Assert.h"
+
+using namespace mcfi;
+
+uint64_t mcfi::sizeOf(const Type *T) {
+  switch (T->getKind()) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::Int:
+    return cast<IntType>(T)->getBitWidth() / 8;
+  case TypeKind::Float:
+    return cast<FloatType>(T)->getBitWidth() / 8;
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(T);
+    return sizeOf(AT->getElement()) * AT->getCount();
+  }
+  case TypeKind::Function:
+    mcfi_unreachable("function types have no size");
+  case TypeKind::Record: {
+    const auto *RT = cast<RecordType>(T);
+    assert(RT->isComplete() && "sizeof incomplete record");
+    if (RT->isUnion()) {
+      uint64_t Max = 0;
+      for (const RecordField &F : RT->getFields())
+        Max = std::max(Max, sizeOf(F.FieldType));
+      return alignTo(Max, 8);
+    }
+    uint64_t Off = 0;
+    for (const RecordField &F : RT->getFields()) {
+      Off = alignTo(Off, alignOf(F.FieldType));
+      Off += sizeOf(F.FieldType);
+    }
+    return alignTo(Off, 8);
+  }
+  }
+  mcfi_unreachable("covered switch");
+}
+
+uint64_t mcfi::alignOf(const Type *T) {
+  switch (T->getKind()) {
+  case TypeKind::Void:
+    return 1;
+  case TypeKind::Int:
+  case TypeKind::Float:
+    return sizeOf(T);
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array:
+    return alignOf(cast<ArrayType>(T)->getElement());
+  case TypeKind::Function:
+    mcfi_unreachable("function types have no alignment");
+  case TypeKind::Record:
+    return 8;
+  }
+  mcfi_unreachable("covered switch");
+}
+
+uint64_t mcfi::fieldOffset(const RecordType *R, unsigned Index) {
+  assert(R->isComplete() && "field offset of incomplete record");
+  assert(Index < R->getFields().size() && "field index out of range");
+  if (R->isUnion())
+    return 0;
+  uint64_t Off = 0;
+  for (unsigned I = 0; I <= Index; ++I) {
+    const RecordField &F = R->getFields()[I];
+    Off = alignTo(Off, alignOf(F.FieldType));
+    if (I == Index)
+      return Off;
+    Off += sizeOf(F.FieldType);
+  }
+  mcfi_unreachable("loop returns");
+}

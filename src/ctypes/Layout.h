@@ -1,0 +1,44 @@
+//===- ctypes/Layout.h - Type sizes and record layout -----------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type layout for MiniC codegen: sizes, alignments, and record field
+/// offsets. Pointers are 8 bytes (x86-64-like); integral types use their
+/// natural sizes; records are laid out sequentially with natural field
+/// alignment and 8-byte tail padding. The *physical subtype* pattern the
+/// analyzer's UC rule relies on (structs sharing a prefix of fields)
+/// falls out of this layout directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_CTYPES_LAYOUT_H
+#define MCFI_CTYPES_LAYOUT_H
+
+#include "ctypes/Type.h"
+
+#include <cstdint>
+
+namespace mcfi {
+
+/// Size of \p T in bytes. Function types have no size (asserts); void has
+/// size 0.
+uint64_t sizeOf(const Type *T);
+
+/// Alignment of \p T in bytes (1, 2, 4, or 8).
+uint64_t alignOf(const Type *T);
+
+/// Byte offset of field \p Index in \p R (0 for all union fields).
+uint64_t fieldOffset(const RecordType *R, unsigned Index);
+
+/// Rounds \p V up to a multiple of \p Align (a power of two).
+constexpr uint64_t alignTo(uint64_t V, uint64_t Align) {
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+} // namespace mcfi
+
+#endif // MCFI_CTYPES_LAYOUT_H

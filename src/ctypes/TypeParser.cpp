@@ -1,0 +1,208 @@
+//===- ctypes/TypeParser.cpp - Parse compact C type syntax ----------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/TypeParser.h"
+
+#include <cctype>
+
+using namespace mcfi;
+
+namespace {
+
+/// Recursive-descent parser over the compact type syntax.
+class TypeTextParser {
+public:
+  TypeTextParser(std::string_view Text, TypeContext &Ctx)
+      : Text(Text), Ctx(Ctx) {}
+
+  const Type *parse() {
+    const Type *T = parseType();
+    if (!T)
+      return nullptr;
+    skipSpace();
+    if (Pos != Text.size()) {
+      Error = "trailing characters after type";
+      return nullptr;
+    }
+    return T;
+  }
+
+  std::string takeError() { return Error; }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(std::string_view S) {
+    skipSpace();
+    if (Text.substr(Pos, S.size()) != S)
+      return false;
+    Pos += S.size();
+    return true;
+  }
+
+  bool peek(std::string_view S) {
+    skipSpace();
+    return Text.substr(Pos, S.size()) == S;
+  }
+
+  std::string parseIdent() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  bool consumeKeyword(std::string_view KW) {
+    skipSpace();
+    size_t Save = Pos;
+    std::string Id = parseIdent();
+    if (Id == KW)
+      return true;
+    Pos = Save;
+    return false;
+  }
+
+  const Type *parseBase() {
+    bool Unsigned = consumeKeyword("unsigned");
+    if (consumeKeyword("void")) {
+      if (Unsigned) {
+        Error = "'unsigned void' is not a type";
+        return nullptr;
+      }
+      return Ctx.getVoid();
+    }
+    if (consumeKeyword("char"))
+      return Ctx.getInt(8, !Unsigned);
+    if (consumeKeyword("short"))
+      return Ctx.getInt(16, !Unsigned);
+    if (consumeKeyword("int"))
+      return Ctx.getInt(32, !Unsigned);
+    if (consumeKeyword("long"))
+      return Ctx.getInt(64, !Unsigned);
+    if (Unsigned)
+      return Ctx.getInt(32, false); // bare "unsigned"
+    if (consumeKeyword("float"))
+      return Ctx.getFloat(32);
+    if (consumeKeyword("double"))
+      return Ctx.getFloat(64);
+    bool IsStruct = consumeKeyword("struct");
+    bool IsUnion = !IsStruct && consumeKeyword("union");
+    if (IsStruct || IsUnion) {
+      std::string Tag = parseIdent();
+      if (Tag.empty()) {
+        Error = "expected record tag";
+        return nullptr;
+      }
+      return Ctx.getRecord(Tag, IsUnion);
+    }
+    Error = "expected base type";
+    return nullptr;
+  }
+
+  /// Parses "T1,T2,...,..." up to (but not consuming) ')'.
+  bool parseParams(std::vector<const Type *> &Params, bool &Variadic) {
+    Variadic = false;
+    skipSpace();
+    if (peek(")"))
+      return true;
+    for (;;) {
+      if (consume("...")) {
+        Variadic = true;
+        return true;
+      }
+      const Type *P = parseType();
+      if (!P)
+        return false;
+      Params.push_back(P);
+      if (!consume(","))
+        return true;
+    }
+  }
+
+  const Type *parseType() {
+    const Type *T = parseBase();
+    if (!T)
+      return nullptr;
+    for (;;) {
+      if (consume("*")) {
+        T = Ctx.getPointer(T);
+        continue;
+      }
+      if (peek("(*)")) {
+        consume("(*)");
+        if (!consume("(")) {
+          Error = "expected '(' after '(*)'";
+          return nullptr;
+        }
+        std::vector<const Type *> Params;
+        bool Variadic = false;
+        if (!parseParams(Params, Variadic))
+          return nullptr;
+        if (!consume(")")) {
+          Error = "expected ')' closing parameter list";
+          return nullptr;
+        }
+        T = Ctx.getPointer(Ctx.getFunction(T, std::move(Params), Variadic));
+        continue;
+      }
+      if (peek("(")) {
+        consume("(");
+        std::vector<const Type *> Params;
+        bool Variadic = false;
+        if (!parseParams(Params, Variadic))
+          return nullptr;
+        if (!consume(")")) {
+          Error = "expected ')' closing parameter list";
+          return nullptr;
+        }
+        T = Ctx.getFunction(T, std::move(Params), Variadic);
+        continue;
+      }
+      if (peek("[")) {
+        consume("[");
+        skipSpace();
+        uint64_t N = 0;
+        bool Any = false;
+        while (Pos < Text.size() && std::isdigit(Text[Pos])) {
+          N = N * 10 + static_cast<uint64_t>(Text[Pos] - '0');
+          ++Pos;
+          Any = true;
+        }
+        if (!Any || !consume("]")) {
+          Error = "malformed array bound";
+          return nullptr;
+        }
+        T = Ctx.getArray(T, N);
+        continue;
+      }
+      return T;
+    }
+  }
+
+  std::string_view Text;
+  TypeContext &Ctx;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+const Type *mcfi::parseType(std::string_view Text, TypeContext &Ctx,
+                            std::string *ErrorOut) {
+  TypeTextParser P(Text, Ctx);
+  const Type *T = P.parse();
+  if (!T && ErrorOut)
+    *ErrorOut = P.takeError();
+  return T;
+}

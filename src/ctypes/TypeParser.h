@@ -1,0 +1,43 @@
+//===- ctypes/TypeParser.h - Parse compact C type syntax --------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the compact C-like type syntax used in assembly type
+/// annotations (paper Sec. 6, condition C2: inline assembly requires type
+/// annotations for the function pointers and functions it uses) and in the
+/// serialized auxiliary type info of MCFI modules.
+///
+/// Grammar (right-associated postfixes):
+///   type     := base postfix*
+///   base     := ["unsigned"] ("void"|"char"|"short"|"int"|"long"|"float"
+///               |"double") | ("struct"|"union") IDENT
+///   postfix  := "*"                      pointer
+///             | "(*)(" params ")"        pointer-to-function
+///             | "(" params ")"           function
+///   params   := [type ("," type)*] [","] ["..."]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_CTYPES_TYPEPARSER_H
+#define MCFI_CTYPES_TYPEPARSER_H
+
+#include "ctypes/Type.h"
+
+#include <string_view>
+
+namespace mcfi {
+
+/// Parses \p Text into a type in \p Ctx. Returns nullptr (and fills
+/// \p ErrorOut if non-null) on malformed input. Struct/union references
+/// resolve against records already registered in \p Ctx, creating
+/// incomplete records for unknown tags.
+const Type *parseType(std::string_view Text, TypeContext &Ctx,
+                      std::string *ErrorOut = nullptr);
+
+} // namespace mcfi
+
+#endif // MCFI_CTYPES_TYPEPARSER_H

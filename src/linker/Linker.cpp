@@ -1,0 +1,364 @@
+//===- linker/Linker.cpp - MCFI static and dynamic linking ----------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+
+#include "module/Pending.h"
+#include "rewriter/Rewriter.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+#include "verifier/Verifier.h"
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+Linker::Linker(Machine &M, LinkOptions Opts) : M(M), Opts(Opts) {}
+
+//===----------------------------------------------------------------------===//
+// Bootstrap module
+//===----------------------------------------------------------------------===//
+
+MCFIObject Linker::makeBootstrap() {
+  PendingModule PM;
+  PM.Name = "bootstrap";
+
+  auto mk = [](Opcode Op) {
+    Instr I;
+    I.Op = Op;
+    return I;
+  };
+
+  // _start: call main; exit(r0).
+  {
+    AsmFunction Fn;
+    Fn.Name = "_start";
+    AsmItem Call = AsmItem::instr(mk(Opcode::Call));
+    Call.Reloc = RelocKind::CallSym;
+    Call.Symbol = "main";
+    SiteMeta Meta;
+    Meta.K = SiteMeta::Kind::DirectCall;
+    Meta.Callee = "main";
+    PM.Meta.push_back(Meta);
+    Call.Meta = 0;
+    Fn.Items.push_back(Call);
+    {
+      Instr I = mk(Opcode::Mov);
+      I.Rd = RegArg0;
+      I.Ra = RegRet;
+      Fn.Items.push_back(AsmItem::instr(I));
+    }
+    {
+      Instr I = mk(Opcode::Syscall);
+      I.Imm = static_cast<uint64_t>(SyscallNo::Exit);
+      Fn.Items.push_back(AsmItem::instr(I));
+    }
+    FunctionInfo Info;
+    Info.Name = "_start";
+    Info.TypeSig = "()->v";
+    Info.PrettyType = "void()";
+    PM.FunctionInfos.push_back(Info);
+    PM.Functions.push_back(std::move(Fn));
+  }
+
+  // sig$return: the sigreturn trampoline signal handlers return to.
+  {
+    AsmFunction Fn;
+    Fn.Name = "sig$return";
+    Instr I = mk(Opcode::Syscall);
+    I.Imm = static_cast<uint64_t>(SyscallNo::SigReturn);
+    Fn.Items.push_back(AsmItem::instr(I));
+    FunctionInfo Info;
+    Info.Name = "sig$return";
+    Info.TypeSig = "()->v";
+    Info.PrettyType = "void()";
+    PM.FunctionInfos.push_back(Info);
+    PM.Functions.push_back(std::move(Fn));
+  }
+
+  if (Opts.InstrumentBootstrap)
+    instrumentModule(PM);
+  return finalizeObject(std::move(PM));
+}
+
+//===----------------------------------------------------------------------===//
+// Relocation
+//===----------------------------------------------------------------------===//
+
+bool Linker::resolveModule(int Index, std::string &Error) {
+  MappedModule &Mod = M.module(Index);
+  const MCFIObject &Obj = *Mod.Obj;
+
+  auto findFunc = [&](const std::string &Sym) -> uint64_t {
+    return M.findFunction(Sym);
+  };
+  auto findLocalData = [&](const std::string &Sym) -> uint64_t {
+    auto It = Obj.DataSymbols.find(Sym);
+    return It == Obj.DataSymbols.end() ? 0 : Mod.DataBase + It->second;
+  };
+
+  for (const RelocEntry &R : Obj.Relocs) {
+    switch (R.Kind) {
+    case RelocKind::None:
+      break;
+    case RelocKind::FuncAddr64: {
+      uint64_t Addr = findFunc(R.Symbol);
+      if (!Addr) {
+        Error = "unresolved function address: " + R.Symbol;
+        return false;
+      }
+      M.patchCode64(Mod.CodeBase + R.Offset, Addr);
+      break;
+    }
+    case RelocKind::GlobalAddr64:
+    case RelocKind::GotSlot64: {
+      uint64_t Addr = findLocalData(R.Symbol);
+      if (!Addr) {
+        Error = "unresolved data symbol: " + R.Symbol;
+        return false;
+      }
+      M.patchCode64(Mod.CodeBase + R.Offset, Addr);
+      break;
+    }
+    case RelocKind::CallSym: {
+      // Direct call: resolve to the definition if loaded, else to this
+      // module's own instrumented PLT entry.
+      uint64_t Target = findFunc(R.Symbol);
+      if (!Target)
+        Target = findFunc("plt$" + R.Symbol) == 0
+                     ? 0
+                     : M.findFunction("plt$" + R.Symbol);
+      // Prefer the local PLT when the symbol is an import of this module
+      // (dynamic binding through the GOT even if some module already
+      // defines it — keeps lazy library replacement possible).
+      for (const std::string &Imp : Obj.Imports) {
+        if (Imp == R.Symbol) {
+          if (const FunctionInfo *Plt = Obj.findFunction("plt$" + R.Symbol))
+            Target = Mod.CodeBase + Plt->CodeOffset;
+          break;
+        }
+      }
+      if (!Target) {
+        Error = "unresolved call target: " + R.Symbol;
+        return false;
+      }
+      uint64_t InstrStart = Mod.CodeBase + R.Offset - 1;
+      int64_t Rel = static_cast<int64_t>(Target) -
+                    static_cast<int64_t>(InstrStart + 5);
+      M.patchCode32(Mod.CodeBase + R.Offset,
+                    static_cast<uint32_t>(static_cast<int32_t>(Rel)));
+      break;
+    }
+    case RelocKind::JumpTable64:
+    case RelocKind::CodeAddr64:
+      // Module-relative code offset -> absolute address.
+      if (R.Kind == RelocKind::JumpTable64)
+        M.patchCode64(Mod.CodeBase + R.Offset, Mod.CodeBase + R.Addend);
+      else
+        M.patchCode64(Mod.CodeBase + R.Offset, Mod.CodeBase + R.Addend);
+      break;
+    case RelocKind::BaryIndex32:
+      // Patched at CFG-install time (patchBaryIndexes).
+      break;
+    case RelocKind::DataFuncAddr64: {
+      uint64_t Addr = findFunc(R.Symbol);
+      if (!Addr) {
+        Error = "unresolved function address in data: " + R.Symbol;
+        return false;
+      }
+      uint8_t Bytes[8];
+      for (unsigned B = 0; B != 8; ++B)
+        Bytes[B] = static_cast<uint8_t>(Addr >> (8 * B));
+      M.writeDataBytes(Mod.DataBase + R.Offset, Bytes, 8);
+      break;
+    }
+    case RelocKind::DataGlobalAddr64: {
+      uint64_t Addr = findLocalData(R.Symbol);
+      if (!Addr) {
+        Error = "unresolved data symbol in data: " + R.Symbol;
+        return false;
+      }
+      uint8_t Bytes[8];
+      for (unsigned B = 0; B != 8; ++B)
+        Bytes[B] = static_cast<uint8_t>(Addr >> (8 * B));
+      M.writeDataBytes(Mod.DataBase + R.Offset, Bytes, 8);
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+void Linker::patchBaryIndexes(const CFGPolicy &NewPolicy) {
+  BaryPatched.resize(M.modules().size(), false);
+  for (size_t Idx = 0; Idx != M.modules().size(); ++Idx) {
+    if (BaryPatched[Idx])
+      continue;
+    const MappedModule &Mod = M.modules()[Idx];
+    uint32_t Base = NewPolicy.SiteIndexBase[Idx];
+    for (const RelocEntry &R : Mod.Obj->Relocs) {
+      if (R.Kind != RelocKind::BaryIndex32)
+        continue;
+      M.patchCode32(Mod.CodeBase + R.Offset, Base + R.SiteId);
+    }
+    BaryPatched[Idx] = true;
+  }
+}
+
+void Linker::updateGotEntries() {
+  // Fill every module's GOT slots with the current definitions. Runs
+  // between the Tary and Bary phases of the installing TxUpdate.
+  for (const MappedModule &Mod : M.modules()) {
+    for (const std::string &Imp : Mod.Obj->Imports) {
+      auto It = Mod.Obj->DataSymbols.find("got$" + Imp);
+      if (It == Mod.Obj->DataSymbols.end())
+        continue;
+      uint64_t Addr = M.findFunction(Imp);
+      if (!Addr)
+        continue; // stays 0: calling it fails closed at the PLT check
+      uint8_t Bytes[8];
+      for (unsigned B = 0; B != 8; ++B)
+        Bytes[B] = static_cast<uint8_t>(Addr >> (8 * B));
+      M.writeDataBytes(Mod.DataBase + It->second, Bytes, 8);
+    }
+  }
+}
+
+void Linker::installPolicy(CFGPolicy &&NewPolicy) {
+  Policy = std::move(NewPolicy);
+  uint64_t TaryLimit = M.codeTop() - Machine::CodeBase;
+  M.tables().txUpdate(
+      TaryLimit,
+      [this](uint64_t Off) {
+        return Policy.getTaryECN(Machine::CodeBase + Off);
+      },
+      static_cast<uint32_t>(Policy.BranchECN.size()),
+      [this](uint32_t Index) { return Policy.getBaryECN(Index); },
+      [this]() { updateGotEntries(); });
+  M.setSetjmpRetSites(Policy.SetjmpRetSites);
+}
+
+//===----------------------------------------------------------------------===//
+// Static linking
+//===----------------------------------------------------------------------===//
+
+bool Linker::linkProgram(std::vector<MCFIObject> Objects,
+                         std::string &Error) {
+  // Bootstrap first so its branch-site indexes stay stable forever.
+  std::vector<MCFIObject> All;
+  All.push_back(makeBootstrap());
+  for (MCFIObject &O : Objects)
+    All.push_back(std::move(O));
+
+  std::vector<int> Indexes;
+  for (MCFIObject &O : All) {
+    int Idx = M.mapModule(std::move(O));
+    if (Idx < 0) {
+      Error = "machine region exhausted while mapping modules";
+      return false;
+    }
+    Indexes.push_back(Idx);
+  }
+
+  // Resolve after all modules are mapped (the static linker sees every
+  // definition).
+  for (int Idx : Indexes)
+    if (!resolveModule(Idx, Error))
+      return false;
+
+  std::vector<LoadedModuleView> Views;
+  for (const MappedModule &Mod : M.modules())
+    Views.push_back({Mod.Obj.get(), Mod.CodeBase});
+
+  if (Opts.InstallPolicy) {
+    CFGPolicy NewPolicy = generateCFG(Views);
+    patchBaryIndexes(NewPolicy);
+
+    if (Opts.Verify) {
+      for (const MappedModule &Mod : M.modules()) {
+        const uint8_t *Code = M.codePtr(Mod.CodeBase, Mod.Obj->Code.size());
+        VerifyResult VR =
+            verifyModule(Code, Mod.Obj->Code.size(), *Mod.Obj);
+        if (!VR.Ok) {
+          Error = "verification failed for module '" + Mod.Obj->Name +
+                  "': " + VR.Errors.front();
+          return false;
+        }
+      }
+    }
+
+    for (int Idx : Indexes)
+      M.sealModule(Idx);
+    installPolicy(std::move(NewPolicy));
+  } else {
+    for (int Idx : Indexes)
+      M.sealModule(Idx);
+    // Baseline still honours setjmp validation so longjmp keeps working.
+    std::vector<uint64_t> Sites;
+    for (const MappedModule &Mod : M.modules())
+      for (const CallSiteInfo &CS : Mod.Obj->Aux.CallSites)
+        if (CS.IsSetjmp)
+          Sites.push_back(Mod.CodeBase + CS.RetSiteOffset);
+    M.setSetjmpRetSites(std::move(Sites));
+  }
+
+  M.SigReturnAddr = M.findFunction("sig$return");
+  M.DlopenHook = [this](Machine &, int64_t Id) { return dlopen(Id); };
+  return true;
+}
+
+int Linker::registerLibrary(MCFIObject Obj) {
+  Registry.push_back(std::move(Obj));
+  return static_cast<int>(Registry.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic linking (the paper's three steps)
+//===----------------------------------------------------------------------===//
+
+int64_t Linker::dlopen(int64_t RegistryId) {
+  std::lock_guard<std::mutex> Guard(DlopenLock);
+  if (RegistryId < 0 ||
+      static_cast<size_t>(RegistryId) >= Registry.size()) {
+    LastError = "dlopen: unknown library id";
+    return -1;
+  }
+
+  // Step 1: module preparation — map writable/not-executable, relocate.
+  int Idx = M.mapModule(Registry[static_cast<size_t>(RegistryId)]);
+  if (Idx < 0) {
+    LastError = "dlopen: machine region exhausted";
+    return -1;
+  }
+  std::string Error;
+  if (!resolveModule(Idx, Error)) {
+    LastError = "dlopen: " + Error;
+    return -1;
+  }
+
+  // Step 2: new CFG generation; patch the library's Bary indexes while
+  // its pages are still writable, verify, then seal RX.
+  std::vector<LoadedModuleView> Views;
+  for (const MappedModule &Mod : M.modules())
+    Views.push_back({Mod.Obj.get(), Mod.CodeBase});
+  CFGPolicy NewPolicy = generateCFG(Views);
+  patchBaryIndexes(NewPolicy);
+
+  const MappedModule &Mod = M.modules()[static_cast<size_t>(Idx)];
+  if (Opts.Verify) {
+    const uint8_t *Code = M.codePtr(Mod.CodeBase, Mod.Obj->Code.size());
+    VerifyResult VR = verifyModule(Code, Mod.Obj->Code.size(), *Mod.Obj);
+    if (!VR.Ok) {
+      LastError = "dlopen: verification failed: " + VR.Errors.front();
+      return -1;
+    }
+  }
+  M.sealModule(Idx);
+
+  // Step 3: ID-table updates (GOT updates run inside the transaction).
+  installPolicy(std::move(NewPolicy));
+  return Idx;
+}

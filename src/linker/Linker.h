@@ -1,0 +1,95 @@
+//===- linker/Linker.h - MCFI static and dynamic linking --------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MCFI linker. Static linking loads a set of separately-compiled,
+/// separately-instrumented modules, resolves relocations, generates the
+/// combined CFG from their merged auxiliary info, verifies each module,
+/// seals the code RX, and installs the ID tables with an update
+/// transaction. Dynamic linking (dlopen) performs the paper's three
+/// steps for a newly loaded library while other threads keep running:
+///
+///   (1) module preparation: map the library writable/not-executable and
+///       apply its relocations;
+///   (2) new CFG generation: regenerate the combined CFG, patch the
+///       library's Bary indexes, verify it, and seal it RX;
+///   (3) ID-table updates: one TxUpdate installs the new IDs, with the
+///       GOT entry updates serialized between the Tary and Bary phases.
+///
+/// The linker also synthesizes the bootstrap module (the "_start" entry
+/// that calls main and exits, and the sigreturn trampoline) through the
+/// same assemble-instrument-verify pipeline as user code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_LINKER_LINKER_H
+#define MCFI_LINKER_LINKER_H
+
+#include "cfg/CFGGen.h"
+#include "runtime/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace mcfi {
+
+struct LinkOptions {
+  /// Run the verifier on every module before sealing. Always on for
+  /// instrumented programs; the unprotected baseline cannot verify.
+  bool Verify = true;
+  /// Generate and install the CFG policy (off for the baseline, which
+  /// has no check transactions).
+  bool InstallPolicy = true;
+  /// Instrument the synthesized bootstrap module (matches whether the
+  /// program modules are instrumented).
+  bool InstrumentBootstrap = true;
+};
+
+/// Drives loading, relocation, CFG generation, verification, and table
+/// installation against one Machine.
+class Linker {
+public:
+  Linker(Machine &M, LinkOptions Opts = LinkOptions());
+
+  /// Statically links \p Objects (plus the synthesized bootstrap) into
+  /// the machine. On failure returns false and sets \p Error.
+  bool linkProgram(std::vector<MCFIObject> Objects, std::string &Error);
+
+  /// Registers a library for later dynamic loading; the guest refers to
+  /// it by the returned id in dlopen(id).
+  int registerLibrary(MCFIObject Obj);
+
+  /// The paper's three-step dynamic linking. Returns the module handle
+  /// (machine module index), or a negative value on failure. Installed
+  /// as the machine's DlopenHook by linkProgram.
+  int64_t dlopen(int64_t RegistryId);
+
+  /// The policy currently installed (valid after linkProgram).
+  const CFGPolicy &policy() const { return Policy; }
+
+  const std::string &lastError() const { return LastError; }
+
+private:
+  bool loadAndRelocate(MCFIObject Obj, std::string &Error);
+  bool resolveModule(int Index, std::string &Error);
+  void patchBaryIndexes(const CFGPolicy &Policy);
+  void updateGotEntries();
+  void installPolicy(CFGPolicy &&NewPolicy);
+  MCFIObject makeBootstrap();
+
+  Machine &M;
+  LinkOptions Opts;
+  CFGPolicy Policy;
+  std::vector<MCFIObject> Registry;
+  std::vector<bool> BaryPatched; ///< per machine module index
+  std::string LastError;
+  std::mutex DlopenLock; ///< serializes dynamic link operations
+};
+
+} // namespace mcfi
+
+#endif // MCFI_LINKER_LINKER_H

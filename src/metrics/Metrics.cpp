@@ -1,0 +1,110 @@
+//===- metrics/Metrics.cpp - AIR, gadgets, size accounting ----------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Metrics.h"
+
+#include "visa/ISA.h"
+
+#include <string>
+#include <unordered_set>
+
+using namespace mcfi;
+
+AIRReport mcfi::computeAIR(const CFGPolicy &Policy,
+                           const std::vector<LoadedModuleView> &Modules,
+                           uint64_t CodeSize) {
+  AIRReport R;
+  if (CodeSize == 0 || Policy.BranchClassSize.empty())
+    return R;
+  double S = static_cast<double>(CodeSize);
+
+  // MCFI: each branch is confined to its equivalence class.
+  double Sum = 0;
+  for (uint64_t ClassSize : Policy.BranchClassSize)
+    Sum += 1.0 - static_cast<double>(ClassSize) / S;
+  R.MCFI = Sum / static_cast<double>(Policy.BranchClassSize.size());
+
+  // binCFI-style: indirect calls/jumps may target any address-taken
+  // function; returns may target any return site.
+  uint64_t ATFuncs = 0, RetSites = 0, Returns = 0, Calls = 0;
+  for (const LoadedModuleView &M : Modules) {
+    for (const FunctionInfo &F : M.Obj->Aux.Functions)
+      if (F.AddressTaken)
+        ++ATFuncs;
+    for (const CallSiteInfo &CS : M.Obj->Aux.CallSites)
+      if (!CS.IsSetjmp)
+        ++RetSites;
+    for (const BranchSite &BS : M.Obj->Aux.BranchSites) {
+      if (BS.Kind == BranchKind::Return)
+        ++Returns;
+      else
+        ++Calls;
+    }
+  }
+  uint64_t Branches = Returns + Calls;
+  if (Branches) {
+    double CallRed = 1.0 - static_cast<double>(ATFuncs) / S;
+    double RetRed = 1.0 - static_cast<double>(RetSites) / S;
+    R.BinCFI = (CallRed * static_cast<double>(Calls) +
+                RetRed * static_cast<double>(Returns)) /
+               static_cast<double>(Branches);
+  }
+
+  // NaCl-style 32-byte chunks: any chunk beginning is a legal target.
+  R.NaCl = 1.0 - 1.0 / 32.0;
+  return R;
+}
+
+namespace {
+
+/// Scans for unique gadgets starting at the offsets enabled by \p IsStart.
+/// A gadget is <= MaxInstrs decoded instructions ending at an indirect
+/// branch; uniqueness is by byte content (rp++'s notion).
+template <typename StartPred>
+uint64_t scanGadgets(const uint8_t *Code, size_t Size, StartPred IsStart) {
+  constexpr unsigned MaxInstrs = 24;
+  std::unordered_set<std::string> Unique;
+  for (size_t Start = 0; Start != Size; ++Start) {
+    if (!IsStart(Start))
+      continue;
+    size_t Off = Start;
+    for (unsigned N = 0; N != MaxInstrs && Off < Size; ++N) {
+      visa::Instr I;
+      if (!visa::decode(Code, Size, Off, I))
+        break;
+      Off += I.Length;
+      if (visa::isIndirectBranch(I.Op)) {
+        Unique.emplace(reinterpret_cast<const char *>(Code) + Start,
+                       Off - Start);
+        break;
+      }
+    }
+  }
+  return Unique.size();
+}
+
+} // namespace
+
+GadgetReport mcfi::countGadgets(const uint8_t *PlainCode, size_t PlainSize,
+                                const uint8_t *HardCode, size_t HardSize,
+                                const CFGPolicy &Policy, uint64_t HardBase) {
+  GadgetReport R;
+  // Unprotected binary: an attacker can redirect an indirect branch to
+  // any byte, including instruction middles.
+  R.OriginalGadgets =
+      scanGadgets(PlainCode, PlainSize, [](size_t) { return true; });
+  // MCFI-hardened: only addresses carrying a valid Tary ID are reachable
+  // by any indirect branch.
+  R.HardenedGadgets = scanGadgets(HardCode, HardSize, [&](size_t Off) {
+    return Policy.TargetECN.count(HardBase + Off) != 0;
+  });
+  if (R.OriginalGadgets)
+    R.ReductionPct = 100.0 * (1.0 - static_cast<double>(R.HardenedGadgets) /
+                                        static_cast<double>(
+                                            R.OriginalGadgets));
+  return R;
+}

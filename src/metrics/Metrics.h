@@ -1,0 +1,67 @@
+//===- metrics/Metrics.h - AIR, gadgets, size accounting --------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Security metrics from the paper's Sec. 8.3:
+///
+///  - AIR (Average Indirect-target Reduction, from the binCFI paper): a
+///    number in [0,1) measuring how much a CFI policy shrinks the target
+///    sets of indirect branches relative to "any code byte". Computed
+///    for MCFI's fine-grained policy, a binCFI-style coarse policy (all
+///    address-taken functions in one class, all return sites in
+///    another), and a NaCl-style 32-byte-chunk policy.
+///
+///  - ROP gadget counting (the rp++ stand-in): a gadget is a decodable
+///    instruction sequence of bounded length ending in an indirect
+///    branch. The original binary offers gadgets at *every byte offset*
+///    (variable-length decoding); the MCFI-hardened binary only at
+///    addresses carrying a valid Tary ID, which eliminates every gadget
+///    starting in the middle of an instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_METRICS_METRICS_H
+#define MCFI_METRICS_METRICS_H
+
+#include "cfg/CFGGen.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mcfi {
+
+/// AIR values for one program under several policies.
+struct AIRReport {
+  double MCFI = 0;
+  double BinCFI = 0;
+  double NaCl = 0;
+};
+
+/// Computes AIR for a linked program. \p Policy is the MCFI policy,
+/// \p Modules the loaded modules, \p CodeSize the total code bytes (the
+/// unprotected target-space size S).
+AIRReport computeAIR(const CFGPolicy &Policy,
+                     const std::vector<LoadedModuleView> &Modules,
+                     uint64_t CodeSize);
+
+struct GadgetReport {
+  uint64_t OriginalGadgets = 0;
+  uint64_t HardenedGadgets = 0;
+  double ReductionPct = 0;
+};
+
+/// Counts unique gadgets in \p PlainCode (every byte offset is a
+/// potential gadget start) and in \p HardCode (only offsets that carry a
+/// valid Tary ID under \p Policy, with \p HardBase the absolute address
+/// of HardCode[0]).
+GadgetReport countGadgets(const uint8_t *PlainCode, size_t PlainSize,
+                          const uint8_t *HardCode, size_t HardSize,
+                          const CFGPolicy &Policy, uint64_t HardBase);
+
+} // namespace mcfi
+
+#endif // MCFI_METRICS_METRICS_H

@@ -1,0 +1,15 @@
+//===- minic/AST.cpp - MiniC AST anchors -----------------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/AST.h"
+
+using namespace mcfi;
+using namespace mcfi::minic;
+
+// Out-of-line virtual anchors keep vtables in one object file.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;

@@ -1,0 +1,71 @@
+//===- minic/Lexer.h - MiniC lexer ------------------------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for MiniC, the C subset that plays the role of the paper's C
+/// source language. MiniC covers everything the paper's analyses need:
+/// function pointers, structs/unions with function-pointer fields,
+/// explicit and implicit casts, varargs, switch, goto, setjmp/longjmp,
+/// signal handlers, and __asm__ blocks with type annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_MINIC_LEXER_H
+#define MCFI_MINIC_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+namespace minic {
+
+/// A position in the source text (1-based).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  StrLit,
+  CharLit,
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwFloat, KwDouble,
+  KwStruct, KwUnion, KwEnum, KwTypedef, KwIf, KwElse, KwWhile, KwFor,
+  KwReturn, KwBreak, KwContinue, KwSwitch, KwCase, KwDefault, KwGoto,
+  KwSizeof, KwNull, KwAsm, KwStatic, KwConst, KwDo,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question, Ellipsis,
+  Star, Amp, Plus, Minus, Slash, Percent, Tilde, Bang,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  EqEq, NotEq, Lt, Gt, Le, Ge, AmpAmp, PipePipe, Pipe, Caret,
+  Shl, Shr, Dot, Arrow, PlusPlus, MinusMinus,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< identifier / string contents
+  int64_t IntValue = 0; ///< IntLit / CharLit
+};
+
+/// Tokenizes \p Source. Lexical errors are reported as messages appended
+/// to \p Errors (with the offending line); the lexer recovers by skipping
+/// the bad character.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors);
+
+} // namespace minic
+} // namespace mcfi
+
+#endif // MCFI_MINIC_LEXER_H

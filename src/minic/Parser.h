@@ -1,0 +1,34 @@
+//===- minic/Parser.h - MiniC parser ----------------------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC. Produces an untyped AST (name
+/// references unresolved); run Sema afterwards to type-check and resolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_MINIC_PARSER_H
+#define MCFI_MINIC_PARSER_H
+
+#include "minic/AST.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+namespace minic {
+
+/// Parses \p Source into a fresh Program. On any error, returns nullptr
+/// with messages appended to \p Errors.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      std::vector<std::string> &Errors);
+
+} // namespace minic
+} // namespace mcfi
+
+#endif // MCFI_MINIC_PARSER_H

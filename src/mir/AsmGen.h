@@ -1,0 +1,39 @@
+//===- mir/AsmGen.h - MIR to symbolic VISA code generation ------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates a PendingModule (symbolic VISA code + metadata) from MIR.
+/// The output is *uninstrumented*: returns are plain RET, indirect calls
+/// are plain CALLI, and no alignment directives exist yet. The MCFI
+/// rewriter performs the instrumentation pass afterwards; skipping the
+/// rewriter yields the unprotected baseline used by the overhead
+/// experiments (Fig. 5/6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_MIR_ASMGEN_H
+#define MCFI_MIR_ASMGEN_H
+
+#include "mir/MIR.h"
+#include "module/Pending.h"
+
+namespace mcfi {
+namespace mir {
+
+struct AsmGenOptions {
+  /// Switch lowering thresholds (mirrors LowerOptions).
+  unsigned JumpTableMinCases = 4;
+  unsigned JumpTableMaxRange = 3;
+};
+
+/// Generates symbolic VISA for \p M.
+PendingModule generateAsm(const MirModule &M, const AsmGenOptions &Opts = {});
+
+} // namespace mir
+} // namespace mcfi
+
+#endif // MCFI_MIR_ASMGEN_H

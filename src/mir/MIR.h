@@ -1,0 +1,156 @@
+//===- mir/MIR.h - Mid-level IR for MiniC codegen ---------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MIR: a register-machine mid-level IR between the MiniC AST and VISA.
+/// It plays the role of LLVM's machine-level representation in the paper:
+/// the place where tail calls are marked, switches become jump tables,
+/// and indirect call sites carry the function-pointer type signatures
+/// that flow into the module's auxiliary info.
+///
+/// MIR functions use unlimited virtual registers (8-byte values) plus a
+/// list of frame objects for addressable locals. Block 0 is the entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_MIR_MIR_H
+#define MCFI_MIR_MIR_H
+
+#include "ctypes/Type.h"
+#include "minic/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+namespace mir {
+
+constexpr uint32_t NoVReg = ~0u;
+
+enum class MirOp : uint8_t {
+  ConstInt,   ///< Dst = Imm
+  FrameAddr,  ///< Dst = &frameObject[Imm]
+  GlobalAddr, ///< Dst = &data(Sym)
+  FuncAddr,   ///< Dst = &func(Sym)  (address-taken function)
+  Load,       ///< Dst = memSize[A]; sign-extended if SignExtend
+  Store,      ///< memSize[A] = B
+  FrameLoad,  ///< Dst = memSize[frameObject[Imm]] (direct stack access)
+  FrameStore, ///< memSize[frameObject[Imm]] = A (no sandbox mask needed:
+              ///< the stack pointer is trusted)
+  Add, Sub, Mul, DivS, ModS, And, Or, Xor, Shl, ShrL, ShrA,
+  CmpEq, CmpNe, CmpLtS, CmpLeS, CmpLtU, CmpLeU,
+  Neg, Not,   ///< Dst = op A
+  Mov,        ///< Dst = A
+  Call,       ///< Dst? = Sym(Args...)
+  CallInd,    ///< Dst? = (*A)(Args...); TypeSig = pointee fn type
+  TailCall,   ///< jump-to Sym(Args...) in tail position
+  TailCallInd,///< jump-to (*A)(Args...) in tail position
+  Syscall,    ///< Dst? = builtin(Imm)(Args...)
+  Ret,        ///< return A if HasValue
+  Br,         ///< goto BlockA
+  CondBr,     ///< if (A) goto BlockA else BlockB
+  Switch,     ///< dispatch on A over SwitchCases, default BlockB
+  AsmInline,  ///< inline-assembly placeholder: Imm no-op bytes
+};
+
+struct MirInst {
+  MirOp Op;
+  uint32_t Dst = NoVReg;
+  uint32_t A = NoVReg;
+  uint32_t B = NoVReg;
+  int64_t Imm = 0;
+  uint8_t Size = 8;        ///< Load/Store access size (1/2/4/8)
+  bool SignExtend = false; ///< Load: sign-extend sub-8-byte values
+  bool HasValue = false;   ///< Ret: returns A
+  bool IsSetjmp = false;   ///< Syscall: setjmp (its ret site is special)
+  std::string Sym;
+  std::string TypeSig;     ///< CallInd/TailCallInd: canonical pointee sig
+  std::string PrettyType;  ///< printable form of the same
+  bool VariadicPtr = false;
+  std::vector<uint32_t> Args;
+  std::vector<std::pair<int64_t, uint32_t>> SwitchCases;
+  uint32_t BlockA = 0;
+  uint32_t BlockB = 0;
+};
+
+struct MirBlock {
+  std::vector<MirInst> Insts;
+};
+
+struct MirFunction {
+  std::string Name;
+  const FunctionType *Ty = nullptr;
+  std::string TypeSig;    ///< canonical signature of Ty
+  std::string PrettyType; ///< printable form of Ty
+  bool Variadic = false;
+  bool AddressTaken = false;
+  uint32_t NumVRegs = 0;
+
+  /// Frame objects: sizes in bytes; objects [0, NumParams) are the
+  /// parameters in order (the prologue stores incoming argument registers
+  /// into them).
+  std::vector<uint64_t> FrameObjects;
+  uint32_t NumParams = 0;
+
+  std::vector<MirBlock> Blocks;
+
+  uint32_t newVReg() { return NumVRegs++; }
+  uint32_t newBlock() {
+    Blocks.emplace_back();
+    return static_cast<uint32_t>(Blocks.size() - 1);
+  }
+};
+
+/// An initializer that stores a symbol address into global data.
+struct GlobalAddrInit {
+  uint64_t Offset = 0;  ///< within the global's storage
+  std::string Symbol;
+  bool IsFunction = false;
+};
+
+struct MirGlobal {
+  std::string Name;
+  uint64_t Size = 0;
+  std::vector<uint8_t> Init; ///< leading initialized bytes (rest zero)
+  std::vector<GlobalAddrInit> AddrInits;
+};
+
+struct MirModule {
+  std::string Name;
+  std::vector<MirFunction> Functions;
+  std::vector<MirGlobal> Globals;
+  std::vector<std::string> Imports; ///< called-but-undefined functions
+  /// Undefined functions whose address this module takes; the CFG
+  /// generator must treat their (externally provided) definitions as
+  /// indirect-branch targets.
+  std::vector<std::string> AddressTakenImports;
+  std::string EntryFunction;
+};
+
+/// Lowering options.
+struct LowerOptions {
+  /// Enable direct/indirect tail-call emission ("x86-64 mode" of the
+  /// paper's Table 3; fewer equivalence classes because returns merge).
+  bool TailCalls = true;
+  /// Minimum case count and maximum density ratio for lowering a switch
+  /// to a jump table rather than a compare chain.
+  unsigned JumpTableMinCases = 4;
+  unsigned JumpTableMaxRange = 3;
+};
+
+/// Lowers a type-checked MiniC program to MIR. \p ModuleName names the
+/// module. Returns false with messages in \p Errors on unsupported
+/// constructs (e.g. struct-by-value parameters, >5 arguments).
+bool lowerToMIR(minic::Program &Prog, const std::string &ModuleName,
+                const LowerOptions &Opts, MirModule &Out,
+                std::vector<std::string> &Errors);
+
+} // namespace mir
+} // namespace mcfi
+
+#endif // MCFI_MIR_MIR_H

@@ -1,0 +1,119 @@
+//===- module/Pending.h - Pre-assembly module representation ----*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic, pre-assembly form of an MCFI module: AsmFunctions plus
+/// semantic metadata attached via labels. The code generator produces a
+/// PendingModule, the MCFI rewriter instruments it in place (expanding
+/// indirect branches into check sequences and planting alignment
+/// directives and site labels), and finalizeObject() assembles it and
+/// resolves every label into the byte offsets recorded in the final
+/// MCFIObject's auxiliary info.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_MODULE_PENDING_H
+#define MCFI_MODULE_PENDING_H
+
+#include "module/MCFIObject.h"
+#include "visa/Assembler.h"
+
+#include <string>
+#include <vector>
+
+namespace mcfi {
+
+/// Semantic tag attached to an AsmItem via its Meta index. The code
+/// generator tags instructions that the rewriter must instrument or
+/// annotate; the tags carry the type information that ends up in the
+/// module's auxiliary info.
+struct SiteMeta {
+  enum class Kind : uint8_t {
+    DirectCall,      ///< call <sym>: needs an aligned return site
+    IndirectCall,    ///< calli: needs a check sequence + aligned ret site
+    IndirectTailCall, ///< jmpi in tail position: check sequence, no site
+    JumpTableJump,   ///< jmpi fed by a bounds-checked jump table: verified
+                     ///< statically, no runtime check
+    SetjmpCall,      ///< setjmp syscall: its ret site is a longjmp target
+  };
+
+  Kind K = Kind::DirectCall;
+  std::string Callee;       ///< direct callee name
+  std::string TypeSig;      ///< pointee fn type sig (indirect)
+  std::string PrettyType;   ///< printable form of the pointer's fn type
+  bool VariadicPointer = false;
+  uint32_t JumpTableIndex = 0; ///< JumpTableJump: index into JumpTables
+};
+
+/// A call site whose return address must become an IBT; filled by the
+/// rewriter with the label of the aligned return point.
+struct PendingCallSite {
+  uint32_t FuncIndex = 0;
+  int RetSiteLabel = -1;
+  bool Direct = true;
+  std::string Callee;
+  std::string TypeSig;
+  bool VariadicPointer = false;
+  bool IsSetjmp = false;
+};
+
+/// An instrumented indirect-branch site; created by the rewriter. Its
+/// index in the vector is the module-local SiteId used by BaryIndex32
+/// relocations.
+struct PendingBranchSite {
+  uint32_t FuncIndex = 0;
+  BranchKind Kind = BranchKind::Return;
+  int SeqStartLabel = -1;
+  int BranchLabel = -1;
+  std::string TypeSig;
+  bool VariadicPointer = false;
+  std::string PltSymbol;
+};
+
+/// A switch jump table: the jmpi, the 8-byte entry block, and the
+/// per-entry target labels, all within one function.
+struct PendingJumpTable {
+  uint32_t FuncIndex = 0;
+  int JmpLabel = -1;
+  int TableLabel = -1;
+  std::vector<int> TargetLabels;
+};
+
+/// A module in symbolic form, ready for instrumentation and assembly.
+struct PendingModule {
+  std::string Name;
+  std::vector<visa::AsmFunction> Functions;
+  /// Parallel to Functions: SiteMeta pool; AsmItem::SiteId doubles as an
+  /// index into this pool for tagged instructions when MetaTagged is set.
+  std::vector<SiteMeta> Meta;
+
+  std::vector<FunctionInfo> FunctionInfos; ///< CodeOffset filled later
+  std::vector<TailCallInfo> TailCalls;
+  std::vector<PendingCallSite> CallSites;
+  std::vector<PendingBranchSite> BranchSites;
+  std::vector<PendingJumpTable> JumpTables;
+
+  uint64_t DataSize = 0;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> DataInit;
+  std::unordered_map<std::string, uint64_t> DataSymbols;
+  /// Data-section relocations: function/data addresses stored in global
+  /// initializers (e.g. "int (*fp)(int) = callback;").
+  std::vector<visa::RelocEntry> DataRelocs;
+
+  std::vector<std::string> Imports;
+  std::vector<std::string> AddressTakenImports;
+  std::string EntryFunction;
+};
+
+/// Assembles \p PM (after instrumentation) and resolves all pending
+/// labels into an MCFIObject. Asserts if a pending record references an
+/// unknown label.
+MCFIObject finalizeObject(PendingModule &&PM);
+
+} // namespace mcfi
+
+#endif // MCFI_MODULE_PENDING_H

@@ -1,0 +1,275 @@
+//===- runtime/Machine.cpp - The MCFI runtime machine ---------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+
+#include "support/Assert.h"
+
+#include <cstring>
+
+using namespace mcfi;
+
+Machine::Machine(const MachineOptions &Opts)
+    : CodeCapacity(Opts.CodeCapacity), DataCapacity(Opts.DataCapacity),
+      StackSize(Opts.StackSize), CodeBytes(Opts.CodeCapacity, 0),
+      DataWords(Opts.DataCapacity / 8, 0),
+      Tables(Opts.CodeCapacity, Opts.BaryCapacity) {
+  // Heap occupies the middle of the data region: globals grow from the
+  // bottom, stacks from the top, heap in between (re-floored as modules
+  // load their globals).
+  HeapNext.store(DataBase, std::memory_order_relaxed);
+  StackNext.store(DataBase + DataCapacity, std::memory_order_relaxed);
+}
+
+Machine::~Machine() = default;
+
+//===----------------------------------------------------------------------===//
+// Module mapping
+//===----------------------------------------------------------------------===//
+
+int Machine::mapModule(MCFIObject Obj) {
+  uint64_t CodeSize = Obj.Code.size();
+  uint64_t NeededCode = (CodeSize + 7) & ~7ull; // keep modules 8-aligned
+  if (CodeUsed + NeededCode > CodeCapacity)
+    return -1;
+  uint64_t DataSize = (Obj.DataSize + 7) & ~7ull;
+  if (DataUsed + DataSize > DataCapacity / 2)
+    return -1;
+
+  MappedModule M;
+  M.CodeBase = CodeBase + CodeUsed;
+  M.DataBase = DataBase + DataUsed;
+  std::memcpy(CodeBytes.data() + CodeUsed, Obj.Code.data(), CodeSize);
+  CodeUsed += NeededCode;
+  DataUsed += DataSize;
+
+  for (const auto &[Off, Bytes] : Obj.DataInit)
+    writeDataBytes(M.DataBase + Off, Bytes.data(), Bytes.size());
+
+  M.Obj = std::make_unique<MCFIObject>(std::move(Obj));
+  Mapped.push_back(std::move(M));
+
+  // The heap starts after all loaded globals (re-based on every load;
+  // allocations already handed out stay put because the heap bump pointer
+  // only moves forward).
+  uint64_t HeapFloor = DataBase + DataUsed;
+  uint64_t Cur = HeapNext.load(std::memory_order_relaxed);
+  while (Cur < HeapFloor &&
+         !HeapNext.compare_exchange_weak(Cur, HeapFloor,
+                                         std::memory_order_relaxed)) {
+  }
+  return static_cast<int>(Mapped.size() - 1);
+}
+
+void Machine::sealModule(int Index) {
+  assert(Index >= 0 && static_cast<size_t>(Index) < Mapped.size());
+  Mapped[Index].Sealed = true;
+  // Extend the contiguous sealed prefix (fast executable check).
+  uint64_t Prefix = 0;
+  for (const MappedModule &M : Mapped) {
+    if (!M.Sealed)
+      break;
+    Prefix = M.CodeBase - CodeBase + ((M.Obj->Code.size() + 7) & ~7ull);
+  }
+  SealedPrefix = Prefix;
+}
+
+void Machine::patchCode64(uint64_t Addr, uint64_t Value) {
+  assert(isCodeAddr(Addr, 8) && "patch outside code region");
+  for (const MappedModule &M : Mapped) {
+    if (Addr >= M.CodeBase && Addr < M.CodeBase + M.Obj->Code.size()) {
+      assert(!M.Sealed && "patching a sealed module violates W^X");
+      break;
+    }
+  }
+  uint64_t Off = Addr - CodeBase;
+  for (unsigned I = 0; I != 8; ++I)
+    CodeBytes[Off + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+void Machine::patchCode32(uint64_t Addr, uint32_t Value) {
+  assert(isCodeAddr(Addr, 4) && "patch outside code region");
+  for (const MappedModule &M : Mapped) {
+    if (Addr >= M.CodeBase && Addr < M.CodeBase + M.Obj->Code.size()) {
+      assert(!M.Sealed && "patching a sealed module violates W^X");
+      break;
+    }
+  }
+  uint64_t Off = Addr - CodeBase;
+  for (unsigned I = 0; I != 4; ++I)
+    CodeBytes[Off + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+const uint8_t *Machine::codePtr(uint64_t Addr, uint64_t Size) const {
+  if (!isCodeAddr(Addr, Size))
+    return nullptr;
+  return CodeBytes.data() + (Addr - CodeBase);
+}
+
+//===----------------------------------------------------------------------===//
+// Policy state
+//===----------------------------------------------------------------------===//
+
+void Machine::setSetjmpRetSites(std::vector<uint64_t> Sites) {
+  std::lock_guard<std::mutex> Guard(SetjmpLock);
+  SetjmpSites.clear();
+  SetjmpSites.insert(Sites.begin(), Sites.end());
+}
+
+bool Machine::isSetjmpRetSite(uint64_t Addr) const {
+  std::lock_guard<std::mutex> Guard(SetjmpLock);
+  return SetjmpSites.count(Addr) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Guest memory
+//===----------------------------------------------------------------------===//
+
+bool Machine::load(uint64_t Addr, unsigned Size, uint64_t &Out) const {
+  if (Addr & (Size - 1))
+    return false; // naturally aligned accesses only
+  if (isDataAddr(Addr, Size)) {
+    // atomic_ref requires a non-const object; the underlying storage is
+    // mutable (it is the guest's RAM).
+    uint8_t *Base = const_cast<uint8_t *>(
+                        reinterpret_cast<const uint8_t *>(DataWords.data())) +
+                    (Addr - DataBase);
+    switch (Size) {
+    case 1:
+      Out = std::atomic_ref<uint8_t>(*Base).load(std::memory_order_relaxed);
+      return true;
+    case 2:
+      Out = std::atomic_ref<uint16_t>(*reinterpret_cast<uint16_t *>(Base))
+                .load(std::memory_order_relaxed);
+      return true;
+    case 4:
+      Out = std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t *>(Base))
+                .load(std::memory_order_relaxed);
+      return true;
+    case 8:
+      Out = std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t *>(Base))
+                .load(std::memory_order_relaxed);
+      return true;
+    default:
+      return false;
+    }
+  }
+  if (isCodeAddr(Addr, Size)) {
+    // The code region is readable (jump tables live there); it is sealed
+    // and immutable once executing, so plain reads suffice.
+    const uint8_t *Base = CodeBytes.data() + (Addr - CodeBase);
+    Out = 0;
+    for (unsigned I = 0; I != Size; ++I)
+      Out |= static_cast<uint64_t>(Base[I]) << (8 * I);
+    return true;
+  }
+  return false;
+}
+
+bool Machine::store(uint64_t Addr, unsigned Size, uint64_t Value) {
+  if (Addr & (Size - 1))
+    return false;
+  if (!isDataAddr(Addr, Size))
+    return false; // code region and everything else is not writable
+  uint8_t *Base =
+      reinterpret_cast<uint8_t *>(DataWords.data()) + (Addr - DataBase);
+  switch (Size) {
+  case 1:
+    std::atomic_ref<uint8_t>(*Base).store(static_cast<uint8_t>(Value),
+                                          std::memory_order_relaxed);
+    return true;
+  case 2:
+    std::atomic_ref<uint16_t>(*reinterpret_cast<uint16_t *>(Base))
+        .store(static_cast<uint16_t>(Value), std::memory_order_relaxed);
+    return true;
+  case 4:
+    std::atomic_ref<uint32_t>(*reinterpret_cast<uint32_t *>(Base))
+        .store(static_cast<uint32_t>(Value), std::memory_order_relaxed);
+    return true;
+  case 8:
+    std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t *>(Base))
+        .store(Value, std::memory_order_relaxed);
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string Machine::readString(uint64_t Addr) const {
+  std::string S;
+  for (uint64_t I = 0; I != 1u << 20; ++I) {
+    uint64_t C;
+    if (!load(Addr + I, 1, C))
+      return S;
+    if (!C)
+      return S;
+    S += static_cast<char>(C);
+  }
+  return S;
+}
+
+bool Machine::writeDataBytes(uint64_t Addr, const uint8_t *Bytes,
+                             uint64_t Size) {
+  if (!isDataAddr(Addr, std::max<uint64_t>(Size, 1)))
+    return false;
+  std::memcpy(reinterpret_cast<uint8_t *>(DataWords.data()) +
+                  (Addr - DataBase),
+              Bytes, Size);
+  return true;
+}
+
+uint64_t Machine::allocHeap(uint64_t Size) {
+  uint64_t Aligned = (Size + 7) & ~7ull;
+  uint64_t Addr = HeapNext.fetch_add(Aligned, std::memory_order_relaxed);
+  // Keep room below the lowest allocated stack.
+  if (Addr + Aligned >
+      StackNext.load(std::memory_order_relaxed) - StackSize)
+    return 0;
+  return Addr;
+}
+
+uint64_t Machine::allocStack() {
+  // Threads may be created concurrently (guest pthread-create analogue).
+  uint64_t NewTop = StackNext.fetch_sub(StackSize, std::memory_order_relaxed);
+  assert(NewTop - StackSize > DataBase && "stack space exhausted");
+  return NewTop - 64; // small top redzone
+}
+
+//===----------------------------------------------------------------------===//
+// Syscall output
+//===----------------------------------------------------------------------===//
+
+void Machine::appendOutput(const std::string &S) {
+  std::lock_guard<std::mutex> Guard(OutputLock);
+  Output += S;
+}
+
+std::string Machine::takeOutput() {
+  std::lock_guard<std::mutex> Guard(OutputLock);
+  return std::move(Output);
+}
+
+//===----------------------------------------------------------------------===//
+// Threads
+//===----------------------------------------------------------------------===//
+
+uint64_t Machine::findFunction(const std::string &Name) const {
+  for (const MappedModule &M : Mapped)
+    if (const FunctionInfo *F = M.Obj->findFunction(Name))
+      return M.CodeBase + F->CodeOffset;
+  return 0;
+}
+
+bool Machine::makeThread(const std::string &Name, Thread &T) {
+  uint64_t Entry = findFunction(Name);
+  if (!Entry)
+    return false;
+  T = Thread();
+  T.PC = Entry;
+  T.Regs[visa::RegSP] = allocStack();
+  return true;
+}

@@ -1,0 +1,248 @@
+//===- runtime/Machine.h - The MCFI runtime machine -------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MCFI runtime (paper Sec. 7, based on the MIP runtime): a sandboxed
+/// machine with separate code and data regions, the W^X invariant ("no
+/// memory regions are both writable and executable at the same time"),
+/// the Bary/Tary ID tables, syscall interposition, and threads executing
+/// VISA code through the interpreter in VM.cpp.
+///
+/// Layout (all inside the [0, 4 GiB) sandbox the instrumentation masks
+/// addresses into):
+///   [CodeBase, CodeBase+CodeCapacity)   code region; modules are loaded
+///                                       writable, then sealed RX
+///   [DataBase, DataBase+DataCapacity)   data region (globals, GOT, heap,
+///                                       stacks); RW, never executable
+/// The ID tables live *outside* guest memory entirely (host side), which
+/// is strictly stronger than the paper's segment-register protection: no
+/// guest store can reach them at all. TableRead/BaryRead are the only
+/// gateways, mirroring the %gs-relative reads of Fig. 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_RUNTIME_MACHINE_H
+#define MCFI_RUNTIME_MACHINE_H
+
+#include "module/MCFIObject.h"
+#include "tables/IDTables.h"
+#include "visa/ISA.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mcfi {
+
+class Machine;
+
+/// Runtime syscall numbers. Values below 100 coincide with
+/// minic::BuiltinKind (the compiler emits them); the rest are emitted
+/// only by linker-synthesized code.
+enum class SyscallNo : uint8_t {
+  Malloc = 1,
+  Free = 2,
+  Setjmp = 3,
+  Longjmp = 4,
+  Signal = 5,
+  Raise = 6,
+  PrintInt = 7,
+  PrintStr = 8,
+  Exit = 9,
+  Dlopen = 10,
+  Dlsym = 11,
+  SigReturn = 100,
+};
+
+/// Why a thread stopped executing.
+enum class StopReason : uint8_t {
+  Exited,       ///< exit() syscall
+  CfiViolation, ///< a check transaction executed hlt, or a runtime-
+                ///< mediated transfer (longjmp/signal) failed validation
+  Trap,         ///< memory fault, W^X violation, invalid opcode, ...
+  OutOfFuel,    ///< instruction budget exhausted
+};
+
+struct RunResult {
+  StopReason Reason = StopReason::Trap;
+  int64_t ExitCode = 0;
+  uint64_t Instructions = 0;
+  std::string Message;
+};
+
+/// One guest thread: registers plus program counter. Threads share the
+/// Machine's memory and tables; run several Thread objects on separate
+/// host threads for multithreaded guests.
+struct Thread {
+  uint64_t Regs[visa::NumRegs] = {};
+  uint64_t PC = 0;
+  uint64_t Instructions = 0;
+  /// Saved resume points for nested signal dispatches.
+  std::vector<uint64_t> SignalReturnStack;
+};
+
+/// A module mapped into the machine.
+struct MappedModule {
+  std::unique_ptr<MCFIObject> Obj;
+  uint64_t CodeBase = 0; ///< absolute
+  uint64_t DataBase = 0; ///< absolute
+  bool Sealed = false;   ///< code is RX (executable, not writable)
+};
+
+struct MachineOptions {
+  uint64_t CodeCapacity = 8ull << 20;
+  uint64_t DataCapacity = 64ull << 20;
+  uint64_t StackSize = 1ull << 20;
+  uint32_t BaryCapacity = 1u << 18;
+};
+
+/// The machine. See file comment for the memory model.
+class Machine {
+public:
+  static constexpr uint64_t CodeBase = 0x10000;
+  static constexpr uint64_t DataBase = 0x10000000; ///< 256 MiB mark
+
+  explicit Machine(const MachineOptions &Opts = MachineOptions());
+  ~Machine();
+
+  //===--------------------------------------------------------------------===//
+  // Module mapping (used by the linker)
+  //===--------------------------------------------------------------------===//
+
+  /// Copies \p Obj's code and data into the regions. The module starts
+  /// *unsealed* (code writable for relocation patching, not executable).
+  /// Returns the module index, or -1 if a region is exhausted.
+  int mapModule(MCFIObject Obj);
+
+  /// Seals module \p Index: code becomes executable and immutable.
+  /// Per the W^X invariant this is a one-way transition.
+  void sealModule(int Index);
+
+  const std::vector<MappedModule> &modules() const { return Mapped; }
+  MappedModule &module(int Index) { return Mapped[Index]; }
+
+  /// Next free code address (the load point for the next module).
+  uint64_t codeTop() const { return CodeBase + CodeUsed; }
+
+  /// Host access to module bytes for relocation patching; only legal
+  /// while the owning module is unsealed (asserts otherwise).
+  void patchCode64(uint64_t Addr, uint64_t Value);
+  void patchCode32(uint64_t Addr, uint32_t Value);
+
+  /// Reads code bytes (for the verifier and the interpreter).
+  const uint8_t *codePtr(uint64_t Addr, uint64_t Size) const;
+
+  //===--------------------------------------------------------------------===//
+  // Policy installation (called by the linker inside TxUpdate)
+  //===--------------------------------------------------------------------===//
+
+  IDTables &tables() { return Tables; }
+  const IDTables &tables() const { return Tables; }
+
+  /// Replaces the longjmp-validation set (absolute setjmp return sites).
+  void setSetjmpRetSites(std::vector<uint64_t> Sites);
+
+  /// Installed by the linker: services the guest's dlopen syscall.
+  std::function<int64_t(Machine &, int64_t)> DlopenHook;
+
+  //===--------------------------------------------------------------------===//
+  // Guest memory (atomic; threads may race per the paper's threat model)
+  //===--------------------------------------------------------------------===//
+
+  bool isDataAddr(uint64_t Addr, uint64_t Size) const {
+    return Addr >= DataBase && Addr + Size <= DataBase + DataCapacity;
+  }
+  bool isCodeAddr(uint64_t Addr, uint64_t Size) const {
+    return Addr >= CodeBase && Addr + Size <= CodeBase + CodeUsed;
+  }
+
+  /// Typed guest loads/stores. Return false on a fault (unmapped,
+  /// misaligned, or W^X violation); loads fill \p Out.
+  bool load(uint64_t Addr, unsigned Size, uint64_t &Out) const;
+  bool store(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  /// Reads a NUL-terminated guest string (bounded); empty on fault.
+  std::string readString(uint64_t Addr) const;
+
+  /// Host-side data initialization during module load (bypasses the
+  /// executable check but must stay within the data region).
+  bool writeDataBytes(uint64_t Addr, const uint8_t *Bytes, uint64_t Size);
+
+  /// Bump-allocates \p Size bytes of heap (8-aligned); 0 when exhausted.
+  uint64_t allocHeap(uint64_t Size);
+
+  /// Allocates a stack and returns its initial stack pointer (top).
+  uint64_t allocStack();
+
+  //===--------------------------------------------------------------------===//
+  // Syscall state
+  //===--------------------------------------------------------------------===//
+
+  void appendOutput(const std::string &S);
+  std::string takeOutput();
+
+  /// Registered signal handlers (absolute code addresses).
+  std::unordered_map<int, uint64_t> SignalHandlers;
+  std::mutex SignalLock;
+
+  /// Absolute address of the sigreturn trampoline ("sig$return").
+  uint64_t SigReturnAddr = 0;
+
+  bool isSetjmpRetSite(uint64_t Addr) const;
+
+  //===--------------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a thread starting at the entry of function \p Name (searched
+  /// across sealed modules), with a fresh stack. Returns false if the
+  /// symbol is unknown.
+  bool makeThread(const std::string &Name, Thread &T);
+
+  /// Resolves a function symbol to its absolute address (0 if unknown).
+  uint64_t findFunction(const std::string &Name) const;
+
+  /// Runs \p T until it stops or \p Fuel instructions retire.
+  RunResult run(Thread &T, uint64_t Fuel = ~0ull);
+
+  uint64_t codeCapacity() const { return CodeCapacity; }
+
+private:
+  friend class Interpreter;
+
+  uint64_t CodeCapacity;
+  uint64_t DataCapacity;
+  uint64_t StackSize;
+
+  std::vector<uint8_t> CodeBytes;   ///< [0, CodeCapacity)
+  std::vector<uint64_t> DataWords;  ///< DataCapacity/8 words, 8-aligned
+  uint64_t CodeUsed = 0;
+  uint64_t DataUsed = 0;            ///< globals + heap bump pointer
+  std::atomic<uint64_t> HeapNext{0};
+  std::atomic<uint64_t> StackNext{0}; ///< allocated downward from the top
+
+  std::vector<MappedModule> Mapped;
+  uint64_t SealedPrefix = 0; ///< bytes of contiguously sealed code
+
+  IDTables Tables;
+
+  mutable std::mutex SetjmpLock;
+  std::unordered_set<uint64_t> SetjmpSites;
+
+  std::mutex OutputLock;
+  std::string Output;
+};
+
+} // namespace mcfi
+
+#endif // MCFI_RUNTIME_MACHINE_H

@@ -1,0 +1,47 @@
+//===- support/Assert.h - Assertions and unreachable markers ---*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers used throughout the MCFI libraries. Follows the LLVM
+/// convention: assert() for invariants with a message, mcfi_unreachable()
+/// for control flow that must never be reached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_SUPPORT_ASSERT_H
+#define MCFI_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcfi {
+
+/// Aborts the program after printing \p Msg with its source location.
+/// Used to mark unreachable code paths; unlike assert() it is active in
+/// release builds as well, because reaching one of these points means a
+/// security invariant would otherwise be silently violated.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal, non-recoverable error (bad input file, broken module)
+/// and exits. Library code uses this only for conditions that the public
+/// API documents as fatal.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "mcfi fatal error: %s\n", Msg);
+  std::exit(1);
+}
+
+} // namespace mcfi
+
+#define mcfi_unreachable(msg)                                                  \
+  ::mcfi::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // MCFI_SUPPORT_ASSERT_H

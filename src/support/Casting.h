@@ -1,0 +1,50 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style: classes opt in by providing a
+/// static classof(const Base*). Works for the Type, Expr, and Stmt
+/// hierarchies without enabling C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_SUPPORT_CASTING_H
+#define MCFI_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace mcfi {
+
+/// Returns true if \p V (non-null) is an instance of To.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts on mismatch.
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<To *>(V);
+}
+
+/// Checking downcast; returns nullptr on mismatch.
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+} // namespace mcfi
+
+#endif // MCFI_SUPPORT_CASTING_H

@@ -1,0 +1,83 @@
+//===- support/RNG.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (splitmix64-seeded xoshiro256**) used by the
+/// workload generator and the property-test harnesses. Determinism matters:
+/// every synthetic benchmark and every fuzzing run must be reproducible from
+/// a seed so that experiment tables are stable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_SUPPORT_RNG_H
+#define MCFI_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mcfi {
+
+/// Deterministic xoshiro256** generator.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() requires a nonzero bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace mcfi
+
+#endif // MCFI_SUPPORT_RNG_H

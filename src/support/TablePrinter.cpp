@@ -1,0 +1,55 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace mcfi;
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::render() const {
+  // Compute per-column widths.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+  }
+
+  std::string Out;
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    const auto &Row = Rows[R];
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        Out += "  ";
+      Out += C == 0 ? padRight(Row[C], Widths[C]) : padLeft(Row[C], Widths[C]);
+    }
+    Out += '\n';
+    if (R == 0) {
+      // Header separator.
+      size_t Total = 0;
+      for (size_t C = 0; C != Widths.size(); ++C)
+        Total += Widths[C] + (C == 0 ? 0 : 2);
+      Out += std::string(Total, '-');
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+}

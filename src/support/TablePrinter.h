@@ -1,0 +1,42 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny aligned-column table printer used by the benchmark binaries to
+/// emit the paper's tables in a readable, diffable plain-text format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_SUPPORT_TABLEPRINTER_H
+#define MCFI_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace mcfi {
+
+/// Collects rows of string cells and renders them with aligned columns.
+/// The first added row is treated as the header.
+class TablePrinter {
+public:
+  /// Adds one row; the first call defines the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table; the first column is left-aligned, all others
+  /// right-aligned (matching the layout of the paper's tables).
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace mcfi
+
+#endif // MCFI_SUPPORT_TABLEPRINTER_H

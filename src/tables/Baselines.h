@@ -1,0 +1,219 @@
+//===- tables/Baselines.h - Competing synchronization schemes ---*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alternative table-synchronization schemes that the paper
+/// micro-benchmarks against MCFI's custom transactions (Sec. 8.1):
+///
+///  - TML (Transactional Mutex Locks, Dalessandro et al.): a global
+///    sequence lock; readers sample it before and after their reads.
+///    Meta-data (the sequence number) is separate from the data (the
+///    ECNs), so a check needs two extra reads — the paper measured ~2x.
+///  - RWL: a simple non-scalable reader-preference lock; every check
+///    performs two LOCK-prefixed RMW operations — ~29x.
+///  - Mutex: a compare-and-swap spinlock held for the duration of each
+///    check — ~22x.
+///
+/// All three expose the same check/update interface over the same
+/// conceptual data (branch ECNs by site index, target ECNs by code
+/// offset) so the micro-benchmark drives them interchangeably with
+/// MCFI's IDTables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_TABLES_BASELINES_H
+#define MCFI_TABLES_BASELINES_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mcfi {
+
+/// Common interface: check returns true if the branch ECN at \p BaryIndex
+/// equals the target ECN at \p TargetOffset; update atomically installs a
+/// new assignment of ECNs.
+class BaselineTables {
+public:
+  virtual ~BaselineTables() = default;
+  virtual bool check(uint32_t BaryIndex, uint64_t TargetOffset) const = 0;
+  virtual void update(uint64_t TaryLimitBytes,
+                      const std::function<int64_t(uint64_t)> &GetTaryECN,
+                      uint32_t BaryCount,
+                      const std::function<int64_t(uint32_t)> &GetBaryECN) = 0;
+};
+
+namespace detail {
+
+/// The raw (unsynchronized) ECN arrays shared by the baselines. A
+/// negative/absent ECN is stored as ~0u. Entries are atomic words so that
+/// the baselines' races stay within defined behaviour; the *ordering* is
+/// supplied by each scheme's own synchronization.
+class ECNArrays {
+public:
+  ECNArrays(uint64_t CodeCapacity, uint32_t BaryCapacity)
+      : Tary((CodeCapacity + 3) / 4), Bary(BaryCapacity) {
+    for (auto &E : Tary)
+      E.store(~0u, std::memory_order_relaxed);
+    for (auto &E : Bary)
+      E.store(~0u, std::memory_order_relaxed);
+  }
+
+  uint32_t taryECN(uint64_t Off) const {
+    uint64_t I = Off >> 2;
+    if ((Off & 3) || I >= Tary.size())
+      return ~0u;
+    return Tary[I].load(std::memory_order_relaxed);
+  }
+  uint32_t baryECN(uint32_t I) const {
+    return I < Bary.size() ? Bary[I].load(std::memory_order_relaxed) : ~0u;
+  }
+
+  void install(uint64_t TaryLimitBytes,
+               const std::function<int64_t(uint64_t)> &GetTaryECN,
+               uint32_t BaryCount,
+               const std::function<int64_t(uint32_t)> &GetBaryECN) {
+    uint64_t Limit = (TaryLimitBytes + 3) / 4;
+    for (uint64_t I = 0; I < Limit && I < Tary.size(); ++I) {
+      int64_t E = GetTaryECN(I * 4);
+      Tary[I].store(E < 0 ? ~0u : static_cast<uint32_t>(E),
+                    std::memory_order_relaxed);
+    }
+    for (uint32_t I = 0; I < BaryCount && I < Bary.size(); ++I) {
+      int64_t E = GetBaryECN(I);
+      Bary[I].store(E < 0 ? ~0u : static_cast<uint32_t>(E),
+                    std::memory_order_relaxed);
+    }
+  }
+
+private:
+  std::vector<std::atomic<uint32_t>> Tary;
+  std::vector<std::atomic<uint32_t>> Bary;
+};
+
+} // namespace detail
+
+/// TML: global sequence lock (even = unlocked). Readers are invisible;
+/// writers bump the sequence to odd, write, bump back to even.
+class TMLTables : public BaselineTables {
+public:
+  TMLTables(uint64_t CodeCapacity, uint32_t BaryCapacity)
+      : Arrays(CodeCapacity, BaryCapacity) {}
+
+  bool check(uint32_t BaryIndex, uint64_t TargetOffset) const override {
+    for (;;) {
+      uint64_t S1 = Seq.load(std::memory_order_acquire);
+      if (S1 & 1)
+        continue; // writer active
+      uint32_t B = Arrays.baryECN(BaryIndex);
+      uint32_t T = Arrays.taryECN(TargetOffset);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (Seq.load(std::memory_order_relaxed) != S1)
+        continue; // raced with a writer
+      return B != ~0u && B == T;
+    }
+  }
+
+  void update(uint64_t TaryLimitBytes,
+              const std::function<int64_t(uint64_t)> &GetTaryECN,
+              uint32_t BaryCount,
+              const std::function<int64_t(uint32_t)> &GetBaryECN) override {
+    std::lock_guard<std::mutex> Guard(WriterLock);
+    Seq.fetch_add(1, std::memory_order_acq_rel); // odd: writing
+    Arrays.install(TaryLimitBytes, GetTaryECN, BaryCount, GetBaryECN);
+    Seq.fetch_add(1, std::memory_order_release); // even: done
+  }
+
+private:
+  detail::ECNArrays Arrays;
+  std::atomic<uint64_t> Seq{0};
+  std::mutex WriterLock;
+};
+
+/// RWL: simple non-scalable reader-preference spinlock. Each check does a
+/// LOCK-prefixed increment and decrement of the shared reader count.
+class RWLTables : public BaselineTables {
+public:
+  RWLTables(uint64_t CodeCapacity, uint32_t BaryCapacity)
+      : Arrays(CodeCapacity, BaryCapacity) {}
+
+  bool check(uint32_t BaryIndex, uint64_t TargetOffset) const override {
+    for (;;) {
+      Readers.fetch_add(1, std::memory_order_acquire);
+      if (!Writer.load(std::memory_order_acquire))
+        break;
+      Readers.fetch_sub(1, std::memory_order_release);
+      while (Writer.load(std::memory_order_relaxed))
+        ;
+    }
+    uint32_t B = Arrays.baryECN(BaryIndex);
+    uint32_t T = Arrays.taryECN(TargetOffset);
+    Readers.fetch_sub(1, std::memory_order_release);
+    return B != ~0u && B == T;
+  }
+
+  void update(uint64_t TaryLimitBytes,
+              const std::function<int64_t(uint64_t)> &GetTaryECN,
+              uint32_t BaryCount,
+              const std::function<int64_t(uint32_t)> &GetBaryECN) override {
+    std::lock_guard<std::mutex> Guard(WriterLock);
+    Writer.store(true, std::memory_order_seq_cst);
+    while (Readers.load(std::memory_order_acquire) != 0)
+      ;
+    Arrays.install(TaryLimitBytes, GetTaryECN, BaryCount, GetBaryECN);
+    Writer.store(false, std::memory_order_release);
+  }
+
+private:
+  detail::ECNArrays Arrays;
+  mutable std::atomic<int64_t> Readers{0};
+  std::atomic<bool> Writer{false};
+  std::mutex WriterLock;
+};
+
+/// Mutex: a CAS spinlock held around every check and every update.
+class MutexTables : public BaselineTables {
+public:
+  MutexTables(uint64_t CodeCapacity, uint32_t BaryCapacity)
+      : Arrays(CodeCapacity, BaryCapacity) {}
+
+  bool check(uint32_t BaryIndex, uint64_t TargetOffset) const override {
+    lock();
+    uint32_t B = Arrays.baryECN(BaryIndex);
+    uint32_t T = Arrays.taryECN(TargetOffset);
+    unlock();
+    return B != ~0u && B == T;
+  }
+
+  void update(uint64_t TaryLimitBytes,
+              const std::function<int64_t(uint64_t)> &GetTaryECN,
+              uint32_t BaryCount,
+              const std::function<int64_t(uint32_t)> &GetBaryECN) override {
+    lock();
+    Arrays.install(TaryLimitBytes, GetTaryECN, BaryCount, GetBaryECN);
+    unlock();
+  }
+
+private:
+  void lock() const {
+    bool Expected = false;
+    while (!Locked.compare_exchange_weak(Expected, true,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed))
+      Expected = false;
+  }
+  void unlock() const { Locked.store(false, std::memory_order_release); }
+
+  detail::ECNArrays Arrays;
+  mutable std::atomic<bool> Locked{false};
+};
+
+} // namespace mcfi
+
+#endif // MCFI_TABLES_BASELINES_H

@@ -1,0 +1,80 @@
+//===- tables/ID.h - MCFI's 32-bit ID encoding ------------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MCFI's ID encoding (paper Fig. 2). An ID is a four-byte word holding:
+///
+///  - reserved bits: the least-significant bit of each byte, with values
+///    0,0,0,1 from high to low bytes. They make any 4-byte value read at
+///    a *misaligned* table offset invalid, which is how MCFI rejects
+///    indirect-branch targets that are not 4-byte aligned;
+///  - a 14-bit ECN (equivalence-class number) in the upper two bytes;
+///  - a 14-bit version number in the lower two bytes, used to detect that
+///    a check transaction raced with an update transaction and must
+///    retry.
+///
+/// The compactness is the point: validity, version equality, and ECN
+/// equality are all checked by a single 32-bit comparison against the
+/// branch ID (the paper measured generic STMs that separate meta-data
+/// from data at ~2x the cost).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_TABLES_ID_H
+#define MCFI_TABLES_ID_H
+
+#include <cstdint>
+
+namespace mcfi {
+
+/// Maximum ECN / version values (14 bits each).
+constexpr uint32_t MaxECN = (1u << 14) - 1;
+constexpr uint32_t MaxVersion = (1u << 14) - 1;
+
+/// The reserved-bit mask and expected pattern: LSB of each byte must be
+/// 0,0,0,1 from high to low bytes.
+constexpr uint32_t ReservedMask = 0x01010101u;
+constexpr uint32_t ReservedPattern = 0x00000001u;
+
+/// Encodes an ID from \p ECN and \p Version (both < 2^14).
+constexpr uint32_t encodeID(uint32_t ECN, uint32_t Version) {
+  uint32_t B0 = ((Version & 0x7f) << 1) | 1u;
+  uint32_t B1 = ((Version >> 7) & 0x7f) << 1;
+  uint32_t B2 = (ECN & 0x7f) << 1;
+  uint32_t B3 = ((ECN >> 7) & 0x7f) << 1;
+  return B0 | (B1 << 8) | (B2 << 16) | (B3 << 24);
+}
+
+/// Returns true if \p ID carries the reserved-bit pattern. Entries for
+/// addresses that are not indirect-branch targets are all-zero and thus
+/// invalid; so is any word assembled from two halves of adjacent IDs.
+constexpr bool isValidID(uint32_t ID) {
+  return (ID & ReservedMask) == ReservedPattern;
+}
+
+/// Extracts the 14-bit ECN.
+constexpr uint32_t idECN(uint32_t ID) {
+  return ((ID >> 17) & 0x7f) | (((ID >> 25) & 0x7f) << 7);
+}
+
+/// Extracts the 14-bit version.
+constexpr uint32_t idVersion(uint32_t ID) {
+  return ((ID >> 1) & 0x7f) | (((ID >> 9) & 0x7f) << 7);
+}
+
+/// Returns true if the two IDs agree on their low 16 bits — the "cmpw
+/// %di,%si" of Fig. 4, i.e. same version (and same low reserved bits).
+/// When a valid target ID fails the full comparison but passes this one,
+/// the mismatch is in the ECN and the branch is a CFI violation; when
+/// this fails too, the check raced with an update and must retry.
+constexpr bool sameVersionHalf(uint32_t A, uint32_t B) {
+  return (A & 0xffffu) == (B & 0xffffu);
+}
+
+} // namespace mcfi
+
+#endif // MCFI_TABLES_ID_H

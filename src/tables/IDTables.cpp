@@ -1,0 +1,146 @@
+//===- tables/IDTables.cpp - Bary/Tary tables and transactions ------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tables/IDTables.h"
+
+#include "support/Assert.h"
+
+using namespace mcfi;
+
+IDTables::IDTables(uint64_t CodeCapacity, uint32_t BaryCapacity)
+    : TaryEntries((CodeCapacity + 3) / 4), BaryEntries(BaryCapacity) {
+  for (auto &E : TaryEntries)
+    E.store(0, std::memory_order_relaxed);
+  for (auto &E : BaryEntries)
+    E.store(0, std::memory_order_relaxed);
+}
+
+uint32_t IDTables::taryRead(uint64_t CodeOffset) const {
+  uint64_t Index = CodeOffset >> 2;
+  if (Index >= TaryEntries.size())
+    return 0;
+  uint32_t Lo = TaryEntries[Index].load(std::memory_order_relaxed);
+  unsigned Misalign = CodeOffset & 3;
+  if (Misalign == 0)
+    return Lo;
+  // Misaligned read: synthesize the 4 bytes starting at the offset from
+  // the two adjacent aligned entries. The reserved-bit pattern makes the
+  // result invalid (its low byte is a non-low byte of a real ID, whose
+  // LSB is 0), exactly as in the paper's byte-addressed table.
+  uint32_t Hi = Index + 1 < TaryEntries.size()
+                    ? TaryEntries[Index + 1].load(std::memory_order_relaxed)
+                    : 0;
+  unsigned Shift = 8 * Misalign;
+  return (Lo >> Shift) | (Hi << (32 - Shift));
+}
+
+uint32_t IDTables::baryRead(uint32_t Index) const {
+  if (Index >= BaryEntries.size())
+    return 0;
+  return BaryEntries[Index].load(std::memory_order_relaxed);
+}
+
+CheckResult IDTables::txCheck(uint32_t BaryIndex,
+                              uint64_t TargetOffset) const {
+  // Hot path mirrors Fig. 4's fast case exactly: one branch-ID load, one
+  // target-ID load, one comparison. Everything else lives in the cold
+  // slow path, as in the instrumented sequence.
+  uint64_t Index = TargetOffset >> 2;
+  if (__builtin_expect((TargetOffset & 3) == 0 && Index < TaryEntries.size() &&
+                           BaryIndex < BaryEntries.size(),
+                       1)) {
+    uint32_t BranchID = BaryEntries[BaryIndex].load(std::memory_order_relaxed);
+    uint32_t TargetID =
+        TaryEntries[Index].load(std::memory_order_acquire);
+    if (__builtin_expect(BranchID == TargetID, 1))
+      // A correctly patched module always loads a valid branch ID (the
+      // loader embeds the right Bary indexes); an invalid equal pair
+      // means the site was never installed, which fails closed.
+      return isValidID(BranchID) ? CheckResult::Pass
+                                 : CheckResult::ViolationInvalid;
+  }
+  return txCheckSlow(BaryIndex, TargetOffset);
+}
+
+CheckResult IDTables::txCheckSlow(uint32_t BaryIndex,
+                                  uint64_t TargetOffset) const {
+  for (;;) {
+    uint32_t BranchID = baryRead(BaryIndex);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint32_t TargetID = taryRead(TargetOffset);
+    if (BranchID == TargetID) {
+      if (!isValidID(BranchID))
+        return CheckResult::ViolationInvalid;
+      return CheckResult::Pass;
+    }
+    // "Check:" label of Fig. 4: distinguish invalid target, version
+    // race, and genuine ECN mismatch.
+    if (!isValidID(TargetID))
+      return CheckResult::ViolationInvalid;
+    if (!sameVersionHalf(BranchID, TargetID))
+      continue; // an update transaction is in flight; retry
+    return CheckResult::ViolationECN;
+  }
+}
+
+void IDTables::txUpdate(uint64_t TaryLimitBytes,
+                        const std::function<int64_t(uint64_t)> &GetTaryECN,
+                        uint32_t BaryCount,
+                        const std::function<int64_t(uint32_t)> &GetBaryECN,
+                        const std::function<void()> &BetweenTablesHook) {
+  // Update transactions are serialized by a global lock (they are rare);
+  // check transactions proceed concurrently and are synchronized only
+  // through the version numbers embedded in the IDs.
+  std::lock_guard<std::mutex> Guard(UpdateLock);
+
+  uint32_t NewVersion =
+      (Version.load(std::memory_order_relaxed) + 1) & MaxVersion;
+  Version.store(NewVersion, std::memory_order_relaxed);
+  Updates.fetch_add(1, std::memory_order_relaxed);
+
+  assert(TaryLimitBytes <= taryCapacityBytes() && "code past table capacity");
+  assert(BaryCount <= BaryEntries.size() && "too many branch sites");
+
+  // Step 1: construct the new Tary table locally, then copy it in with
+  // relaxed (movnti-style, weakly ordered) stores. Each 4-byte store is
+  // individually atomic, which is the only requirement (Fig. 3's
+  // copyTaryTable).
+  uint64_t Limit = (TaryLimitBytes + 3) / 4;
+  std::vector<uint32_t> NewTary(Limit, 0);
+  for (uint64_t I = 0; I != Limit; ++I) {
+    int64_t ECN = GetTaryECN(I * 4);
+    if (ECN >= 0) {
+      assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+      NewTary[I] = encodeID(static_cast<uint32_t>(ECN), NewVersion);
+    }
+  }
+  for (uint64_t I = 0; I != Limit; ++I)
+    TaryEntries[I].store(NewTary[I], std::memory_order_relaxed);
+
+  // Memory write barrier: all Tary stores complete before any Bary store
+  // (Fig. 3 line 5). This is the linearization point of the update.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  // GOT entry updates are inserted between the two table updates and
+  // serialized by another barrier (paper, PLT/GOT discussion).
+  if (BetweenTablesHook) {
+    BetweenTablesHook();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // Step 2: update the Bary table.
+  for (uint32_t I = 0; I != BaryCount; ++I) {
+    int64_t ECN = GetBaryECN(I);
+    uint32_t ID = 0;
+    if (ECN >= 0) {
+      assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+      ID = encodeID(static_cast<uint32_t>(ECN), NewVersion);
+    }
+    BaryEntries[I].store(ID, std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}

@@ -1,0 +1,145 @@
+//===- tables/IDTables.h - Bary/Tary tables and transactions ----*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime representation of the CFG: the Bary table (branch IDs,
+/// indexed by a per-site constant embedded in the instrumented code) and
+/// the Tary table (target IDs, indexed by code address). Together with
+/// the check/update transactions of paper Sec. 5, these form a
+/// linearizable concurrent structure: every TxCheck observes either the
+/// old CFG or the new CFG, never a mix.
+///
+/// TxCheck here is the host-level reference implementation used by the
+/// micro-benchmarks and the linearizability tests; the instrumented guest
+/// code performs the same reads through the VM's TableRead/BaryRead
+/// instructions, which delegate to this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_TABLES_IDTABLES_H
+#define MCFI_TABLES_IDTABLES_H
+
+#include "tables/ID.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mcfi {
+
+/// Outcome of a check transaction.
+enum class CheckResult : uint8_t {
+  Pass,             ///< branch ID == target ID: transfer allowed
+  ViolationInvalid, ///< target ID invalid (not an IBT / misaligned)
+  ViolationECN,     ///< valid target, same version, different ECN
+};
+
+/// The Bary and Tary ID tables plus the global version and update lock.
+///
+/// The Tary table conceptually maps every code address to an ID; thanks
+/// to 4-byte target alignment it stores one 4-byte ID per 4-byte-aligned
+/// code address, so its size equals the code-region size (paper Sec. 5.1).
+/// Misaligned reads are synthesized from the two adjacent entries, which
+/// reproduces the paper's guarantee that such reads yield invalid IDs
+/// while staying within C++'s atomic-access rules.
+class IDTables {
+public:
+  /// \p CodeCapacity is the code-region capacity in bytes (Tary gets one
+  /// entry per 4 bytes); \p BaryCapacity is the maximum number of
+  /// indirect-branch sites.
+  IDTables(uint64_t CodeCapacity, uint32_t BaryCapacity);
+
+  /// TxCheck's Tary read: returns the 4-byte word at byte offset
+  /// \p CodeOffset in the conceptual byte-indexed table. Offsets beyond
+  /// the capacity return 0 (invalid).
+  uint32_t taryRead(uint64_t CodeOffset) const;
+
+  /// TxCheck's Bary read. Out-of-range indexes return 0 (invalid); a
+  /// correctly patched module never produces one.
+  uint32_t baryRead(uint32_t Index) const;
+
+  /// The full check transaction of Fig. 4 (reference implementation).
+  /// Retries internally while a concurrent update is in flight. The fast
+  /// path is the paper's two-loads-one-compare sequence; mismatches take
+  /// the out-of-line slow path.
+  CheckResult txCheck(uint32_t BaryIndex, uint64_t TargetOffset) const;
+
+  /// The update transaction of Fig. 3. Under the global update lock:
+  /// bumps the version; rebuilds and installs the Tary table (entries
+  /// for 4-aligned offsets below \p TaryLimitBytes, ECN from
+  /// \p GetTaryECN, negative = not a target); memory barrier; runs
+  /// \p BetweenTablesHook (the dynamic linker's GOT updates go here);
+  /// barrier; installs Bary entries [0, BaryCount) from \p GetBaryECN.
+  void txUpdate(uint64_t TaryLimitBytes,
+                const std::function<int64_t(uint64_t)> &GetTaryECN,
+                uint32_t BaryCount,
+                const std::function<int64_t(uint32_t)> &GetBaryECN,
+                const std::function<void()> &BetweenTablesHook = nullptr);
+
+  /// Current CFG version (only advanced by txUpdate).
+  uint32_t currentVersion() const {
+    return Version.load(std::memory_order_relaxed);
+  }
+
+  /// Number of update transactions executed (the ABA counter of Sec. 5.2:
+  /// callers can detect version-space exhaustion and quiesce).
+  uint64_t updateCount() const {
+    return Updates.load(std::memory_order_relaxed);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // ABA mitigation (Sec. 5.2): "MCFI could maintain a counter of executed
+  // update transactions and make sure it does not hit 2^14. After
+  // completion of an update transaction, if every thread is observed to
+  // finish using old-version IDs (e.g., when each thread invokes a
+  // system call), the counter is reset to zero."
+  //===--------------------------------------------------------------------===//
+
+  /// Updates executed since the last quiescence point.
+  uint64_t updatesSinceEpoch() const {
+    return Updates.load(std::memory_order_relaxed) -
+           EpochBase.load(std::memory_order_relaxed);
+  }
+
+  /// True when the version space is close to wrapping within the current
+  /// epoch; the runtime should arrange a quiescence point (all threads
+  /// at a syscall boundary) and call resetVersionEpoch().
+  bool versionSpaceLow() const {
+    return updatesSinceEpoch() >= (MaxVersion + 1) - EpochMargin;
+  }
+
+  /// Declares a quiescence point: every thread has been observed outside
+  /// any in-flight check transaction, so old-version IDs can no longer
+  /// be compared and the ABA counter restarts.
+  void resetVersionEpoch() {
+    EpochBase.store(Updates.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  }
+
+  uint64_t taryCapacityBytes() const { return TaryEntries.size() * 4; }
+  uint32_t baryCapacity() const {
+    return static_cast<uint32_t>(BaryEntries.size());
+  }
+
+private:
+  CheckResult txCheckSlow(uint32_t BaryIndex, uint64_t TargetOffset) const;
+
+  std::vector<std::atomic<uint32_t>> TaryEntries;
+  std::vector<std::atomic<uint32_t>> BaryEntries;
+  static constexpr uint64_t EpochMargin = 64;
+
+  std::atomic<uint32_t> Version{0};
+  std::atomic<uint64_t> Updates{0};
+  std::atomic<uint64_t> EpochBase{0};
+  std::mutex UpdateLock;
+};
+
+} // namespace mcfi
+
+#endif // MCFI_TABLES_IDTABLES_H

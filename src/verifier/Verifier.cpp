@@ -1,0 +1,467 @@
+//===- verifier/Verifier.cpp - Modular MCFI verification ------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include "support/StringUtils.h"
+#include "visa/ISA.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const uint8_t *Code, size_t Size, const MCFIObject &Obj)
+      : Code(Code), Size(Size), Obj(Obj) {}
+
+  VerifyResult run() {
+    indexAux();
+    disassemble();
+    if (!Result.Ok)
+      return std::move(Result); // undecodable code: stop early
+    checkBranchSequences();
+    checkJumpTables();
+    checkStoresAndStrays();
+    checkDirectBranchTargets();
+    checkAlignment();
+    return std::move(Result);
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Result.Ok = false;
+    Result.Errors.push_back(Msg);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Aux indexing
+  //===--------------------------------------------------------------------===//
+
+  void indexAux() {
+    for (const BranchSite &BS : Obj.Aux.BranchSites) {
+      SiteByBranchOffset.emplace(BS.BranchOffset, &BS);
+      SeqRanges.emplace_back(BS.SeqStart, BS.BranchOffset);
+    }
+    for (const JumpTableInfo &JT : Obj.Aux.JumpTables) {
+      JTByJmpOffset.emplace(JT.JmpOffset, &JT);
+      DataRanges.emplace_back(JT.TableOffset, JT.TableOffset +
+                                                  8 * JT.Targets.size());
+    }
+    std::sort(DataRanges.begin(), DataRanges.end());
+  }
+
+  bool inDataRange(uint64_t Off, uint64_t &RangeEnd) const {
+    for (const auto &[B, E] : DataRanges) {
+      if (Off >= B && Off < E) {
+        RangeEnd = E;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Complete disassembly
+  //===--------------------------------------------------------------------===//
+
+  void disassemble() {
+    uint64_t Off = 0;
+    while (Off < Size) {
+      uint64_t DataEnd;
+      if (inDataRange(Off, DataEnd)) {
+        Off = DataEnd;
+        continue;
+      }
+      Instr I;
+      if (!decode(Code, Size, Off, I)) {
+        error(formatString("undecodable byte at offset 0x%llx",
+                           static_cast<unsigned long long>(Off)));
+        return;
+      }
+      Instrs.emplace(Off, I);
+      Off += I.Length;
+    }
+  }
+
+  const Instr *instrAt(uint64_t Off) const {
+    auto It = Instrs.find(Off);
+    return It == Instrs.end() ? nullptr : &It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Check-sequence templates (Fig. 4)
+  //===--------------------------------------------------------------------===//
+
+  /// Matches one instruction; advances \p Off on success.
+  bool expect(uint64_t &Off, Opcode Op,
+              const std::function<bool(const Instr &)> &Pred,
+              const char *What) {
+    const Instr *I = instrAt(Off);
+    if (!I || I->Op != Op || (Pred && !Pred(*I))) {
+      error(formatString("check sequence at 0x%llx: expected %s at 0x%llx",
+                         static_cast<unsigned long long>(SeqStart), What,
+                         static_cast<unsigned long long>(Off)));
+      return false;
+    }
+    Off += I->Length;
+    return true;
+  }
+
+  /// Verifies the core of a check transaction starting at \p Off (after
+  /// the target register has been produced). On success, \p Off points at
+  /// the final indirect branch and \p TryOff holds the retry target.
+  bool matchCheckCore(uint64_t &Off, uint64_t &TryOff, uint64_t RetryTarget) {
+    // andi r15, 0xffffffff
+    if (!expect(Off, Opcode::AndImm,
+                [](const Instr &I) {
+                  return I.Rd == RegTarget && I.Imm == 0xffffffffull;
+                },
+                "sandbox mask"))
+      return false;
+    // Optional footnote-1 alignment mask (strictly stronger; accepted).
+    if (const Instr *I = instrAt(Off);
+        I && I->Op == Opcode::AndImm && I->Rd == RegTarget &&
+        I->Imm == 0xfffffffcull)
+      Off += I->Length;
+    TryOff = Off;
+    if (RetryTarget == ~0ull)
+      RetryTarget = TryOff;
+    // baryread r12, [idx]
+    if (!expect(Off, Opcode::BaryRead,
+                [](const Instr &I) { return I.Rd == RegBranchID; },
+                "branch-ID read"))
+      return false;
+    // tableread r13, [r15]
+    if (!expect(Off, Opcode::TableRead,
+                [](const Instr &I) {
+                  return I.Rd == RegTargetID && I.Ra == RegTarget;
+                },
+                "target-ID read"))
+      return false;
+    // xor r11, r12, r13
+    if (!expect(Off, Opcode::Xor,
+                [](const Instr &I) {
+                  return I.Rd == RegIDDiff && I.Ra == RegBranchID &&
+                         I.Rb == RegTargetID;
+                },
+                "ID comparison"))
+      return false;
+    // jz r11, Go
+    uint64_t JzOff = Off;
+    const Instr *Jz = instrAt(Off);
+    if (!expect(Off, Opcode::Jz,
+                [](const Instr &I) { return I.Ra == RegIDDiff; },
+                "pass branch"))
+      return false;
+    uint64_t GoTarget = JzOff + Jz->Length + static_cast<int64_t>(Jz->Off);
+    // movi r11, 1 ; and r11, r11, r13 ; jz r11, Halt
+    if (!expect(Off, Opcode::MovImm,
+                [](const Instr &I) { return I.Rd == RegIDDiff && I.Imm == 1; },
+                "validity constant"))
+      return false;
+    if (!expect(Off, Opcode::And,
+                [](const Instr &I) {
+                  return I.Rd == RegIDDiff && I.Rb == RegTargetID;
+                },
+                "validity test"))
+      return false;
+    uint64_t JzHaltOff = Off;
+    const Instr *JzHalt = instrAt(Off);
+    if (!expect(Off, Opcode::Jz,
+                [](const Instr &I) { return I.Ra == RegIDDiff; },
+                "halt branch"))
+      return false;
+    uint64_t HaltTarget =
+        JzHaltOff + JzHalt->Length + static_cast<int64_t>(JzHalt->Off);
+    // xor ; andi 0xffff ; jnz Try
+    if (!expect(Off, Opcode::Xor,
+                [](const Instr &I) {
+                  return I.Rd == RegIDDiff && I.Ra == RegBranchID &&
+                         I.Rb == RegTargetID;
+                },
+                "version comparison"))
+      return false;
+    if (!expect(Off, Opcode::AndImm,
+                [](const Instr &I) {
+                  return I.Rd == RegIDDiff && I.Imm == 0xffffull;
+                },
+                "version mask"))
+      return false;
+    uint64_t JnzOff = Off;
+    const Instr *Jnz = instrAt(Off);
+    if (!expect(Off, Opcode::Jnz,
+                [](const Instr &I) { return I.Ra == RegIDDiff; },
+                "retry branch"))
+      return false;
+    uint64_t ActualRetry =
+        JnzOff + Jnz->Length + static_cast<int64_t>(Jnz->Off);
+    if (ActualRetry != RetryTarget) {
+      error(formatString("check sequence at 0x%llx: retry branch escapes "
+                         "the transaction",
+                         static_cast<unsigned long long>(SeqStart)));
+      return false;
+    }
+    // hlt
+    if (HaltTarget != Off) {
+      error(formatString("check sequence at 0x%llx: halt branch does not "
+                         "target the hlt",
+                         static_cast<unsigned long long>(SeqStart)));
+      return false;
+    }
+    if (!expect(Off, Opcode::Halt, nullptr, "hlt"))
+      return false;
+    // Skip alignment no-ops between the hlt and the branch (call return
+    // sites are pre-padded).
+    uint64_t Cursor = Off;
+    while (const Instr *I = instrAt(Cursor)) {
+      if (I->Op != Opcode::Nop)
+        break;
+      Cursor += I->Length;
+    }
+    if (GoTarget != Off && GoTarget != Cursor) {
+      error(formatString("check sequence at 0x%llx: pass branch does not "
+                         "target the transfer",
+                         static_cast<unsigned long long>(SeqStart)));
+      return false;
+    }
+    Off = Cursor;
+    return true;
+  }
+
+  void checkBranchSequences() {
+    for (const BranchSite &BS : Obj.Aux.BranchSites) {
+      SeqStart = BS.SeqStart;
+      uint64_t Off = BS.SeqStart;
+      uint64_t TryOff = 0;
+      bool Core = false;
+      switch (BS.Kind) {
+      case BranchKind::Return:
+        // pop r15
+        Core = expect(Off, Opcode::Pop,
+                      [](const Instr &I) { return I.Rd == RegTarget; },
+                      "pop of return address") &&
+               matchCheckCore(Off, TryOff, ~0ull);
+        break;
+      case BranchKind::IndirectCall:
+      case BranchKind::IndirectJump:
+        // mov r15, rX
+        Core = expect(Off, Opcode::Mov,
+                      [](const Instr &I) { return I.Rd == RegTarget; },
+                      "target staging move") &&
+               matchCheckCore(Off, TryOff, ~0ull);
+        break;
+      case BranchKind::PltJump: {
+        // movi r15, &got$sym ; load r15, [r15]
+        uint64_t Reload = Off;
+        Core = expect(Off, Opcode::MovImm,
+                      [](const Instr &I) { return I.Rd == RegTarget; },
+                      "GOT address") &&
+               expect(Off, Opcode::Load,
+                      [](const Instr &I) {
+                        return I.Rd == RegTarget && I.Ra == RegTarget &&
+                               I.Off == 0;
+                      },
+                      "GOT load") &&
+               matchCheckCore(Off, TryOff, Reload);
+        break;
+      }
+      }
+      if (!Core)
+        continue;
+      // The final transfer.
+      if (Off != BS.BranchOffset) {
+        error(formatString(
+            "branch site at 0x%llx: declared branch offset mismatch",
+            static_cast<unsigned long long>(BS.SeqStart)));
+        continue;
+      }
+      const Instr *Br = instrAt(Off);
+      Opcode Expected = BS.Kind == BranchKind::IndirectCall
+                            ? Opcode::CallInd
+                            : Opcode::JmpInd;
+      if (!Br || Br->Op != Expected || Br->Ra != RegTarget) {
+        error(formatString(
+            "branch site at 0x%llx: terminal branch is not %s via r15",
+            static_cast<unsigned long long>(BS.SeqStart),
+            Expected == Opcode::CallInd ? "calli" : "jmpi"));
+        continue;
+      }
+      CheckedBranchOffsets.insert(Off);
+      SeqSpans.emplace_back(BS.SeqStart, Off + Br->Length);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Jump tables
+  //===--------------------------------------------------------------------===//
+
+  void checkJumpTables() {
+    for (const JumpTableInfo &JT : Obj.Aux.JumpTables) {
+      const Instr *Jmp = instrAt(JT.JmpOffset);
+      if (!Jmp || Jmp->Op != Opcode::JmpInd) {
+        error(formatString("jump table: no jmpi at 0x%llx",
+                           static_cast<unsigned long long>(JT.JmpOffset)));
+        continue;
+      }
+      CheckedBranchOffsets.insert(JT.JmpOffset);
+      // Table entries must be the declared targets (stored as
+      // *absolute* addresses after relocation: base + declared offset,
+      // all within this module). The common base is recovered from the
+      // first entry and must place every target inside the module.
+      if (JT.Targets.empty()) {
+        error("jump table with no targets");
+        continue;
+      }
+      if (JT.TableOffset + 8 * JT.Targets.size() > Size) {
+        error("jump table extends past the module");
+        continue;
+      }
+      uint64_t First = 0;
+      for (unsigned B = 0; B != 8; ++B)
+        First |= static_cast<uint64_t>(Code[JT.TableOffset + B]) << (8 * B);
+      if (First < JT.Targets[0]) {
+        error("jump table entry below its declared target offset");
+        continue;
+      }
+      uint64_t Base = First - JT.Targets[0];
+      for (size_t E = 0; E != JT.Targets.size(); ++E) {
+        uint64_t V = 0;
+        for (unsigned B = 0; B != 8; ++B)
+          V |= static_cast<uint64_t>(Code[JT.TableOffset + 8 * E + B])
+               << (8 * B);
+        if (V != Base + JT.Targets[E]) {
+          error(formatString("jump table entry %zu does not match the "
+                             "declared target",
+                             E));
+          break;
+        }
+        if (JT.Targets[E] >= Size || !instrAt(JT.Targets[E])) {
+          error(formatString("jump table target %zu is not an instruction "
+                             "boundary",
+                             E));
+          break;
+        }
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Stores, strays, direct branches, alignment
+  //===--------------------------------------------------------------------===//
+
+  bool insideSeq(uint64_t Off) const {
+    for (const auto &[B, E] : SeqSpans)
+      if (Off > B && Off < E)
+        return true;
+    return false;
+  }
+
+  void checkStoresAndStrays() {
+    uint64_t PrevOff = ~0ull;
+    const Instr *Prev = nullptr;
+    for (const auto &[Off, I] : Instrs) {
+      if (I.Op == Opcode::Ret) {
+        error(formatString("bare ret at 0x%llx (must be rewritten)",
+                           static_cast<unsigned long long>(Off)));
+      }
+      if ((I.Op == Opcode::JmpInd || I.Op == Opcode::CallInd) &&
+          !CheckedBranchOffsets.count(Off)) {
+        error(formatString(
+            "unchecked indirect branch at 0x%llx",
+            static_cast<unsigned long long>(Off)));
+      }
+      if (isStore(I.Op) && I.Rd != RegSP) {
+        bool Masked = Prev && Prev->Op == Opcode::AndImm &&
+                      Prev->Rd == I.Rd && Prev->Imm == 0xffffffffull &&
+                      PrevOff + Prev->Length == Off;
+        if (!Masked)
+          error(formatString("unmasked memory write at 0x%llx",
+                             static_cast<unsigned long long>(Off)));
+        else
+          MaskedStoreOffsets.insert(Off);
+      }
+      PrevOff = Off;
+      Prev = &I;
+    }
+  }
+
+  void checkDirectBranchTargets() {
+    for (const auto &[Off, I] : Instrs) {
+      if (I.Op != Opcode::Jmp && I.Op != Opcode::Jz && I.Op != Opcode::Jnz &&
+          I.Op != Opcode::Call)
+        continue;
+      uint64_t Target = Off + I.Length + static_cast<int64_t>(I.Off);
+      // Direct calls/jumps may leave the module (cross-module direct
+      // calls after relocation); only intra-module targets are checked.
+      if (Target >= Size)
+        continue;
+      if (!instrAt(Target)) {
+        error(formatString("direct branch at 0x%llx targets a non-boundary",
+                           static_cast<unsigned long long>(Off)));
+        continue;
+      }
+      // A branch may not hop into the middle of a check transaction
+      // unless it is itself part of that transaction (the retry path).
+      if (insideSeq(Target) && !insideSeq(Off)) {
+        error(formatString("direct branch at 0x%llx enters a check "
+                           "sequence",
+                           static_cast<unsigned long long>(Off)));
+      }
+      // A branch may not target a masked store directly (bypassing the
+      // mask).
+      if (MaskedStoreOffsets.count(Target)) {
+        error(formatString("direct branch at 0x%llx bypasses a sandbox "
+                           "mask",
+                           static_cast<unsigned long long>(Off)));
+      }
+    }
+  }
+
+  void checkAlignment() {
+    for (const FunctionInfo &F : Obj.Aux.Functions) {
+      if (F.AddressTaken && (F.CodeOffset & 3))
+        error("address-taken function '" + F.Name + "' is not 4-aligned");
+    }
+    for (const CallSiteInfo &CS : Obj.Aux.CallSites) {
+      if (!CS.IsSetjmp && (CS.RetSiteOffset & 3))
+        error(formatString("return site at 0x%llx is not 4-aligned",
+                           static_cast<unsigned long long>(
+                               CS.RetSiteOffset)));
+    }
+  }
+
+  const uint8_t *Code;
+  size_t Size;
+  const MCFIObject &Obj;
+  VerifyResult Result;
+
+  std::map<uint64_t, Instr> Instrs;
+  std::unordered_map<uint64_t, const BranchSite *> SiteByBranchOffset;
+  std::unordered_map<uint64_t, const JumpTableInfo *> JTByJmpOffset;
+  std::vector<std::pair<uint64_t, uint64_t>> DataRanges;
+  std::vector<std::pair<uint64_t, uint64_t>> SeqRanges;
+  std::vector<std::pair<uint64_t, uint64_t>> SeqSpans;
+  std::unordered_set<uint64_t> CheckedBranchOffsets;
+  std::unordered_set<uint64_t> MaskedStoreOffsets;
+  uint64_t SeqStart = 0;
+};
+
+} // namespace
+
+VerifyResult mcfi::verifyModule(const uint8_t *Code, size_t Size,
+                                const MCFIObject &Obj) {
+  return VerifierImpl(Code, Size, Obj).run();
+}

@@ -1,0 +1,56 @@
+//===- verifier/Verifier.h - Modular MCFI verification ----------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The independent MCFI verifier (paper Sec. 7). It takes a loaded,
+/// relocated module, disassembles it completely (the auxiliary info makes
+/// complete disassembly possible: jump tables are identified, and all
+/// indirect-branch sequences are listed), and checks that:
+///
+///  - every byte decodes as part of exactly one instruction or a declared
+///    jump table;
+///  - no bare `ret` exists, and every `jmpi`/`calli` is the terminal
+///    branch of a declared check sequence whose instructions match the
+///    blessed Fig. 4 template (or a declared, bounds-checked jump-table
+///    dispatch whose table entries match the declared targets);
+///  - every memory write through a non-stack register is immediately
+///    preceded by the sandbox mask;
+///  - direct branches never jump into the middle of a check sequence or
+///    between a mask and its store (so the checks cannot be bypassed);
+///  - indirect-branch targets (address-taken function entries and return
+///    sites) are 4-byte aligned.
+///
+/// The verifier removes the rewriter from the trusted computing base: a
+/// module produced by *any* compiler is safe to load if it verifies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_VERIFIER_VERIFIER_H
+#define MCFI_VERIFIER_VERIFIER_H
+
+#include "module/MCFIObject.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+
+struct VerifyResult {
+  bool Ok = true;
+  std::vector<std::string> Errors;
+};
+
+/// Verifies the (relocated) code bytes of a module against its auxiliary
+/// info. \p Code/\p Size are the module's bytes as loaded; offsets in
+/// \p Obj are module-relative.
+VerifyResult verifyModule(const uint8_t *Code, size_t Size,
+                          const MCFIObject &Obj);
+
+} // namespace mcfi
+
+#endif // MCFI_VERIFIER_VERIFIER_H

@@ -1,0 +1,171 @@
+//===- visa/Assembler.cpp - Symbolic assembly and layout ------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "visa/Assembler.h"
+
+#include "support/Assert.h"
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+namespace {
+
+unsigned itemLength(const AsmItem &It, uint64_t Offset) {
+  switch (It.K) {
+  case AsmItem::Kind::Instr:
+    return opcodeLength(It.I.Op);
+  case AsmItem::Kind::Label:
+    return 0;
+  case AsmItem::Kind::Align4:
+    return static_cast<unsigned>((4 - (Offset + It.I.Imm) % 4) % 4);
+  case AsmItem::Kind::Align8:
+    return static_cast<unsigned>((8 - Offset % 8) % 8);
+  case AsmItem::Kind::Data64:
+    // Data64 runs are 8-aligned by an implicit pad on the first entry.
+    return static_cast<unsigned>((8 - Offset % 8) % 8) + 8;
+  }
+  mcfi_unreachable("covered switch");
+}
+
+void emitPad(unsigned N, std::vector<uint8_t> &Out) {
+  for (unsigned I = 0; I != N; ++I)
+    Out.push_back(static_cast<uint8_t>(Opcode::Nop));
+}
+
+} // namespace
+
+AssembledCode mcfi::visa::assemble(const std::vector<AsmFunction> &Functions) {
+  AssembledCode Result;
+  Result.LabelOffsets.resize(Functions.size());
+
+  // Pass 1: layout. Compute the offset of every item and every label.
+  // All instruction lengths are fixed by opcode and alignment padding
+  // depends only on preceding offsets, so a single in-order pass suffices.
+  uint64_t Offset = 0;
+  std::vector<uint64_t> FunctionStart(Functions.size());
+  std::vector<std::vector<uint64_t>> ItemOffset(Functions.size());
+  for (size_t F = 0; F != Functions.size(); ++F) {
+    Offset += (4 - Offset % 4) % 4; // align function entries
+    FunctionStart[F] = Offset;
+    Result.FunctionOffsets[Functions[F].Name] = Offset;
+    ItemOffset[F].reserve(Functions[F].Items.size());
+    for (const AsmItem &It : Functions[F].Items) {
+      unsigned Len = itemLength(It, Offset);
+      if (It.K == AsmItem::Kind::Data64)
+        ItemOffset[F].push_back(Offset + (Len - 8)); // datum position
+      else
+        ItemOffset[F].push_back(Offset);
+      if (It.K == AsmItem::Kind::Label)
+        Result.LabelOffsets[F][It.Label] = Offset;
+      Offset += Len;
+    }
+  }
+
+  // Pass 2: emit bytes, resolving local labels and intra-module calls.
+  for (size_t F = 0; F != Functions.size(); ++F) {
+    const AsmFunction &Fn = Functions[F];
+    const auto &Labels = Result.LabelOffsets[F];
+    emitPad(static_cast<unsigned>(FunctionStart[F] - Result.Bytes.size()),
+            Result.Bytes);
+    for (size_t N = 0; N != Fn.Items.size(); ++N) {
+      const AsmItem &It = Fn.Items[N];
+      uint64_t ItOff = ItemOffset[F][N];
+      switch (It.K) {
+      case AsmItem::Kind::Label:
+        break;
+      case AsmItem::Kind::Align4:
+      case AsmItem::Kind::Align8:
+        assert(ItOff == Result.Bytes.size() && "layout/emit divergence");
+        emitPad(itemLength(It, ItOff), Result.Bytes);
+        break;
+      case AsmItem::Kind::Data64: {
+        emitPad(static_cast<unsigned>(ItOff - Result.Bytes.size()),
+                Result.Bytes);
+        auto LIt = Labels.find(It.Label);
+        assert(LIt != Labels.end() && "jump-table entry to unknown label");
+        uint64_t Target = LIt->second;
+        // Stored as a module-relative offset; the loader adds the code
+        // base when the module is mapped.
+        for (unsigned B = 0; B != 8; ++B)
+          Result.Bytes.push_back(static_cast<uint8_t>(Target >> (8 * B)));
+        Result.Relocs.push_back(
+            {RelocKind::JumpTable64, ItOff, "", Target, 0});
+        break;
+      }
+      case AsmItem::Kind::Instr: {
+        assert(ItOff == Result.Bytes.size() && "layout/emit divergence");
+        Instr I = It.I;
+        unsigned Len = opcodeLength(I.Op);
+
+        // Resolve local branch targets.
+        if (It.Label >= 0 && It.Reloc == RelocKind::None &&
+            (I.Op == Opcode::Jmp || I.Op == Opcode::Jz ||
+             I.Op == Opcode::Jnz || I.Op == Opcode::Call)) {
+          auto LIt = Labels.find(It.Label);
+          assert(LIt != Labels.end() && "branch to unknown label");
+          I.Off = static_cast<int32_t>(static_cast<int64_t>(LIt->second) -
+                                       static_cast<int64_t>(ItOff + Len));
+        }
+
+        // Resolve direct calls to symbols defined in this module;
+        // otherwise leave a CallSym relocation for the linker.
+        if (It.Reloc == RelocKind::CallSym) {
+          assert((I.Op == Opcode::Call || I.Op == Opcode::Jmp) &&
+                 "CallSym on non-branch");
+          auto SIt = Result.FunctionOffsets.find(It.Symbol);
+          if (SIt != Result.FunctionOffsets.end()) {
+            I.Off = static_cast<int32_t>(static_cast<int64_t>(SIt->second) -
+                                         static_cast<int64_t>(ItOff + Len));
+          } else {
+            I.Off = 0;
+            Result.Relocs.push_back(
+                {RelocKind::CallSym, ItOff + 1, It.Symbol, 0, 0});
+          }
+        }
+
+        switch (It.Reloc) {
+        case RelocKind::None:
+        case RelocKind::CallSym:
+          break;
+        case RelocKind::FuncAddr64:
+        case RelocKind::GlobalAddr64:
+        case RelocKind::GotSlot64:
+          assert(I.Op == Opcode::MovImm && "addr reloc on non-movi");
+          Result.Relocs.push_back({It.Reloc, ItOff + 2, It.Symbol, I.Imm, 0});
+          break;
+        case RelocKind::BaryIndex32:
+          assert(I.Op == Opcode::BaryRead && "bary reloc on non-baryread");
+          Result.Relocs.push_back(
+              {RelocKind::BaryIndex32, ItOff + 2, "", 0, It.SiteId});
+          break;
+        case RelocKind::CodeAddr64: {
+          assert(I.Op == Opcode::MovImm && "code-addr reloc on non-movi");
+          auto LIt = Labels.find(It.Label);
+          assert(LIt != Labels.end() && "code-addr reloc to unknown label");
+          I.Imm = LIt->second; // module-relative until the loader adds base
+          Result.Relocs.push_back(
+              {RelocKind::CodeAddr64, ItOff + 2, "", LIt->second, 0});
+          break;
+        }
+        case RelocKind::JumpTable64:
+        case RelocKind::DataFuncAddr64:
+        case RelocKind::DataGlobalAddr64:
+          mcfi_unreachable("reloc kind not valid on instructions");
+        }
+
+        encode(I, Result.Bytes);
+        assert(Result.Bytes.size() == ItOff + Len && "encode length mismatch");
+        break;
+      }
+      }
+    }
+  }
+  // Trailing alignment so the next module in the code region starts clean.
+  emitPad(static_cast<unsigned>((4 - Result.Bytes.size() % 4) % 4),
+          Result.Bytes);
+  return Result;
+}

@@ -1,0 +1,542 @@
+//===- workload/Workload.cpp - Synthetic SPEC-profile workloads -----------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace mcfi;
+
+namespace {
+
+/// Incremental source builder.
+class Src {
+public:
+  void line(const std::string &S) {
+    Out += S;
+    Out += '\n';
+  }
+  void linef(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+void Src::linef(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int N = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string S(N > 0 ? static_cast<size_t>(N) : 0, '\0');
+  if (N > 0)
+    std::vsnprintf(S.data(), S.size() + 1, Fmt, Copy);
+  va_end(Copy);
+  line(S);
+}
+
+/// One function-pointer shape in the generated program.
+struct Shape {
+  unsigned Id;
+  unsigned LongParams;   ///< shapes 0..3: 1..4 long parameters
+  bool StructParam;      ///< shapes >= 4: (struct CtxN*, long)
+  unsigned StructFields; ///< field count of the context struct
+
+  std::string paramList() const {
+    if (StructParam)
+      return formatString("struct Ctx%u *c, long x", Id);
+    std::string P = "long a0";
+    for (unsigned I = 1; I != LongParams; ++I)
+      P += formatString(", long a%u", I);
+    return P;
+  }
+  std::string ptrType() const {
+    if (StructParam)
+      return formatString("long (*)(struct Ctx%u *, long)", Id);
+    std::string P = "long";
+    for (unsigned I = 1; I != LongParams; ++I)
+      P += ", long";
+    return "long (*)(" + P + ")";
+  }
+  /// Declares "long (*NAME[N])(params);" style arrays.
+  std::string arrayDecl(const std::string &Name, unsigned N) const {
+    if (StructParam)
+      return formatString("long (*%s[%u])(struct Ctx%u *, long);",
+                          Name.c_str(), N, Id);
+    std::string P = "long";
+    for (unsigned I = 1; I != LongParams; ++I)
+      P += ", long";
+    return formatString("long (*%s[%u])(%s);", Name.c_str(), N, P.c_str());
+  }
+  std::string callArgs(const std::string &X) const {
+    if (StructParam)
+      return "&ctx, " + X;
+    std::string A = X;
+    for (unsigned I = 1; I != LongParams; ++I)
+      A += formatString(", %s + %u", X.c_str(), I);
+    return A;
+  }
+};
+
+Shape makeShape(unsigned S) {
+  Shape Sh;
+  Sh.Id = S;
+  if (S < 4) {
+    Sh.LongParams = S + 1;
+    Sh.StructParam = false;
+    Sh.StructFields = 0;
+  } else {
+    Sh.LongParams = 0;
+    Sh.StructParam = true;
+    Sh.StructFields = S - 2; // distinct field counts => distinct types
+  }
+  return Sh;
+}
+
+class Generator {
+public:
+  Generator(const BenchProfile &P, WorkloadVariant Variant)
+      : P(P), Variant(Variant), Rand(P.Seed) {}
+
+  std::string run() {
+    for (unsigned I = 0; I != P.FnPtrTypes; ++I)
+      Shapes.push_back(makeShape(I));
+    WorkersPerShape = std::max(1u, P.Functions / std::max(1u, P.FnPtrTypes));
+    TakenPerShape =
+        std::max(1u, WorkersPerShape * P.AddressTakenPct / 100);
+
+    emitHeader();
+    emitWorkers();
+    emitVariadic();
+    emitTables();
+    emitDispatchers();
+    emitSwitches();
+    emitViolations();
+    emitMain();
+    return S.take();
+  }
+
+private:
+  void emitHeader() {
+    S.line("/* generated workload: " + P.Name + " */");
+    S.line("long g_acc = 0;");
+    for (const Shape &Sh : Shapes) {
+      if (!Sh.StructParam)
+        continue;
+      std::string Fields;
+      for (unsigned F = 0; F != Sh.StructFields; ++F)
+        Fields += formatString(" long f%u;", F);
+      S.linef("struct Ctx%u {%s };", Sh.Id, Fields.c_str());
+    }
+  }
+
+  /// Worker bodies: a short arithmetic mix whose length is WorkPerCall.
+  void emitBody(const Shape &Sh, unsigned J) {
+    S.line("  long v;");
+    if (Sh.StructParam) {
+      S.linef("  v = c->f0 + x * %u;", J + 3);
+    } else {
+      S.line("  v = a0;");
+      for (unsigned I = 1; I != Sh.LongParams; ++I)
+        S.linef("  v = v + a%u;", I);
+    }
+    if (P.WorkPerCall == 0) {
+      // Straight-line body: short, call-dominated functions (the
+      // perlbench/gcc end of the overhead spectrum).
+      S.linef("  v = v * 2654435761 + %u;", J + 1);
+      S.line("  v = v ^ (v >> 13);");
+    } else {
+      S.linef("  long i;");
+      S.linef("  for (i = 0; i < %u; i = i + 1) {", P.WorkPerCall);
+      S.linef("    v = v * 2654435761 + %u;", J + 1);
+      S.line("    v = v ^ (v >> 13);");
+      S.line("  }");
+    }
+    S.line("  return v;");
+  }
+
+  void emitWorkers() {
+    for (const Shape &Sh : Shapes) {
+      for (unsigned J = 0; J != WorkersPerShape; ++J) {
+        S.linef("long w%u_%u(%s) {", Sh.Id, J, Sh.paramList().c_str());
+        emitBody(Sh, J);
+        S.line("}");
+      }
+    }
+  }
+
+  void emitVariadic() {
+    for (unsigned I = 0; I != P.VariadicWorkers; ++I) {
+      // Alternate arity so the variadic fixed-prefix rule has targets
+      // with extended fixed-parameter lists.
+      if (I % 2 == 0)
+        S.linef("long vw%u(long a, ...) { return a * %u + 1; }", I, I + 3);
+      else
+        S.linef("long vw%u(long a, long b, ...) { return a * %u + b; }", I,
+                I + 3);
+    }
+    if (P.VariadicWorkers) {
+      S.line("long (*vfp)(long, ...) = vw0;");
+      S.line("long call_variadic(long x) { return vfp(x, x + 1, x + 2); }");
+    }
+  }
+
+  void emitTables() {
+    for (const Shape &Sh : Shapes)
+      S.line(Sh.arrayDecl(formatString("tab%u", Sh.Id), TakenPerShape));
+    S.line("void init_tables(void) {");
+    for (const Shape &Sh : Shapes)
+      for (unsigned J = 0; J != TakenPerShape; ++J)
+        S.linef("  tab%u[%u] = w%u_%u;", Sh.Id, J, Sh.Id, J);
+    S.line("}");
+  }
+
+  void emitDispatchers() {
+    for (const Shape &Sh : Shapes) {
+      S.linef("long disp%u(long x) {", Sh.Id);
+      if (Sh.StructParam) {
+        S.linef("  struct Ctx%u ctx;", Sh.Id);
+        S.linef("  ctx.f0 = x + 7;");
+      }
+      S.linef("  long xx = x;");
+      S.linef("  if (xx < 0) xx = -xx;");
+      S.linef("  return tab%u[xx %% %u](%s);", Sh.Id, TakenPerShape,
+              Sh.callArgs("x").c_str());
+      S.line("}");
+      // A direct-call chain of the same shape for the baseline mix.
+      S.linef("long direct%u(long x) {", Sh.Id);
+      if (Sh.StructParam) {
+        S.linef("  struct Ctx%u ctx;", Sh.Id);
+        S.linef("  ctx.f0 = x + 7;");
+      }
+      S.linef("  return w%u_0(%s);", Sh.Id, Sh.callArgs("x").c_str());
+      S.line("}");
+    }
+  }
+
+  void emitSwitches() {
+    for (unsigned W = 0; W != P.Switches; ++W) {
+      S.linef("long sw%u(long x) {", W);
+      S.line("  long xx = x; if (xx < 0) xx = -xx;");
+      S.line("  switch (xx % 8) {");
+      for (unsigned C = 0; C != 8; ++C)
+        S.linef("  case %u: return direct%u(x + %u);", C,
+                C % static_cast<unsigned>(Shapes.size()), W);
+      S.line("  default: return 0;");
+      S.line("  }");
+      S.line("}");
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Violation seeds (Tables 1 and 2)
+  //===--------------------------------------------------------------------===//
+
+  void emitViolations() {
+    bool NeedBase = P.Upcasts || P.Downcasts || P.MallocCasts ||
+                    P.NullUpdates || P.NfAccesses;
+    if (NeedBase) {
+      S.line("struct VBase { long tag; long val; };");
+      S.line("struct VDer { long tag; long val; long extra;"
+             " long (*fp)(long); };");
+      S.line("long use_base(struct VBase *b) { return b->val; }");
+    }
+
+    if (P.Upcasts) {
+      // main() passes "(struct VBase *)&vd" to do_downcasts when
+      // downcasts are seeded; that is itself one upcast, so emit one
+      // fewer here to keep the Table-1 counts exact.
+      unsigned Count = P.Upcasts - (P.Downcasts ? 1 : 0);
+      S.line("long do_upcasts(void) {");
+      S.line("  struct VDer d; d.tag = 1; d.val = 5; long r = 0;");
+      for (unsigned I = 0; I != Count; ++I)
+        S.linef("  r = r + use_base((struct VBase *)&d) + %u;", I);
+      S.line("  return r;");
+      S.line("}");
+    }
+
+    if (P.Downcasts) {
+      // Tag-checked downcasts (the DC discipline; the abstract tag
+      // "VBase" must be attested in AnalyzerConfig).
+      S.line("long do_downcasts(struct VBase *b) {");
+      S.line("  long r = 0;");
+      for (unsigned I = 0; I != P.Downcasts; ++I) {
+        S.linef("  if (b->tag == 1) { struct VDer *d%u ="
+                " (struct VDer *)b; r = r + d%u->extra; }",
+                I, I);
+      }
+      S.line("  return r;");
+      S.line("}");
+    }
+
+    if (P.MallocCasts) {
+      // Each malloc-result cast is one MF case; so is each free-argument
+      // cast (the paper counts both). Emit exactly P.MallocCasts casts.
+      S.line("long do_mallocs(void) {");
+      S.line("  long r = 0;");
+      unsigned Pairs = P.MallocCasts / 2;
+      for (unsigned I = 0; I != Pairs; ++I) {
+        S.linef("  struct VDer *m%u = (struct VDer *)malloc("
+                "sizeof(struct VDer));",
+                I);
+        S.linef("  m%u->val = %u; r = r + m%u->val; free(m%u);", I, I, I, I);
+      }
+      if (P.MallocCasts % 2) {
+        S.line("  struct VDer *modd = (struct VDer *)malloc("
+               "sizeof(struct VDer));");
+        S.line("  modd->val = 1; r = r + modd->val;");
+      }
+      S.line("  return r;");
+      S.line("}");
+    }
+
+    if (P.NullUpdates) {
+      S.line("void do_null_updates(void) {");
+      for (unsigned I = 0; I != P.NullUpdates; ++I)
+        S.linef("  long (*n%u)(long) = NULL; if (n%u) g_acc = g_acc + 1;", I,
+                I);
+      S.line("}");
+    }
+
+    if (P.NfAccesses) {
+      S.line("long do_nf(void *q) {");
+      S.line("  long r = 0;");
+      for (unsigned I = 0; I != P.NfAccesses; ++I)
+        S.linef("  r = r + ((struct VDer *)q)->val + %u;", I);
+      S.line("  return r;");
+      S.line("}");
+    }
+
+    // K1: a function pointer initialized with a function of an
+    // incompatible type. Raw variant leaves the violating cast; Fixed
+    // variant routes through a wrapper of the equivalent type (the
+    // paper's fix, e.g. the strcmp wrapper in gcc's splay tree).
+    if (P.K1Cases) {
+      S.line("typedef long (*K1Fn)(long);");
+      for (unsigned I = 0; I != P.K1Cases; ++I) {
+        S.linef("long k1_target%u(char *s) { return (long)s + %u; }", I, I);
+        if (Variant == WorkloadVariant::Raw) {
+          S.linef("K1Fn k1_ptr%u = (K1Fn)k1_target%u;", I, I);
+        } else {
+          S.linef("long k1_wrap%u(long x) { return k1_target%u((char *)x);"
+                  " }",
+                  I, I);
+          S.linef("K1Fn k1_ptr%u = k1_wrap%u;", I, I);
+        }
+      }
+    }
+
+    // K2: function pointers stashed through void* and recovered later.
+    // main() passes "(void *)&nf" to do_nf when NF accesses are seeded;
+    // that cast classifies as K2, so it consumes one unit of the budget.
+    if (P.K2Cases) {
+      unsigned Budget = P.K2Cases - (P.NfAccesses ? 1 : 0);
+      S.line("typedef long (*K2Fn)(long);");
+      S.line("void *k2_stash = NULL;");
+      S.linef("long k2_fn(long x) { return x * 31 + 7; }");
+      unsigned Pairs = (Budget + 1) / 2;
+      for (unsigned I = 0; I != Pairs; ++I) {
+        S.linef("void k2_save%u(void) { k2_stash = (void *)k2_fn; }", I);
+        if (2 * I + 1 < Budget)
+          S.linef("long k2_load%u(long x) { K2Fn f = (K2Fn)k2_stash;"
+                  " return f(x); }",
+                  I);
+      }
+    }
+  }
+
+  void emitMain() {
+    S.line("int main() {");
+    S.line("  init_tables();");
+    S.line("  long acc = 0;");
+    if (P.K2Cases && P.K2Cases - (P.NfAccesses ? 1 : 0) >= 1) {
+      S.line("  k2_save0();");
+      if (P.K2Cases - (P.NfAccesses ? 1 : 0) >= 2)
+        S.line("  acc = acc + k2_load0(3);");
+    }
+    S.line("  long it;");
+    S.linef("  for (it = 0; it < %u; it = it + 1) {", P.WorkIterations);
+    // Call mix: IndirectCallPct of the per-iteration calls go through
+    // dispatchers, the rest are direct. Ten call slots per iteration.
+    RNG Mix(P.Seed ^ 0xD15);
+    for (unsigned Slot = 0; Slot != 10; ++Slot) {
+      unsigned ShapeId =
+          static_cast<unsigned>(Mix.below(Shapes.size()));
+      if (Mix.chancePercent(P.IndirectCallPct))
+        S.linef("    acc = acc + disp%u(it + %u);", ShapeId, Slot);
+      else
+        S.linef("    acc = acc + direct%u(it + %u);", ShapeId, Slot);
+    }
+    for (unsigned W = 0; W != P.Switches; ++W)
+      S.linef("    acc = acc + sw%u(it + %u);", W, W);
+    if (P.VariadicWorkers)
+      S.line("    acc = acc + call_variadic(it);");
+    S.line("  }");
+    if (P.Upcasts)
+      S.line("  acc = acc + do_upcasts();");
+    if (P.Downcasts) {
+      S.line("  struct VDer vd; vd.tag = 1; vd.val = 3; vd.extra = 4;");
+      S.line("  acc = acc + do_downcasts((struct VBase *)&vd);");
+    }
+    if (P.MallocCasts)
+      S.line("  acc = acc + do_mallocs();");
+    if (P.NullUpdates)
+      S.line("  do_null_updates();");
+    if (P.NfAccesses) {
+      S.line("  struct VDer nf; nf.tag = 1; nf.val = 9;");
+      S.line("  acc = acc + do_nf((void *)&nf);");
+    }
+    S.line("  print_int(acc & 1048575);");
+    S.line("  return 0;");
+    S.line("}");
+  }
+
+  const BenchProfile &P;
+  WorkloadVariant Variant;
+  RNG Rand;
+  Src S;
+  std::vector<Shape> Shapes;
+  unsigned WorkersPerShape = 1;
+  unsigned TakenPerShape = 1;
+};
+
+} // namespace
+
+std::string mcfi::generateWorkload(const BenchProfile &Profile,
+                                   WorkloadVariant Variant) {
+  return Generator(Profile, Variant).run();
+}
+
+//===----------------------------------------------------------------------===//
+// SPEC-shaped profiles
+//===----------------------------------------------------------------------===//
+
+const std::vector<BenchProfile> &mcfi::specProfiles() {
+  // Violation mixes are the paper's Table 1 scaled by ~10; IB/IBT shape
+  // follows Table 3 (also ~10x down); dynamic knobs are calibrated so
+  // Fig. 5 lands in the paper's 0-12% per-benchmark range.
+  static const std::vector<BenchProfile> Profiles = [] {
+    std::vector<BenchProfile> V;
+    auto add = [&](const char *Name, unsigned Fns, unsigned Types,
+                   unsigned ATPct, unsigned Sw, unsigned Iter, unsigned WPC,
+                   unsigned ICP, unsigned UC, unsigned DC, unsigned MF,
+                   unsigned SU, unsigned NF, unsigned K1, unsigned K2) {
+      BenchProfile P;
+      P.Name = Name;
+      P.Functions = Fns;
+      P.FnPtrTypes = Types;
+      P.AddressTakenPct = ATPct;
+      P.Switches = Sw;
+      P.WorkIterations = Iter;
+      P.WorkPerCall = WPC;
+      P.IndirectCallPct = ICP;
+      P.Upcasts = UC;
+      P.Downcasts = DC;
+      P.MallocCasts = MF;
+      P.NullUpdates = SU;
+      P.NfAccesses = NF;
+      P.K1Cases = K1;
+      P.K2Cases = K2;
+      P.Seed = 0x5eed0000 + V.size();
+      V.push_back(std::move(P));
+    };
+    // WorkPerCall controls the indirect-branch density and therefore the
+    // per-benchmark overhead spread of Fig. 5: low values mean short,
+    // call-heavy functions (perlbench/gcc, ~8-11%); high values mean
+    // long numeric kernels (lbm/libquantum, <1%).
+    //   name        fns typ at% sw  iters  wpc icp  uc  dc  mf  su  nf k1 k2
+    add("perlbench", 150, 14, 70, 6, 22000,  0, 70, 51, 96, 23, 63, 32, 1, 22);
+    add("bzip2",      22,  3, 60, 2,  8000,  5, 20,  0,  0,  1,  1,  0, 0,  2);
+    add("gcc",       220, 18, 65, 8, 22000,  0, 65,  0,  0,  2, 74,  3, 3,  4);
+    add("mcf",        16,  3, 55, 1,  6000,  9, 15,  0,  0,  0,  0,  0, 0,  0);
+    add("gobmk",     180, 10, 75, 6, 18000,  1, 50,  0,  0,  0,  0,  0, 0,  0);
+    add("hmmer",      60,  7, 60, 3,  6000,  8, 25,  0,  0,  2,  0,  0, 0,  0);
+    add("sjeng",      30,  5, 60, 3, 20000,  0, 45,  0,  0,  0,  0,  0, 0,  0);
+    add("libquantum", 24,  4, 55, 2,  2600, 30, 15,  0,  0,  0,  0,  0, 1,  0);
+    add("h264ref",    90,  8, 65, 4, 16000,  1, 40,  1,  0,  1,  0,  0, 0,  0);
+    add("milc",       40,  6, 60, 2,  6000,  9, 20,  0,  0,  1,  0,  0, 0,  1);
+    add("lbm",        14,  3, 50, 1,  1300, 60,  8,  0,  0,  0,  0,  0, 0,  0);
+    add("sphinx3",    55,  6, 60, 3, 11000,  3, 30,  0,  0,  1,  1,  0, 0,  0);
+    return V;
+  }();
+  return Profiles;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime-support library (the MUSL stand-in)
+//===----------------------------------------------------------------------===//
+
+std::string mcfi::runtimeLibrarySource() {
+  return R"RT(/* rt: the separately-compiled runtime-support library */
+long rt_strlen(char *s) {
+  long n = 0;
+  while (s[n] != 0) n = n + 1;
+  return n;
+}
+
+long rt_strcmp(char *a, char *b) {
+  long i = 0;
+  while (a[i] != 0 && a[i] == b[i]) i = i + 1;
+  return (long)a[i] - (long)b[i];
+}
+
+/* The "CPU-specific assembly memcpy" of the paper's libc: inline
+   assembly with the C2-mandated type annotation. */
+void rt_memcpy(char *dst, char *src, long n) {
+  __asm__("rep movsb" : rt_memcpy = "void(char*,char*,long)");
+  long i;
+  for (i = 0; i < n; i = i + 1)
+    dst[i] = src[i];
+}
+
+long rt_abs(long x) {
+  if (x < 0) return -x;
+  return x;
+}
+
+long rt_hash(char *s) {
+  long h = 1469598103934665603;
+  long i = 0;
+  while (s[i] != 0) {
+    h = (h ^ s[i]) * 1099511628211;
+    i = i + 1;
+  }
+  return h;
+}
+
+/* Callback-driven insertion sort: a library API that makes indirect
+   calls into application code (cross-module return edges + indirect
+   call type matching). */
+void rt_sort(long *a, long n, long (*cmp)(long, long)) {
+  long i;
+  for (i = 1; i < n; i = i + 1) {
+    long key = a[i];
+    long j = i - 1;
+    while (j >= 0 && cmp(a[j], key) > 0) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = key;
+  }
+}
+
+/* Simple PRNG state shared through the library. */
+long rt_rand_state = 88172645463325252;
+long rt_rand(void) {
+  rt_rand_state = rt_rand_state ^ (rt_rand_state << 13);
+  rt_rand_state = rt_rand_state ^ (rt_rand_state >> 7);
+  rt_rand_state = rt_rand_state ^ (rt_rand_state << 17);
+  return rt_rand_state;
+}
+)RT";
+}

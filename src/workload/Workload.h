@@ -1,0 +1,94 @@
+//===- workload/Workload.h - Synthetic SPEC-profile workloads ---*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of MiniC programs that stand in for the
+/// SPECCPU2006 C benchmarks of the paper's evaluation. Each of the
+/// twelve profiles reproduces the *structural* characteristics the
+/// paper's results depend on:
+///
+///  - the number of functions / indirect branches / indirect-branch
+///    targets and the diversity of function-pointer types (Table 3's
+///    IBs / IBTs / EQCs shape);
+///  - the mix of C1 cast-violation patterns: upcasts, tag-guarded
+///    downcasts, malloc/free casts, NULL updates, non-fp accesses, and
+///    residual K1/K2 cases (Tables 1 and 2);
+///  - dynamic behaviour: call density and indirect-call frequency that
+///    put instrumentation overhead in the single-digit-percent regime
+///    (Figs. 5 and 6).
+///
+/// Absolute counts are scaled down (~10x) from the SPEC originals so the
+/// whole suite compiles and runs in seconds; relative shape is preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_WORKLOAD_WORKLOAD_H
+#define MCFI_WORKLOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+
+/// Structural profile of one synthetic benchmark.
+struct BenchProfile {
+  std::string Name;
+
+  unsigned Functions = 40;      ///< worker/dispatcher function count
+  unsigned FnPtrTypes = 6;      ///< distinct function-pointer shapes
+  unsigned AddressTakenPct = 60;///< % of workers that are address-taken
+  unsigned Switches = 2;        ///< switch statements (jump tables)
+  unsigned VariadicWorkers = 2; ///< variadic functions (prefix rule)
+
+  /// Dynamic knobs (Fig. 5/6): outer iterations of the main loop and
+  /// arithmetic work per call (higher = fewer indirect branches per
+  /// retired instruction = lower overhead).
+  unsigned WorkIterations = 4000;
+  unsigned WorkPerCall = 16;
+  unsigned IndirectCallPct = 30; ///< % of dispatch calls that are indirect
+
+  /// Table 1 violation seeds (counts of generated cast patterns).
+  unsigned Upcasts = 0;
+  unsigned Downcasts = 0;
+  unsigned MallocCasts = 0;
+  unsigned NullUpdates = 0;
+  unsigned NfAccesses = 0;
+  unsigned K1Cases = 0;
+  unsigned K2Cases = 0;
+
+  uint64_t Seed = 0x5eed;
+};
+
+/// What the generated source is for.
+enum class WorkloadVariant : uint8_t {
+  /// Runnable program with K1 cases *fixed* by wrapper functions (the
+  /// paper's post-fix benchmarks; verified + executed).
+  Fixed,
+  /// Program with raw violations left in, used for the analyzer tables
+  /// (the paper's pre-fix source). Still compiles; K1 sites are not
+  /// exercised at runtime.
+  Raw,
+};
+
+/// Generates the MiniC source for \p Profile.
+std::string generateWorkload(const BenchProfile &Profile,
+                             WorkloadVariant Variant);
+
+/// The twelve SPECCPU2006-shaped profiles (perlbench ... sphinx3),
+/// calibrated against the paper's Tables 1-3.
+const std::vector<BenchProfile> &specProfiles();
+
+/// MiniC source of the runtime-support library (the MUSL stand-in): a
+/// separately compiled module with string/memory helpers, a
+/// callback-driven sort, and an annotated inline-assembly memcpy
+/// (exercising condition C2).
+std::string runtimeLibrarySource();
+
+} // namespace mcfi
+
+#endif // MCFI_WORKLOAD_WORKLOAD_H

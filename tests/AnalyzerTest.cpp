@@ -1,0 +1,194 @@
+//===- tests/AnalyzerTest.cpp - C1/C2 analyzer rule tests ------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Focused tests for each false-positive elimination rule (UC, DC, MF,
+/// SU, NF) and the K1/K2 residual classification of paper Sec. 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+using namespace mcfi::minic;
+
+namespace {
+
+AnalysisReport analyze(const std::string &Src,
+                       const AnalyzerConfig &Config = {}) {
+  std::vector<std::string> Errors;
+  auto P = parseProgram(Src, Errors);
+  EXPECT_TRUE(P) << (Errors.empty() ? "?" : Errors.front());
+  if (!P)
+    return {};
+  EXPECT_TRUE(minic::analyze(*P, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  return analyzeConditions(*P, Config);
+}
+
+const char *Preamble = R"(
+  struct Base { long tag; long v; };
+  struct Der { long tag; long v; long (*fp)(long); };
+  long use(struct Base *b) { return b->v; }
+)";
+
+TEST(Analyzer, CleanProgramHasNoViolations) {
+  AnalysisReport R = analyze(R"(
+    long f(long x) { return x + 1; }
+    long (*p)(long) = f;
+    int main() { return (int)p(1); }
+  )");
+  EXPECT_EQ(R.VBE, 0u);
+  EXPECT_EQ(R.C2Count, 0u);
+}
+
+TEST(Analyzer, UpcastEliminated) {
+  AnalysisReport R = analyze(std::string(Preamble) + R"(
+    long f(void) {
+      struct Der d;
+      return use((struct Base *)&d);
+    }
+  )");
+  EXPECT_EQ(R.VBE, 1u);
+  EXPECT_EQ(R.UC, 1u);
+  EXPECT_EQ(R.VAE, 0u);
+}
+
+TEST(Analyzer, DowncastNeedsAttestedTag) {
+  // The downcast feeds a *function-pointer* use, so only the DC rule can
+  // eliminate it (NF would catch non-fp accesses on its own).
+  std::string Src = std::string(Preamble) + R"(
+    long f(struct Base *b) {
+      if (b->tag == 1) return ((struct Der *)b)->fp(1);
+      return 0;
+    }
+  )";
+  // Without attestation the downcast is a residual violation...
+  AnalysisReport Bare = analyze(Src);
+  EXPECT_EQ(Bare.DC, 0u);
+  EXPECT_EQ(Bare.VAE, 1u);
+  // ...with it, the DC rule eliminates it.
+  AnalyzerConfig Config;
+  Config.TaggedAbstractStructs.insert("Base");
+  AnalysisReport Attested = analyze(Src, Config);
+  EXPECT_EQ(Attested.DC, 1u);
+  EXPECT_EQ(Attested.VAE, 0u);
+}
+
+TEST(Analyzer, MallocAndFreeEliminated) {
+  AnalysisReport R = analyze(std::string(Preamble) + R"(
+    long f(void) {
+      struct Der *d = (struct Der *)malloc(sizeof(struct Der));
+      d->v = 1;
+      long r = d->v;
+      free(d);
+      return r;
+    }
+  )");
+  EXPECT_EQ(R.MF, 2u); // malloc-result cast + free-argument cast
+  EXPECT_EQ(R.VAE, 0u);
+}
+
+TEST(Analyzer, NullUpdateEliminated) {
+  AnalysisReport R = analyze(R"(
+    long (*g)(long) = NULL;
+    void reset(void) { g = NULL; }
+  )");
+  EXPECT_EQ(R.SU, 2u);
+  EXPECT_EQ(R.VAE, 0u);
+}
+
+TEST(Analyzer, NonFpFieldAccessEliminated) {
+  AnalysisReport R = analyze(std::string(Preamble) + R"(
+    long f(void *q) {
+      return ((struct Der *)q)->v; /* only the non-fp field is used */
+    }
+  )");
+  EXPECT_EQ(R.NF, 1u);
+  EXPECT_EQ(R.VAE, 0u);
+}
+
+TEST(Analyzer, FpFieldAccessAfterCastIsNotEliminated) {
+  AnalysisReport R = analyze(std::string(Preamble) + R"(
+    long f(void *q) {
+      return ((struct Der *)q)->fp(3); /* the fp field IS used */
+    }
+  )");
+  EXPECT_EQ(R.NF, 0u);
+  EXPECT_EQ(R.VAE, 1u);
+}
+
+TEST(Analyzer, K1FunctionConstantOfWrongType) {
+  AnalysisReport R = analyze(R"(
+    typedef long (*Fn)(long);
+    long victim(char *s) { return (long)s; }
+    Fn p = (Fn)victim;
+  )");
+  EXPECT_EQ(R.K1, 1u);
+  EXPECT_EQ(R.K2, 0u);
+}
+
+TEST(Analyzer, K2RoundTripThroughVoidStar) {
+  AnalysisReport R = analyze(R"(
+    typedef long (*Fn)(long);
+    long f(long x) { return x; }
+    void *stash;
+    void save(void) { stash = (void *)f; }
+    long load(long x) { Fn g = (Fn)stash; return g(x); }
+  )");
+  EXPECT_EQ(R.K1, 0u);
+  EXPECT_EQ(R.K2, 2u);
+}
+
+TEST(Analyzer, UnionWithFpFieldIsImplicitViolation) {
+  AnalysisReport R = analyze(R"(
+    union Pun { long (*fp)(long); long raw; };
+    long f(union Pun *p) { return p->fp(1); }
+    long g(union Pun *p) { return p->raw; }
+  )");
+  // Accessing the fp member of a punning union is the paper's "union
+  // type includes a function pointer field" case; the raw member alone
+  // is not.
+  EXPECT_EQ(R.VBE, 1u);
+  EXPECT_EQ(R.K2, 1u);
+}
+
+TEST(Analyzer, CompatibleFpCastIsNotAViolation) {
+  AnalysisReport R = analyze(R"(
+    typedef long (*Fn)(long);
+    long f(long x) { return x; }
+    Fn p = (Fn)f; /* cast to the SAME type: structurally equivalent */
+  )");
+  EXPECT_EQ(R.VBE, 0u);
+}
+
+TEST(Analyzer, IntCastsWithoutFpAreIgnored) {
+  AnalysisReport R = analyze(R"(
+    int main() {
+      long x = 5;
+      int y = (int)x;
+      char *p = (char *)x;
+      long z = (long)p;
+      return y + (int)z;
+    }
+  )");
+  EXPECT_EQ(R.VBE, 0u);
+}
+
+TEST(Analyzer, UnannotatedAsmIsC2Violation) {
+  AnalysisReport R = analyze(R"MC(
+    void f(void) { __asm__("cpuid"); }
+    void g(void) { __asm__("rep movsb" : g = "void(void)"); }
+  )MC");
+  ASSERT_EQ(R.C2.size(), 2u);
+  EXPECT_EQ(R.C2Count, 1u); // only the unannotated one violates C2
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+//===- tests/CfgTest.cpp - CFG generation tests ----------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests of the type-matching CFG generator and the signature matcher:
+/// equivalence-class structure, the variadic prefix rule, tail-call
+/// return propagation, and return/call separation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGGen.h"
+#include "cfg/SigMatch.h"
+#include "metrics/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Signature splitting / matching
+//===----------------------------------------------------------------------===//
+
+TEST(SigMatch, SplitBasics) {
+  FnSigParts P;
+  ASSERT_TRUE(splitFnSig("(i64,)->i64", P));
+  EXPECT_EQ(P.Params, std::vector<std::string>{"i64"});
+  EXPECT_FALSE(P.Variadic);
+  EXPECT_EQ(P.Ret, "i64");
+
+  ASSERT_TRUE(splitFnSig("()->v", P));
+  EXPECT_TRUE(P.Params.empty());
+
+  ASSERT_TRUE(splitFnSig("(i32,...)->i32", P));
+  EXPECT_TRUE(P.Variadic);
+  EXPECT_EQ(P.Params, std::vector<std::string>{"i32"});
+}
+
+TEST(SigMatch, SplitNestedFunctionPointerParams) {
+  FnSigParts P;
+  // void(void(*)(int), int) canonicalizes with a nested paren group.
+  ASSERT_TRUE(splitFnSig("(*(i32,)->v,i32,)->v", P));
+  ASSERT_EQ(P.Params.size(), 2u);
+  EXPECT_EQ(P.Params[0], "*(i32,)->v");
+  EXPECT_EQ(P.Params[1], "i32");
+}
+
+TEST(SigMatch, SplitRejectsNonFunctionSigs) {
+  FnSigParts P;
+  EXPECT_FALSE(splitFnSig("i64", P));
+  EXPECT_FALSE(splitFnSig("*(i64,)->i64", P));
+  EXPECT_FALSE(splitFnSig("(i64", P));
+  EXPECT_FALSE(splitFnSig("(i64,)->", P));
+}
+
+TEST(SigMatch, VariadicPrefixRule) {
+  EXPECT_TRUE(calleeSigMatches("(i64,...)->i64", true, "(i64,...)->i64"));
+  EXPECT_TRUE(calleeSigMatches("(i64,...)->i64", true, "(i64,i64,...)->i64"));
+  EXPECT_TRUE(calleeSigMatches("(i64,...)->i64", true, "(i64,*i8,)->i64"));
+  EXPECT_FALSE(calleeSigMatches("(i64,...)->i64", true, "(i32,)->i64"));
+  EXPECT_FALSE(calleeSigMatches("(i64,...)->i64", true, "(i64,)->v"));
+  EXPECT_FALSE(calleeSigMatches("(i64,)->i64", false, "(i64,i64,)->i64"));
+}
+
+//===----------------------------------------------------------------------===//
+// Policy structure (via compiled programs)
+//===----------------------------------------------------------------------===//
+
+CFGPolicy buildPolicy(const char *Source, bool TailCalls = true) {
+  BuildSpec Spec;
+  Spec.TailCalls = TailCalls;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  EXPECT_TRUE(BP.Ok) << BP.Error;
+  return BP.L->policy();
+}
+
+TEST(CFGGen, SameTypeFunctionsShareAClass) {
+  const char *Source = R"(
+    long a(long x) { return x; }
+    long b(long x) { return x + 1; }
+    long other(long x, long y) { return x + y; }
+    long (*p1)(long) = a;
+    long (*p2)(long) = b;
+    long (*q)(long, long) = other;
+    int main() { return (int)(p1(1) + p2(2) + q(1, 2)); }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  const CFGPolicy &Policy = BP.L->policy();
+
+  uint64_t A = BP.M->findFunction("a"), B = BP.M->findFunction("b"),
+           O = BP.M->findFunction("other");
+  ASSERT_TRUE(A && B && O);
+  // a and b share an equivalence class; other is in a different one.
+  EXPECT_EQ(Policy.getTaryECN(A), Policy.getTaryECN(B));
+  EXPECT_NE(Policy.getTaryECN(A), Policy.getTaryECN(O));
+}
+
+TEST(CFGGen, NonAddressTakenFunctionIsNotATarget) {
+  const char *Source = R"(
+    long used(long x) { return x; }
+    long hidden(long x) { return x; } /* same type, never address-taken */
+    long (*p)(long) = used;
+    int main() { return (int)p(1) + (int)hidden(2); }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  EXPECT_GE(BP.L->policy().getTaryECN(BP.M->findFunction("used")), 0);
+  EXPECT_EQ(BP.L->policy().getTaryECN(BP.M->findFunction("hidden")), -1);
+}
+
+TEST(CFGGen, ReturnSitesAndFunctionEntriesAreSeparateClasses) {
+  const char *Source = R"(
+    long cb(long x) { return x; }
+    long (*p)(long) = cb;
+    int main() { return (int)p(5); }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  const CFGPolicy &Policy = BP.L->policy();
+
+  uint64_t Entry = BP.M->findFunction("cb");
+  // Find a return site of a call in main.
+  uint64_t RetSite = 0;
+  for (const MappedModule &Mod : BP.M->modules())
+    for (const CallSiteInfo &CS : Mod.Obj->Aux.CallSites)
+      if (CS.Caller == "main" && !CS.IsSetjmp)
+        RetSite = Mod.CodeBase + CS.RetSiteOffset;
+  ASSERT_NE(RetSite, 0u);
+  ASSERT_GE(Policy.getTaryECN(Entry), 0);
+  ASSERT_GE(Policy.getTaryECN(RetSite), 0);
+  EXPECT_NE(Policy.getTaryECN(Entry), Policy.getTaryECN(RetSite));
+}
+
+TEST(CFGGen, TailCallsMergeReturnClasses) {
+  // f tail-calls g, so g's returns extend to f's return sites; with
+  // tail calls off, g returns only to its own callers. The tail-call
+  // build must therefore have <= as many classes.
+  const char *Source = R"(
+    long g(long x) { return x + 1; }
+    long f(long x) { return g(x); }   /* tail call when enabled */
+    int main() {
+      long a = f(1);
+      long b = g(2);
+      return (int)(a + b);
+    }
+  )";
+  CFGPolicy NoTail = buildPolicy(Source, /*TailCalls=*/false);
+  CFGPolicy Tail = buildPolicy(Source, /*TailCalls=*/true);
+  EXPECT_LE(Tail.NumEQCs, NoTail.NumEQCs);
+  EXPECT_LE(Tail.NumIBTs, NoTail.NumIBTs); // tail call has no ret site
+}
+
+TEST(CFGGen, VariadicPointerReachesPrefixTargets) {
+  const char *Source = R"(
+    long v1(long a, ...) { return a; }
+    long v2(long a, long b, ...) { return a + b; }
+    long fixed(long a, long b) { return a * b; }
+    long (*vp)(long, ...) = v1;
+    long (*keep)(long, long, ...) = v2; /* make v2 address-taken */
+    int main() { return (int)vp(1, 2, 3); }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  const CFGPolicy &Policy = BP.L->policy();
+  // The variadic call site's class contains both v1 and v2 (prefix
+  // rule), so their ECNs merged.
+  EXPECT_EQ(Policy.getTaryECN(BP.M->findFunction("v1")),
+            Policy.getTaryECN(BP.M->findFunction("v2")));
+  // fixed is not address-taken: not a target at all.
+  EXPECT_EQ(Policy.getTaryECN(BP.M->findFunction("fixed")), -1);
+}
+
+TEST(CFGGen, EmptyTargetSetsFailClosed) {
+  // An indirect call whose type matches no address-taken function gets a
+  // fresh ECN shared with no target.
+  const char *Source = R"(
+    long lonely(long a, long b, long c) { return a + b + c; }
+    int main() {
+      long (*p)(long, long, long) =
+          (long (*)(long, long, long))dlsym(-1, "nothing");
+      if (p) return (int)p(1, 2, 3);
+      return (int)lonely(1, 2, 3);
+    }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  const CFGPolicy &Policy = BP.L->policy();
+  bool FoundEmpty = false;
+  size_t ModIdx = 0;
+  for (const MappedModule &Mod : BP.M->modules()) {
+    uint32_t Base = Policy.SiteIndexBase[ModIdx++];
+    for (size_t S = 0; S != Mod.Obj->Aux.BranchSites.size(); ++S)
+      if (Mod.Obj->Aux.BranchSites[S].Kind == BranchKind::IndirectCall &&
+          Policy.BranchClassSize[Base + S] == 0) {
+        FoundEmpty = true;
+        EXPECT_GE(Policy.BranchECN[Base + S], 0); // fresh ECN, fails closed
+      }
+  }
+  EXPECT_TRUE(FoundEmpty);
+}
+
+TEST(CFGGen, StatsAreConsistent) {
+  for (size_t I = 0; I != 3; ++I) {
+    const BenchProfile &P = specProfiles()[I];
+    std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+    BuiltProgram BP = buildProgram({Source});
+    ASSERT_TRUE(BP.Ok) << BP.Error;
+    const CFGPolicy &Policy = BP.L->policy();
+    EXPECT_EQ(Policy.NumIBs, Policy.BranchECN.size());
+    EXPECT_EQ(Policy.NumIBTs, Policy.TargetECN.size());
+    EXPECT_GT(Policy.NumEQCs, 2u); // far beyond coarse-grained CFI
+    EXPECT_LE(Policy.NumEQCs, Policy.NumIBTs);
+    // Every IBT is 4-byte aligned (the Tary space optimization).
+    for (const auto &[Addr, ECN] : Policy.TargetECN)
+      EXPECT_EQ(Addr % 4, 0u);
+  }
+}
+
+} // namespace

@@ -1,0 +1,265 @@
+//===- tests/CtypesTest.cpp - C type system tests --------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ctypes/Layout.h"
+#include "ctypes/Type.h"
+#include "ctypes/TypeParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+
+namespace {
+
+class TypesFixture : public ::testing::Test {
+protected:
+  TypeContext Ctx;
+};
+
+//===----------------------------------------------------------------------===//
+// Interning and basic structure
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, ScalarInterning) {
+  EXPECT_EQ(Ctx.getInt32(), Ctx.getInt(32, true));
+  EXPECT_NE(Ctx.getInt32(), Ctx.getInt(32, false));
+  EXPECT_NE(Ctx.getInt32(), Ctx.getInt64());
+  EXPECT_EQ(Ctx.getPointer(Ctx.getInt32()), Ctx.getPointer(Ctx.getInt32()));
+  EXPECT_EQ(Ctx.getFunction(Ctx.getVoid(), {Ctx.getInt32()}, false),
+            Ctx.getFunction(Ctx.getVoid(), {Ctx.getInt32()}, false));
+  EXPECT_NE(Ctx.getFunction(Ctx.getVoid(), {Ctx.getInt32()}, false),
+            Ctx.getFunction(Ctx.getVoid(), {Ctx.getInt32()}, true));
+}
+
+TEST_F(TypesFixture, RecordsAreNominalPerTag) {
+  RecordType *A = Ctx.getRecord("A");
+  EXPECT_EQ(A, Ctx.getRecord("A"));
+  EXPECT_NE(A, Ctx.getRecord("B"));
+  EXPECT_NE(static_cast<Type *>(Ctx.getRecord("U", true)),
+            static_cast<Type *>(Ctx.getRecord("U", false)));
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equivalence (the paper's matching relation)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, EquivalenceUnfoldsRecordNames) {
+  // Two differently named structs with identical bodies are equivalent.
+  RecordType *A = Ctx.getRecord("NameA");
+  RecordType *B = Ctx.getRecord("NameB");
+  A->setFields({{"x", Ctx.getInt64()}, {"y", Ctx.getPointer(Ctx.getChar())}});
+  B->setFields({{"u", Ctx.getInt64()}, {"v", Ctx.getPointer(Ctx.getChar())}});
+  EXPECT_TRUE(Ctx.structurallyEquivalent(A, B));
+
+  RecordType *C = Ctx.getRecord("NameC");
+  C->setFields({{"x", Ctx.getInt32()}});
+  EXPECT_FALSE(Ctx.structurallyEquivalent(A, C));
+}
+
+TEST_F(TypesFixture, RecursiveRecordsCompareCoinductively) {
+  // struct L1 { long v; struct L1 *next; } ==
+  // struct L2 { long v; struct L2 *next; }
+  RecordType *L1 = Ctx.getRecord("L1");
+  RecordType *L2 = Ctx.getRecord("L2");
+  L1->setFields({{"v", Ctx.getInt64()}, {"next", Ctx.getPointer(L1)}});
+  L2->setFields({{"v", Ctx.getInt64()}, {"next", Ctx.getPointer(L2)}});
+  EXPECT_TRUE(Ctx.structurallyEquivalent(L1, L2));
+
+  // Mutually recursive pair unrolls to the same infinite tree as L1.
+  RecordType *M1 = Ctx.getRecord("M1");
+  RecordType *M2 = Ctx.getRecord("M2");
+  M1->setFields({{"v", Ctx.getInt64()}, {"next", Ctx.getPointer(M2)}});
+  M2->setFields({{"v", Ctx.getInt64()}, {"next", Ctx.getPointer(M1)}});
+  EXPECT_TRUE(Ctx.structurallyEquivalent(M1, M2));
+  EXPECT_TRUE(Ctx.structurallyEquivalent(L1, M1));
+}
+
+TEST_F(TypesFixture, EquivalenceIsAnEquivalenceRelation) {
+  std::vector<const Type *> Sample = {
+      Ctx.getInt32(),
+      Ctx.getInt64(),
+      Ctx.getPointer(Ctx.getInt64()),
+      Ctx.getFunction(Ctx.getInt64(), {Ctx.getInt64()}, false),
+      Ctx.getFunction(Ctx.getInt64(), {Ctx.getInt64()}, true),
+      Ctx.getPointer(
+          Ctx.getFunction(Ctx.getVoid(), {Ctx.getPointer(Ctx.getChar())},
+                          false)),
+      Ctx.getArray(Ctx.getInt32(), 4),
+  };
+  for (const Type *A : Sample) {
+    EXPECT_TRUE(Ctx.structurallyEquivalent(A, A)); // reflexive
+    for (const Type *B : Sample) {
+      EXPECT_EQ(Ctx.structurallyEquivalent(A, B),
+                Ctx.structurallyEquivalent(B, A)); // symmetric
+      for (const Type *C : Sample) {
+        if (Ctx.structurallyEquivalent(A, B) &&
+            Ctx.structurallyEquivalent(B, C)) {
+          EXPECT_TRUE(Ctx.structurallyEquivalent(A, C)); // transitive
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TypesFixture, UnionVsStructDiffer) {
+  RecordType *S = Ctx.getRecord("SU1");
+  RecordType *U = Ctx.getRecord("SU2", true);
+  S->setFields({{"x", Ctx.getInt64()}});
+  U->setFields({{"x", Ctx.getInt64()}});
+  EXPECT_FALSE(Ctx.structurallyEquivalent(S, U));
+}
+
+//===----------------------------------------------------------------------===//
+// The variadic matching rule (Sec. 6)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, VariadicPointerMatchesFixedPrefix) {
+  const auto *VarPtr = cast<FunctionType>(
+      Ctx.getFunction(Ctx.getInt32(), {Ctx.getInt32()}, true));
+  // "int (*)(int, ...)" may call any address-taken function whose return
+  // type is int and whose first parameter is int.
+  const auto *F1 = cast<FunctionType>(
+      Ctx.getFunction(Ctx.getInt32(), {Ctx.getInt32()}, true));
+  const auto *F2 = cast<FunctionType>(Ctx.getFunction(
+      Ctx.getInt32(), {Ctx.getInt32(), Ctx.getPointer(Ctx.getChar())},
+      false));
+  const auto *F3 = cast<FunctionType>(
+      Ctx.getFunction(Ctx.getInt32(), {Ctx.getInt64()}, false));
+  const auto *F4 = cast<FunctionType>(
+      Ctx.getFunction(Ctx.getVoid(), {Ctx.getInt32()}, false));
+  EXPECT_TRUE(Ctx.calleeMatchesPointer(VarPtr, F1));
+  EXPECT_TRUE(Ctx.calleeMatchesPointer(VarPtr, F2));
+  EXPECT_FALSE(Ctx.calleeMatchesPointer(VarPtr, F3)); // first param differs
+  EXPECT_FALSE(Ctx.calleeMatchesPointer(VarPtr, F4)); // return differs
+
+  // Non-variadic pointers require exact equivalence.
+  const auto *ExactPtr = cast<FunctionType>(
+      Ctx.getFunction(Ctx.getInt32(), {Ctx.getInt32()}, false));
+  EXPECT_FALSE(Ctx.calleeMatchesPointer(ExactPtr, F2));
+}
+
+//===----------------------------------------------------------------------===//
+// Physical subtyping (the UC rule's foundation)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, PhysicalSubtypePrefix) {
+  RecordType *Base = Ctx.getRecord("PBase");
+  RecordType *Der = Ctx.getRecord("PDer");
+  RecordType *Other = Ctx.getRecord("POther");
+  Base->setFields({{"tag", Ctx.getInt64()}, {"v", Ctx.getInt64()}});
+  Der->setFields({{"tag", Ctx.getInt64()},
+                  {"v", Ctx.getInt64()},
+                  {"extra", Ctx.getPointer(Ctx.getChar())}});
+  Other->setFields({{"tag", Ctx.getInt32()}});
+  EXPECT_TRUE(Ctx.isPhysicalSubtype(Der, Base));
+  EXPECT_FALSE(Ctx.isPhysicalSubtype(Base, Der));
+  EXPECT_TRUE(Ctx.isPhysicalSubtype(Base, Base));
+  EXPECT_FALSE(Ctx.isPhysicalSubtype(Der, Other));
+}
+
+//===----------------------------------------------------------------------===//
+// Function-pointer discovery
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, ContainsFunctionPointer) {
+  const Type *Fp =
+      Ctx.getPointer(Ctx.getFunction(Ctx.getVoid(), {}, false));
+  RecordType *WithFp = Ctx.getRecord("WithFp");
+  WithFp->setFields({{"v", Ctx.getInt64()}, {"cb", Fp}});
+  RecordType *Plain = Ctx.getRecord("Plain");
+  Plain->setFields({{"v", Ctx.getInt64()}});
+  RecordType *Rec = Ctx.getRecord("RecFp");
+  Rec->setFields({{"next", Ctx.getPointer(Rec)}, {"cb", Fp}});
+
+  EXPECT_TRUE(Fp->isFunctionPointer());
+  EXPECT_TRUE(WithFp->containsFunctionPointer());
+  EXPECT_FALSE(Plain->containsFunctionPointer());
+  EXPECT_TRUE(Rec->containsFunctionPointer());
+  EXPECT_TRUE(Ctx.getArray(Fp, 3)->containsFunctionPointer());
+}
+
+//===----------------------------------------------------------------------===//
+// Type parser
+//===----------------------------------------------------------------------===//
+
+struct ParseCase {
+  const char *Text;
+  const char *Printed; ///< expected print(), or nullptr if same as Text
+};
+
+class TypeParserTest : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(TypeParserTest, RoundTrips) {
+  TypeContext Ctx;
+  const ParseCase &C = GetParam();
+  std::string Err;
+  const Type *T = parseType(C.Text, Ctx, &Err);
+  ASSERT_TRUE(T) << C.Text << ": " << Err;
+  EXPECT_EQ(T->print(), C.Printed ? C.Printed : C.Text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TypeParserTest,
+    ::testing::Values(
+        ParseCase{"void", nullptr}, ParseCase{"int", nullptr},
+        ParseCase{"char", nullptr}, ParseCase{"long", nullptr},
+        ParseCase{"unsigned int", "unsigned int"},
+        ParseCase{"double", nullptr}, ParseCase{"int*", nullptr},
+        ParseCase{"char**", nullptr},
+        ParseCase{"void(*)(int)", nullptr},
+        ParseCase{"int(*)(int,...)", nullptr},
+        ParseCase{"long(*)(char*,char*)", nullptr},
+        ParseCase{"int(int,char*)", nullptr},
+        ParseCase{"struct Foo*", nullptr},
+        ParseCase{"long[16]", nullptr},
+        ParseCase{"void(*)(void(*)(int))", nullptr}));
+
+TEST(TypeParser, RejectsMalformed) {
+  TypeContext Ctx;
+  std::string Err;
+  EXPECT_EQ(parseType("", Ctx, &Err), nullptr);
+  EXPECT_EQ(parseType("notatype", Ctx, &Err), nullptr);
+  EXPECT_EQ(parseType("int(", Ctx, &Err), nullptr);
+  EXPECT_EQ(parseType("int(*)(", Ctx, &Err), nullptr);
+  EXPECT_EQ(parseType("unsigned void", Ctx, &Err), nullptr);
+  EXPECT_EQ(parseType("int[x]", Ctx, &Err), nullptr);
+  EXPECT_EQ(parseType("int junk", Ctx, &Err), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Layout
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, ScalarSizes) {
+  EXPECT_EQ(sizeOf(Ctx.getChar()), 1u);
+  EXPECT_EQ(sizeOf(Ctx.getInt(16)), 2u);
+  EXPECT_EQ(sizeOf(Ctx.getInt32()), 4u);
+  EXPECT_EQ(sizeOf(Ctx.getInt64()), 8u);
+  EXPECT_EQ(sizeOf(Ctx.getPointer(Ctx.getVoid())), 8u);
+  EXPECT_EQ(sizeOf(Ctx.getArray(Ctx.getInt32(), 10)), 40u);
+}
+
+TEST_F(TypesFixture, StructLayoutWithPadding) {
+  RecordType *S = Ctx.getRecord("LayoutS");
+  S->setFields({{"c", Ctx.getChar()},
+                {"i", Ctx.getInt32()},
+                {"p", Ctx.getPointer(Ctx.getVoid())}});
+  EXPECT_EQ(fieldOffset(S, 0), 0u);
+  EXPECT_EQ(fieldOffset(S, 1), 4u); // aligned to 4
+  EXPECT_EQ(fieldOffset(S, 2), 8u); // aligned to 8
+  EXPECT_EQ(sizeOf(S), 16u);
+}
+
+TEST_F(TypesFixture, UnionLayout) {
+  RecordType *U = Ctx.getRecord("LayoutU", true);
+  U->setFields({{"c", Ctx.getChar()}, {"arr", Ctx.getArray(Ctx.getInt64(), 3)}});
+  EXPECT_EQ(fieldOffset(U, 0), 0u);
+  EXPECT_EQ(fieldOffset(U, 1), 0u);
+  EXPECT_EQ(sizeOf(U), 24u);
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+//===- tests/DynlinkTest.cpp - Dynamic linking tests ----------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the paper's headline capability: dynamically linking
+/// separately instrumented libraries into a running, multithreaded
+/// program, with the CFG policy updated through check/update
+/// transactions. Covers the three dlopen steps, PLT/GOT behaviour,
+/// cross-module control flow, and concurrency between executing threads
+/// and the dynamic linker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+#include "toolchain/Toolchain.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace mcfi;
+
+namespace {
+
+const char *PluginSource = R"(
+long plugin_fn(long x) { return x * 10 + 1; }
+long plugin_cb(long (*cb)(long), long v) { return cb(v) + 1000; }
+/* dlsym hands out plugin_fn's address, so the plugin must mark it
+   address-taken -- under MCFI only address-taken functions are legal
+   indirect-call targets. */
+long (*plugin_exports)(long) = plugin_fn;
+)";
+
+const char *HostSource = R"(
+long plugin_fn(long x);
+long plugin_cb(long (*cb)(long), long v);
+long local_cb(long x) { return x + 5; }
+int main() {
+  long h = dlopen(0);
+  if (h < 0) { print_str("dlopen failed\n"); return 1; }
+  print_int(plugin_fn(4));                 /* via PLT */
+  print_int(plugin_cb(local_cb, 7));       /* plugin calls back into main */
+  long (*f)(long) = (long (*)(long))dlsym(h, "plugin_fn");
+  if (f) print_int(f(9));                  /* via dlsym'd pointer */
+  return 0;
+}
+)";
+
+struct DynProgram {
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<Linker> L;
+  bool Ok = false;
+  std::string Error;
+};
+
+DynProgram buildDynamic(const std::string &Host, const std::string &Plugin) {
+  DynProgram D;
+  CompileOptions HostCO;
+  HostCO.ModuleName = "host";
+  HostCO.EmitPlt = true;
+  CompileResult HostCR = compileModule(Host, HostCO);
+  if (!HostCR.Ok) {
+    D.Error = HostCR.Errors.empty() ? "host compile" : HostCR.Errors.front();
+    return D;
+  }
+  CompileOptions PlugCO;
+  PlugCO.ModuleName = "plugin";
+  CompileResult PlugCR = compileModule(Plugin, PlugCO);
+  if (!PlugCR.Ok) {
+    D.Error =
+        PlugCR.Errors.empty() ? "plugin compile" : PlugCR.Errors.front();
+    return D;
+  }
+
+  D.M = std::make_unique<Machine>();
+  D.L = std::make_unique<Linker>(*D.M);
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(HostCR.Obj));
+  if (!D.L->linkProgram(std::move(Objs), D.Error))
+    return D;
+  D.L->registerLibrary(std::move(PlugCR.Obj));
+  D.Ok = true;
+  return D;
+}
+
+TEST(Dynlink, DlopenPltAndDlsym) {
+  DynProgram D = buildDynamic(HostSource, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  uint32_t VersionBefore = D.M->tables().currentVersion();
+
+  RunResult R = runProgram(*D.M);
+  EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+  EXPECT_EQ(D.M->takeOutput(), "41\n1012\n91\n");
+  // dlopen executed an update transaction: the CFG version advanced.
+  EXPECT_GT(D.M->tables().currentVersion(), VersionBefore);
+}
+
+TEST(Dynlink, CallingImportBeforeDlopenFailsClosed) {
+  const char *Eager = R"(
+    long plugin_fn(long x);
+    int main() {
+      print_int(plugin_fn(4)); /* library not loaded: GOT is empty */
+      return 0;
+    }
+  )";
+  DynProgram D = buildDynamic(Eager, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  RunResult R = runProgram(*D.M);
+  // The PLT check transaction reads an invalid target ID and halts.
+  EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
+}
+
+TEST(Dynlink, HijackedGotEntryIsBlocked) {
+  // Even though the GOT lives in writable data, corrupting it cannot
+  // redirect the PLT jump to a non-IBT (the PLT jump is checked).
+  const char *LoopingHost = R"(
+    long plugin_fn(long x);
+    int main() {
+      if (dlopen(0) < 0) return 1;
+      long acc = 0;
+      long i;
+      for (i = 0; i < 1000000; i = i + 1)
+        acc = acc + plugin_fn(i);
+      print_int(acc & 255);
+      return 0;
+    }
+  )";
+  DynProgram D = buildDynamic(LoopingHost, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  Thread T;
+  ASSERT_TRUE(D.M->makeThread("_start", T));
+  // Run until mid-loop (GOT already resolved), then corrupt it.
+  RunResult Mid = D.M->run(T, 300'000);
+  ASSERT_EQ(Mid.Reason, StopReason::OutOfFuel) << Mid.Message;
+  uint64_t GotAddr = 0;
+  for (const MappedModule &Mod : D.M->modules()) {
+    auto It = Mod.Obj->DataSymbols.find("got$plugin_fn");
+    if (It != Mod.Obj->DataSymbols.end())
+      GotAddr = Mod.DataBase + It->second;
+  }
+  ASSERT_NE(GotAddr, 0u);
+  ASSERT_TRUE(D.M->store(GotAddr, 8, D.M->findFunction("plugin_fn") + 2));
+  RunResult R = D.M->run(T, ~0ull);
+  EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
+}
+
+TEST(Dynlink, SecondDlopenExtendsPolicy) {
+  const char *Host = R"(
+    long plugin_fn(long x);
+    long extra_fn(long x);
+    int main() {
+      if (dlopen(0) < 0) return 1;
+      print_int(plugin_fn(1));
+      if (dlopen(1) < 0) return 2;
+      print_int(extra_fn(1));
+      return 0;
+    }
+  )";
+  const char *Extra = "long extra_fn(long x) { return x + 77; }";
+
+  CompileOptions HostCO;
+  HostCO.ModuleName = "host";
+  HostCO.EmitPlt = true;
+  CompileResult HostCR = compileModule(Host, HostCO);
+  ASSERT_TRUE(HostCR.Ok) << HostCR.Errors.front();
+  CompileResult Plug1 = compileModule(PluginSource, {.ModuleName = "p1"});
+  ASSERT_TRUE(Plug1.Ok);
+  CompileResult Plug2 = compileModule(Extra, {.ModuleName = "p2"});
+  ASSERT_TRUE(Plug2.Ok);
+
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(HostCR.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  L.registerLibrary(std::move(Plug1.Obj));
+  L.registerLibrary(std::move(Plug2.Obj));
+
+  RunResult R = runProgram(M);
+  EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+  EXPECT_EQ(M.takeOutput(), "11\n78\n");
+  // Two dlopens + the initial install = at least 3 update transactions.
+  EXPECT_GE(M.tables().updateCount(), 3u);
+}
+
+TEST(Dynlink, ConcurrentThreadsDuringDlopen) {
+  // The paper's central concurrency scenario: user threads execute
+  // check transactions while another thread dynamically links a
+  // library. The spinning thread's indirect calls must keep passing
+  // (retrying across the update), never spuriously halting.
+  const char *Host = R"(
+    long plugin_fn(long x);
+    long w0(long x) { return x + 1; }
+    long w1(long x) { return x * 2; }
+    long (*tab[2])(long);
+    void spinner(void) {
+      tab[0] = w0;
+      tab[1] = w1;
+      long acc = 0;
+      long i = 0;
+      while (1) {
+        acc = acc + tab[i & 1](i);
+        i = i + 1;
+      }
+    }
+    int main() { return 0; }
+  )";
+  DynProgram D = buildDynamic(Host, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  // The spinner runs forever; drive it in fuel slices on another host
+  // thread while this thread performs the dynamic link.
+  Thread T;
+  ASSERT_TRUE(D.M->makeThread("spinner", T));
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Violated{false};
+  std::thread Guest([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      RunResult R = D.M->run(T, 500'000);
+      if (R.Reason != StopReason::OutOfFuel) {
+        Violated.store(R.Reason == StopReason::CfiViolation);
+        break;
+      }
+    }
+  });
+
+  // Dynamically link the plugin while the guest thread runs, several
+  // times the machinery: repeated full-policy reinstalls also exercise
+  // version bumps racing the spinner's check transactions.
+  int64_t Handle = D.L->dlopen(0);
+  EXPECT_GE(Handle, 0) << D.L->lastError();
+  for (int I = 0; I != 20 && !Violated.load(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  Stop.store(true);
+  Guest.join();
+  EXPECT_FALSE(Violated.load())
+      << "a check transaction failed during dynamic linking";
+  // The newly linked code is callable.
+  EXPECT_NE(D.M->findFunction("plugin_fn"), 0u);
+}
+
+} // namespace

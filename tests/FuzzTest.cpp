@@ -1,0 +1,115 @@
+//===- tests/FuzzTest.cpp - Randomized end-to-end properties --------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Randomized end-to-end properties over generator-produced programs:
+/// for every random profile, the instrumented build must (a) verify,
+/// (b) produce byte-identical output to the unprotected baseline, and
+/// (c) never trap or CFI-halt. This is the strongest single invariant
+/// in the suite: instrumentation is behaviour-preserving on benign
+/// programs across the whole pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+#include "support/RNG.h"
+#include "verifier/Verifier.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+
+namespace {
+
+BenchProfile randomProfile(uint64_t Seed) {
+  RNG R(Seed);
+  BenchProfile P;
+  P.Name = "fuzz" + std::to_string(Seed);
+  P.Functions = static_cast<unsigned>(R.range(4, 60));
+  P.FnPtrTypes = static_cast<unsigned>(R.range(1, 9));
+  P.AddressTakenPct = static_cast<unsigned>(R.range(20, 100));
+  P.Switches = static_cast<unsigned>(R.range(0, 4));
+  P.VariadicWorkers = static_cast<unsigned>(R.range(0, 3));
+  P.WorkIterations = static_cast<unsigned>(R.range(3, 40));
+  P.WorkPerCall = static_cast<unsigned>(R.range(0, 6));
+  P.IndirectCallPct = static_cast<unsigned>(R.range(0, 100));
+  P.Upcasts = static_cast<unsigned>(R.range(0, 4));
+  P.Downcasts = static_cast<unsigned>(R.range(0, 4));
+  P.MallocCasts = static_cast<unsigned>(R.range(0, 4));
+  P.NullUpdates = static_cast<unsigned>(R.range(0, 4));
+  P.NfAccesses = static_cast<unsigned>(R.range(0, 4));
+  P.K1Cases = static_cast<unsigned>(R.range(0, 3));
+  P.K2Cases = static_cast<unsigned>(R.range(0, 5));
+  if (P.NfAccesses && !P.K2Cases)
+    P.K2Cases = 1; // the NF driver consumes one K2 budget unit
+  P.Seed = Seed * 7919 + 13;
+  return P;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPipeline, InstrumentationPreservesBehaviour) {
+  BenchProfile P = randomProfile(GetParam());
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+
+  std::string OutBase, OutInst;
+  Measured Base = runProfile(P, /*Instrument=*/false, &OutBase);
+  ASSERT_EQ(Base.Result.Reason, StopReason::Exited)
+      << P.Name << ": " << Base.Result.Message;
+  Measured Inst = runProfile(P, /*Instrument=*/true, &OutInst);
+  ASSERT_EQ(Inst.Result.Reason, StopReason::Exited)
+      << P.Name << ": " << Inst.Result.Message;
+  EXPECT_EQ(OutBase, OutInst) << P.Name;
+}
+
+TEST_P(FuzzPipeline, ModulesVerifyAndRoundTrip) {
+  BenchProfile P = randomProfile(GetParam() ^ 0xF00D);
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+  CompileResult CR = compileModule(Source, {.ModuleName = P.Name});
+  ASSERT_TRUE(CR.Ok) << (CR.Errors.empty() ? "?" : CR.Errors.front());
+
+  // Verify the standalone module.
+  VerifyResult VR =
+      verifyModule(CR.Obj.Code.data(), CR.Obj.Code.size(), CR.Obj);
+  EXPECT_TRUE(VR.Ok) << P.Name << ": "
+                     << (VR.Errors.empty() ? "?" : VR.Errors.front());
+
+  // Serialization round trip preserves the bytes.
+  MCFIObject Back;
+  ASSERT_TRUE(readObject(writeObject(CR.Obj), Back));
+  EXPECT_EQ(Back.Code, CR.Obj.Code);
+  EXPECT_EQ(Back.Aux.BranchSites.size(), CR.Obj.Aux.BranchSites.size());
+}
+
+TEST_P(FuzzPipeline, MaskAlignVariantAlsoWorks) {
+  BenchProfile P = randomProfile(GetParam() ^ 0xA11A);
+  P.WorkIterations = 5;
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+
+  CompileOptions CO;
+  CO.ModuleName = P.Name;
+  CO.MaskAlignTargets = true;
+  CompileResult CR = compileModule(Source, CO);
+  ASSERT_TRUE(CR.Ok);
+  VerifyResult VR =
+      verifyModule(CR.Obj.Code.data(), CR.Obj.Code.size(), CR.Obj);
+  EXPECT_TRUE(VR.Ok) << (VR.Errors.empty() ? "?" : VR.Errors.front());
+
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(CR.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  RunResult R = runProgram(M);
+  EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

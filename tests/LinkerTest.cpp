@@ -1,0 +1,237 @@
+//===- tests/LinkerTest.cpp - Static linker tests --------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for relocation resolution, symbol binding across modules,
+/// bootstrap synthesis, Bary-index patching, and link-failure paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tables/ID.h"
+#include "toolchain/Toolchain.h"
+#include "visa/ISA.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+
+namespace {
+
+CompileResult mustCompile(const char *Src, const char *Name,
+                          bool EmitPlt = false) {
+  CompileOptions CO;
+  CO.ModuleName = Name;
+  CO.EmitPlt = EmitPlt;
+  CompileResult CR = compileModule(Src, CO);
+  EXPECT_TRUE(CR.Ok) << (CR.Errors.empty() ? "?" : CR.Errors.front());
+  return CR;
+}
+
+TEST(Linker, UnresolvedDirectCallFailsLink) {
+  CompileResult Main = mustCompile(R"(
+    long missing(long x);
+    int main() { return (int)missing(1); }
+  )",
+                                   "main");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Main.Obj));
+  EXPECT_FALSE(L.linkProgram(std::move(Objs), Err));
+  EXPECT_NE(Err.find("missing"), std::string::npos);
+}
+
+TEST(Linker, UnresolvedAddressTakenImportFailsLink) {
+  CompileResult Main = mustCompile(R"(
+    long missing(long x);
+    long (*p)(long) = missing;
+    int main() { return 0; }
+  )",
+                                   "main");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Main.Obj));
+  EXPECT_FALSE(L.linkProgram(std::move(Objs), Err));
+}
+
+TEST(Linker, MissingMainStillLinksButCannotRun) {
+  CompileResult Lib = mustCompile("long f(long x) { return x; }", "lib");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Lib.Obj));
+  // The bootstrap's "call main" cannot resolve.
+  EXPECT_FALSE(L.linkProgram(std::move(Objs), Err));
+  EXPECT_NE(Err.find("main"), std::string::npos);
+}
+
+TEST(Linker, CrossModuleDirectCallsResolve) {
+  CompileResult A = mustCompile(R"(
+    long from_b(long x);
+    long from_a(long x) { return from_b(x) + 1; }
+    int main() { print_int(from_a(10)); return 0; }
+  )",
+                                "a");
+  CompileResult B = mustCompile("long from_b(long x) { return x * 2; }",
+                                "b");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(A.Obj));
+  Objs.push_back(std::move(B.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  RunResult R = runProgram(M);
+  EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+  EXPECT_EQ(M.takeOutput(), "21\n");
+}
+
+TEST(Linker, DataRelocationsAcrossGlobals) {
+  CompileResult Main = mustCompile(R"(
+    long value = 7;
+    char *msg = "hi";
+    long f(long x) { return x + value; }
+    long (*fp)(long) = f;
+    int main() {
+      print_str(msg);
+      print_str("\n");
+      print_int(fp(3));
+      return 0;
+    }
+  )",
+                                   "main");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Main.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  RunResult R = runProgram(M);
+  EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+  EXPECT_EQ(M.takeOutput(), "hi\n10\n");
+}
+
+TEST(Linker, BaryIndexesPatchedConsistently) {
+  // After linking, every BaryRead site must carry a Bary index whose
+  // installed branch ID matches the policy's ECN for that site.
+  CompileResult Main = mustCompile(R"(
+    long a(long x) { return x; }
+    long (*p)(long) = a;
+    int main() { return (int)p(1); }
+  )",
+                                   "main");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Main.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  const CFGPolicy &Policy = L.policy();
+
+  size_t Checked = 0;
+  for (size_t Idx = 0; Idx != M.modules().size(); ++Idx) {
+    const MappedModule &Mod = M.modules()[Idx];
+    uint32_t Base = Policy.SiteIndexBase[Idx];
+    for (const visa::RelocEntry &R : Mod.Obj->Relocs) {
+      if (R.Kind != visa::RelocKind::BaryIndex32)
+        continue;
+      // Decode the patched BaryRead and compare against the policy.
+      const uint8_t *Code = M.codePtr(Mod.CodeBase + R.Offset - 2, 8);
+      ASSERT_NE(Code, nullptr);
+      visa::Instr I;
+      ASSERT_TRUE(visa::decode(Code, 8, 0, I));
+      ASSERT_EQ(I.Op, visa::Opcode::BaryRead);
+      uint32_t GlobalIndex = static_cast<uint32_t>(I.Imm);
+      EXPECT_EQ(GlobalIndex, Base + R.SiteId);
+      int64_t ECN = Policy.getBaryECN(GlobalIndex);
+      uint32_t ID = M.tables().baryRead(GlobalIndex);
+      ASSERT_GE(ECN, 0);
+      EXPECT_TRUE(isValidID(ID));
+      EXPECT_EQ(idECN(ID), static_cast<uint32_t>(ECN));
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(Linker, SiteIndexBasesAreStableAcrossDlopen) {
+  CompileResult Main = mustCompile(R"(
+    long f(long x) { return x; }
+    long (*p)(long) = f;
+    int main() { return (int)p(1); }
+  )",
+                                   "main");
+  CompileResult Lib =
+      mustCompile("long extra(long x) { return x + 1; }", "lib");
+
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Main.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  std::vector<uint32_t> Before = L.policy().SiteIndexBase;
+
+  L.registerLibrary(std::move(Lib.Obj));
+  ASSERT_GE(L.dlopen(0), 0) << L.lastError();
+  const std::vector<uint32_t> &After = L.policy().SiteIndexBase;
+
+  // Existing modules keep their (already-sealed) index bases; the new
+  // module appends.
+  ASSERT_EQ(After.size(), Before.size() + 1);
+  for (size_t I = 0; I != Before.size(); ++I)
+    EXPECT_EQ(After[I], Before[I]);
+}
+
+TEST(Linker, BaselineLinkSkipsPolicy) {
+  CompileOptions CO;
+  CO.ModuleName = "main";
+  CO.Instrument = false;
+  CompileResult Main = compileModule("int main() { return 5; }", CO);
+  ASSERT_TRUE(Main.Ok);
+
+  Machine M;
+  LinkOptions LO;
+  LO.Verify = false;
+  LO.InstallPolicy = false;
+  LO.InstrumentBootstrap = false;
+  Linker L(M, LO);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(Main.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  EXPECT_EQ(M.tables().updateCount(), 0u); // no policy installed
+  RunResult R = runProgram(M);
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST(Linker, DuplicateModuleNamesStillLink) {
+  // Two modules may carry the same module name; symbols must still bind
+  // (first definition wins, as with common linkers).
+  CompileResult A = mustCompile(R"(
+    long helper(long x);
+    int main() { print_int(helper(4)); return 0; }
+  )",
+                                "dup");
+  CompileResult B = mustCompile("long helper(long x) { return x + 2; }",
+                                "dup");
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(A.Obj));
+  Objs.push_back(std::move(B.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  RunResult R = runProgram(M);
+  EXPECT_EQ(M.takeOutput(), "6\n");
+  EXPECT_EQ(R.Reason, StopReason::Exited);
+}
+
+} // namespace

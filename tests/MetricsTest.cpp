@@ -1,0 +1,157 @@
+//===- tests/MetricsTest.cpp - AIR, gadgets, hash-Tary tests ---------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+#include "metrics/Metrics.h"
+#include "tables/HashTary.h"
+#include "tables/ID.h"
+#include "visa/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Gadget scanner
+//===----------------------------------------------------------------------===//
+
+Instr mk(Opcode Op) {
+  Instr I;
+  I.Op = Op;
+  return I;
+}
+
+std::vector<uint8_t> assembleSnippet(const std::vector<Instr> &Instrs) {
+  AsmFunction Fn;
+  Fn.Name = "f";
+  for (const Instr &I : Instrs)
+    Fn.Items.push_back(AsmItem::instr(I));
+  return assemble({Fn}).Bytes;
+}
+
+TEST(Gadgets, FindsRetTerminatedSequences) {
+  // nop; nop; ret — gadgets: decode from offsets 0, 1, 2 (three unique
+  // byte strings ending at the ret).
+  std::vector<uint8_t> Code =
+      assembleSnippet({mk(Opcode::Nop), mk(Opcode::Nop), mk(Opcode::Ret)});
+  CFGPolicy Empty;
+  GadgetReport R = countGadgets(Code.data(), Code.size(), Code.data(),
+                                Code.size(), Empty, 0);
+  EXPECT_EQ(R.OriginalGadgets, 3u);
+  // With no valid Tary targets, the hardened count is zero.
+  EXPECT_EQ(R.HardenedGadgets, 0u);
+  EXPECT_EQ(R.ReductionPct, 100.0);
+}
+
+TEST(Gadgets, MidInstructionGadgetsExist) {
+  // movi r1, imm64 where the imm bytes themselves decode as
+  // instructions ending in ret: classic data-as-code gadget.
+  Instr Mv = mk(Opcode::MovImm);
+  Mv.Rd = 1;
+  // imm64 bytes: nop(0x39) x7 + ret(0x36) in the high byte.
+  Mv.Imm = 0x3639393939393939ull;
+  std::vector<uint8_t> Code = assembleSnippet({Mv});
+  CFGPolicy Empty;
+  GadgetReport R = countGadgets(Code.data(), Code.size(), Code.data(),
+                                Code.size(), Empty, 0);
+  // Offsets 2..9 all start inside the immediate and reach the 0x36 ret.
+  EXPECT_GE(R.OriginalGadgets, 7u);
+}
+
+TEST(Gadgets, HardenedCountsOnlyValidTargets) {
+  std::vector<uint8_t> Code =
+      assembleSnippet({mk(Opcode::Nop), mk(Opcode::Nop), mk(Opcode::Nop),
+                       mk(Opcode::Nop), mk(Opcode::Ret)});
+  CFGPolicy Policy;
+  Policy.TargetECN[100 + 0] = 1; // only offset 0 is an IBT
+  GadgetReport R = countGadgets(Code.data(), Code.size(), Code.data(),
+                                Code.size(), Policy, /*HardBase=*/100);
+  EXPECT_EQ(R.HardenedGadgets, 1u);
+  EXPECT_GT(R.OriginalGadgets, R.HardenedGadgets);
+}
+
+//===----------------------------------------------------------------------===//
+// AIR
+//===----------------------------------------------------------------------===//
+
+TEST(AIR, PerfectConfinementApproachesOne) {
+  CFGPolicy Policy;
+  Policy.BranchClassSize = {1, 1, 1};
+  AIRReport R = computeAIR(Policy, {}, /*CodeSize=*/100000);
+  EXPECT_GT(R.MCFI, 0.9999);
+}
+
+TEST(AIR, WiderClassesLowerAIR) {
+  CFGPolicy Tight, Loose;
+  Tight.BranchClassSize = {2, 2};
+  Loose.BranchClassSize = {5000, 5000};
+  double CodeSize = 10000;
+  AIRReport TR = computeAIR(Tight, {}, static_cast<uint64_t>(CodeSize));
+  AIRReport LR = computeAIR(Loose, {}, static_cast<uint64_t>(CodeSize));
+  EXPECT_GT(TR.MCFI, LR.MCFI);
+  EXPECT_NEAR(LR.MCFI, 0.5, 1e-9);
+}
+
+TEST(AIR, MCFIBeatsCoarsePoliciesOnRealPrograms) {
+  const BenchProfile &P = specProfiles()[1]; // bzip2-shaped: fast
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+  BuiltProgram BP = buildProgram({Source});
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  std::vector<LoadedModuleView> Views;
+  for (const MappedModule &Mod : BP.M->modules())
+    Views.push_back({Mod.Obj.get(), Mod.CodeBase});
+  AIRReport R = computeAIR(BP.L->policy(), Views, BP.CodeBytes);
+  EXPECT_GT(R.MCFI, R.BinCFI);
+  EXPECT_GT(R.BinCFI, R.NaCl);
+  EXPECT_GT(R.MCFI, 0.99);
+}
+
+//===----------------------------------------------------------------------===//
+// Hash-Tary (the ablation data structure)
+//===----------------------------------------------------------------------===//
+
+TEST(HashTary, ReadBackAfterUpdate) {
+  HashTaryTable T(64);
+  T.update(
+      512, [](uint64_t Off) -> int64_t { return Off % 16 ? -1 : 5; },
+      /*Version=*/3);
+  for (uint64_t Off = 0; Off < 512; Off += 4) {
+    uint32_t ID = T.read(Off);
+    if (Off % 16 == 0) {
+      EXPECT_TRUE(isValidID(ID)) << Off;
+      EXPECT_EQ(idECN(ID), 5u);
+      EXPECT_EQ(idVersion(ID), 3u);
+    } else {
+      EXPECT_EQ(ID, 0u) << Off;
+    }
+  }
+  EXPECT_EQ(T.read(3), 0u);      // misaligned
+  EXPECT_EQ(T.read(99992), 0u);  // absent
+}
+
+TEST(HashTary, UpdateReplacesInPlace) {
+  HashTaryTable T(16);
+  auto ECN = [](uint64_t) -> int64_t { return 7; };
+  T.update(64, ECN, 1);
+  T.update(64, ECN, 2);
+  for (uint64_t Off = 0; Off < 64; Off += 4)
+    EXPECT_EQ(idVersion(T.read(Off)), 2u);
+}
+
+TEST(HashTary, CollisionsResolveByProbing) {
+  // A tiny table forces probe chains; every key must still be found.
+  HashTaryTable T(4);
+  T.update(
+      64, [](uint64_t) -> int64_t { return 1; }, 1);
+  for (uint64_t Off = 0; Off < 64; Off += 4)
+    EXPECT_TRUE(isValidID(T.read(Off))) << Off;
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+//===- tests/MinicTest.cpp - MiniC frontend tests --------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+using namespace mcfi::minic;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Src) {
+  std::vector<std::string> Errors;
+  auto P = parseProgram(Src, Errors);
+  EXPECT_TRUE(P) << (Errors.empty() ? "?" : Errors.front());
+  return P;
+}
+
+std::unique_ptr<Program> checkOk(const std::string &Src) {
+  std::vector<std::string> Errors;
+  auto P = parseProgram(Src, Errors);
+  EXPECT_TRUE(P) << (Errors.empty() ? "?" : Errors.front());
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(analyze(*P, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  return P;
+}
+
+void expectError(const std::string &Src, const std::string &Needle) {
+  std::vector<std::string> Errors;
+  auto P = parseProgram(Src, Errors);
+  bool Failed = !P;
+  if (P)
+    Failed = !analyze(*P, Errors);
+  EXPECT_TRUE(Failed) << "expected failure containing '" << Needle << "'";
+  bool Found = false;
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << "no error mentions '" << Needle << "'; got: "
+                     << (Errors.empty() ? "(none)" : Errors.front());
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, DeclaratorZoo) {
+  auto P = parseOk(R"(
+    typedef long (*Handler)(long);
+    struct Node { long v; struct Node *next; };
+    union Mix { long i; char *s; };
+    enum Color { RED, GREEN = 5, BLUE };
+    long table(long (*cbs[4])(long), int n);
+    long g_arr[16];
+    long (*g_fp)(long, char *);
+    Handler g_h;
+    unsigned int bits;
+    long f(struct Node *n, Handler h) { return h(n->v); }
+  )");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->findFunction("f"));
+  EXPECT_TRUE(P->findFunction("table"));
+}
+
+TEST(Parser, EnumConstantsFoldInSwitchAndExpr) {
+  auto P = checkOk(R"(
+    enum Kind { A, B = 10, C };
+    long f(long k) {
+      switch (k) {
+      case 0: return 100;
+      case 10: return 200;
+      default: break;
+      }
+      return B + C; /* 10 + 11 */
+    }
+  )");
+  ASSERT_TRUE(P);
+}
+
+TEST(Parser, RejectsGarbage) {
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(parseProgram("int f( {", Errors));
+  Errors.clear();
+  EXPECT_FALSE(parseProgram("int x = ;", Errors));
+  Errors.clear();
+  EXPECT_FALSE(parseProgram("struct S { int; };", Errors));
+  Errors.clear();
+  EXPECT_FALSE(parseProgram("int f() { return 1 }", Errors));
+}
+
+TEST(Parser, CastVsParenDisambiguation) {
+  auto P = checkOk(R"(
+    typedef long MyInt;
+    long f(long x) {
+      long a = (MyInt)x;       /* cast via typedef */
+      long b = (x) + 1;        /* parenthesized expr */
+      char *p = (char *)x;     /* cast */
+      return a + b + (long)p;
+    }
+  )");
+  ASSERT_TRUE(P);
+}
+
+TEST(Parser, StringEscapes) {
+  auto P = parseOk(R"(char *s = "a\tb\n\"q\"\\";)");
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Globals.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, UndeclaredIdentifier) {
+  expectError("int main() { return nope; }", "undeclared");
+}
+
+TEST(Sema, UndefinedGotoLabel) {
+  expectError("int main() { goto missing; return 0; }", "undefined label");
+}
+
+TEST(Sema, DuplicateLabel) {
+  expectError("int main() { l: ; l: ; return 0; }", "duplicate label");
+}
+
+TEST(Sema, ArgumentCountMismatch) {
+  expectError("long f(long a, long b) { return a + b; }"
+              "int main() { return (int)f(1); }",
+              "argument");
+}
+
+TEST(Sema, VoidReturnWithValue) {
+  expectError("void f(void) { return 3; }", "void function returns a value");
+}
+
+TEST(Sema, NonVoidReturnWithoutValue) {
+  expectError("long f(void) { return; }", "without a value");
+}
+
+TEST(Sema, AssignToRValue) {
+  expectError("int main() { 3 = 4; return 0; }", "not an lvalue");
+}
+
+TEST(Sema, MemberOfNonStruct) {
+  expectError("int main() { long x; return x.field; }", "member access");
+}
+
+TEST(Sema, UnknownField) {
+  expectError("struct S { long a; };"
+              "int main() { struct S s; return (int)s.b; }",
+              "no field named");
+}
+
+TEST(Sema, CallNonFunction) {
+  expectError("int main() { long x; return (int)x(); }",
+              "not a function");
+}
+
+TEST(Sema, StructAssignRejected) {
+  expectError("struct S { long a; };"
+              "int main() { struct S a; struct S b; a = b; return 0; }",
+              "struct assignment");
+}
+
+//===----------------------------------------------------------------------===//
+// Typing and decay
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, FunctionDesignatorDecayMarksAddressTaken) {
+  auto P = checkOk(R"(
+    long cb(long x) { return x; }
+    long direct_only(long x) { return x; }
+    int main() {
+      long (*p)(long) = cb;
+      direct_only(3);
+      return (int)p(1);
+    }
+  )");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->findFunction("cb")->isAddressTaken());
+  // Direct calls do NOT take the address (critical for the CFG: only
+  // genuinely address-taken functions are indirect-call targets).
+  EXPECT_FALSE(P->findFunction("direct_only")->isAddressTaken());
+}
+
+TEST(Sema, AddrOfFunctionAlsoMarks) {
+  auto P = checkOk(R"(
+    long cb(long x) { return x; }
+    long (*p)(long) = &cb;
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->findFunction("cb")->isAddressTaken());
+}
+
+TEST(Sema, ImplicitConversionsMaterializeAsCasts) {
+  auto P = checkOk(R"(
+    long f(long x) { return x; }
+    int main() {
+      int small = 3;
+      long wide = small;  /* int -> long */
+      char *p = NULL;     /* 0 -> char* */
+      return (int)f(small) + (int)wide + (p == NULL);
+    }
+  )");
+  ASSERT_TRUE(P);
+}
+
+TEST(Sema, AsmAnnotationsResolve) {
+  auto P = checkOk(R"MC(
+    void copy(char *d, char *s, long n) {
+      __asm__("rep movsb" : copy = "void(char*,char*,long)");
+      long i;
+      for (i = 0; i < n; i = i + 1) d[i] = s[i];
+    }
+  )MC");
+  ASSERT_TRUE(P);
+}
+
+TEST(Sema, BadAsmAnnotationRejected) {
+  expectError(R"MC(
+    void f(void) { __asm__("nop" : f = "not a type"); }
+  )MC",
+              "asm type annotation");
+}
+
+TEST(Sema, BuiltinsAreDeclared) {
+  auto P = checkOk(R"(
+    int main() {
+      long *p = (long *)malloc(64);
+      p[0] = 1;
+      free(p);
+      print_int(p[0]);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->findFunction("malloc")->getBuiltin(), BuiltinKind::Malloc);
+}
+
+} // namespace

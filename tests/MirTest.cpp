@@ -1,0 +1,259 @@
+//===- tests/MirTest.cpp - MIR lowering and codegen tests ------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+#include "mir/AsmGen.h"
+#include "mir/MIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+using namespace mcfi::mir;
+
+namespace {
+
+MirModule lower(const std::string &Src, bool TailCalls = true) {
+  std::vector<std::string> Errors;
+  auto P = minic::parseProgram(Src, Errors);
+  EXPECT_TRUE(P) << (Errors.empty() ? "?" : Errors.front());
+  MirModule M;
+  if (!P)
+    return M;
+  EXPECT_TRUE(minic::analyze(*P, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  LowerOptions Opts;
+  Opts.TailCalls = TailCalls;
+  EXPECT_TRUE(lowerToMIR(*P, "test", Opts, M, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+  return M;
+}
+
+const MirFunction *fn(const MirModule &M, const std::string &Name) {
+  for (const MirFunction &F : M.Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+size_t countOps(const MirFunction &F, MirOp Op) {
+  size_t N = 0;
+  for (const MirBlock &B : F.Blocks)
+    for (const MirInst &I : B.Insts)
+      N += I.Op == Op;
+  return N;
+}
+
+TEST(Lowering, TailCallsOnlyWhenEnabled) {
+  const char *Src = R"(
+    long g(long x) { return x; }
+    long f(long x) { return g(x); }
+    long h(long x) { return g(x) + 1; } /* not a tail call */
+  )";
+  MirModule On = lower(Src, /*TailCalls=*/true);
+  MirModule Off = lower(Src, /*TailCalls=*/false);
+  EXPECT_EQ(countOps(*fn(On, "f"), MirOp::TailCall), 1u);
+  EXPECT_EQ(countOps(*fn(On, "h"), MirOp::TailCall), 0u);
+  EXPECT_EQ(countOps(*fn(Off, "f"), MirOp::TailCall), 0u);
+  EXPECT_EQ(countOps(*fn(Off, "f"), MirOp::Call), 1u);
+}
+
+TEST(Lowering, IndirectTailCallCarriesTypeSig) {
+  MirModule M = lower(R"(
+    long f(long (*p)(long), long x) { return p(x); }
+  )");
+  const MirFunction *F = fn(M, "f");
+  ASSERT_TRUE(F);
+  bool Found = false;
+  for (const MirBlock &B : F->Blocks)
+    for (const MirInst &I : B.Insts)
+      if (I.Op == MirOp::TailCallInd) {
+        Found = true;
+        EXPECT_EQ(I.TypeSig, "(i64,)->i64");
+      }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Lowering, SwitchStaysAbstractUntilCodegen) {
+  MirModule M = lower(R"(
+    long f(long x) {
+      switch (x) {
+      case 1: return 1;
+      case 2: return 2;
+      case 3: return 3;
+      case 4: return 4;
+      case 5: return 5;
+      default: return 0;
+      }
+    }
+  )");
+  EXPECT_EQ(countOps(*fn(M, "f"), MirOp::Switch), 1u);
+}
+
+TEST(Lowering, ScalarLocalsUseFrameOps) {
+  MirModule M = lower(R"(
+    long f(long x) {
+      long a = x + 1;
+      a = a * 2;
+      return a;
+    }
+  )");
+  const MirFunction *F = fn(M, "f");
+  ASSERT_TRUE(F);
+  EXPECT_GT(countOps(*F, MirOp::FrameStore), 0u);
+  EXPECT_GT(countOps(*F, MirOp::FrameLoad), 0u);
+  // No address-based stores are needed for pure scalar code.
+  EXPECT_EQ(countOps(*F, MirOp::Store), 0u);
+}
+
+TEST(Lowering, AddressTakenLocalsKeepMemoryForm) {
+  MirModule M = lower(R"(
+    long deref(long *p) { return *p; }
+    long f(long x) {
+      long a = x;
+      return deref(&a);
+    }
+  )");
+  const MirFunction *F = fn(M, "f");
+  ASSERT_TRUE(F);
+  EXPECT_GT(countOps(*F, MirOp::FrameAddr), 0u);
+}
+
+TEST(Lowering, GlobalInitializersEvaluate) {
+  MirModule M = lower(R"(
+    long a = 5;
+    long b = -3;
+    char *s = "text";
+    long f(long x) { return x; }
+    long (*fp)(long) = f;
+    long zero;
+  )");
+  bool FoundFp = false, FoundStr = false;
+  for (const MirGlobal &G : M.Globals) {
+    if (G.Name == "a") {
+      ASSERT_GE(G.Init.size(), 8u);
+      EXPECT_EQ(G.Init[0], 5);
+    }
+    if (G.Name == "b") {
+      EXPECT_EQ(G.Init[0], 0xfd); // -3 little-endian low byte
+    }
+    if (G.Name == "fp") {
+      ASSERT_EQ(G.AddrInits.size(), 1u);
+      EXPECT_EQ(G.AddrInits[0].Symbol, "f");
+      EXPECT_TRUE(G.AddrInits[0].IsFunction);
+      FoundFp = true;
+    }
+    if (G.Name == "s") {
+      ASSERT_EQ(G.AddrInits.size(), 1u);
+      EXPECT_FALSE(G.AddrInits[0].IsFunction);
+      FoundStr = true;
+    }
+  }
+  EXPECT_TRUE(FoundFp);
+  EXPECT_TRUE(FoundStr);
+}
+
+TEST(Lowering, NonConstantGlobalInitRejected) {
+  std::vector<std::string> Errors;
+  auto P = minic::parseProgram("long f(long x) { return x; }"
+                               "long g = f(3);",
+                               Errors);
+  ASSERT_TRUE(P);
+  ASSERT_TRUE(minic::analyze(*P, Errors));
+  MirModule M;
+  EXPECT_FALSE(lowerToMIR(*P, "t", {}, M, Errors));
+}
+
+TEST(Lowering, TooManyArgsRejected) {
+  std::vector<std::string> Errors;
+  auto P = minic::parseProgram(
+      "long f(long a, long b, long c, long d, long e, long g)"
+      "{ return a; }",
+      Errors);
+  ASSERT_TRUE(P);
+  ASSERT_TRUE(minic::analyze(*P, Errors));
+  MirModule M;
+  EXPECT_FALSE(lowerToMIR(*P, "t", {}, M, Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("5 parameters"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// AsmGen structure
+//===----------------------------------------------------------------------===//
+
+TEST(AsmGen, DenseSwitchBecomesJumpTable) {
+  MirModule M = lower(R"(
+    long f(long x) {
+      switch (x) {
+      case 0: return 1;
+      case 1: return 2;
+      case 2: return 3;
+      case 3: return 4;
+      case 4: return 5;
+      default: return 0;
+      }
+    }
+  )");
+  PendingModule PM = mir::generateAsm(M);
+  EXPECT_EQ(PM.JumpTables.size(), 1u);
+  EXPECT_EQ(PM.JumpTables[0].TargetLabels.size(), 5u);
+}
+
+TEST(AsmGen, SparseSwitchBecomesCompareChain) {
+  MirModule M = lower(R"(
+    long f(long x) {
+      switch (x) {
+      case 0: return 1;
+      case 1000: return 2;
+      case 2000: return 3;
+      case 40000: return 4;
+      default: return 0;
+      }
+    }
+  )");
+  PendingModule PM = mir::generateAsm(M);
+  EXPECT_TRUE(PM.JumpTables.empty());
+}
+
+TEST(AsmGen, MetadataForEveryCallKind) {
+  MirModule M = lower(R"(
+    long g(long x) { return x; }
+    long buf[4];
+    long f(long (*p)(long), long x) {
+      long direct = g(x);
+      long indirect = p(x);
+      long r = setjmp(buf);
+      return direct + indirect + r;
+    }
+  )");
+  PendingModule PM = mir::generateAsm(M);
+  bool Direct = false, Indirect = false, Setjmp = false;
+  for (const SiteMeta &Meta : PM.Meta) {
+    Direct |= Meta.K == SiteMeta::Kind::DirectCall;
+    Indirect |= Meta.K == SiteMeta::Kind::IndirectCall;
+    Setjmp |= Meta.K == SiteMeta::Kind::SetjmpCall;
+  }
+  EXPECT_TRUE(Direct);
+  EXPECT_TRUE(Indirect);
+  EXPECT_TRUE(Setjmp);
+}
+
+TEST(AsmGen, ImportsFlowIntoPendingModule) {
+  MirModule M = lower(R"(
+    long ext(long x);
+    long ext2(long x);
+    long (*p)(long) = ext2;
+    long f(long x) { return ext(x); }
+  )");
+  PendingModule PM = mir::generateAsm(M);
+  ASSERT_EQ(PM.Imports.size(), 2u);
+  EXPECT_EQ(PM.AddressTakenImports,
+            std::vector<std::string>{"ext2"});
+}
+
+} // namespace

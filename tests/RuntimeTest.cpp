@@ -1,0 +1,295 @@
+//===- tests/RuntimeTest.cpp - Machine and VM tests ------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests of the runtime machine: memory mapping and W^X, typed guest
+/// accesses, the interpreter's trap behaviour, syscall interposition,
+/// and fuel accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+#include "runtime/Machine.h"
+#include "toolchain/Toolchain.h"
+#include "visa/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Guest memory model
+//===----------------------------------------------------------------------===//
+
+TEST(MachineMemory, TypedAccessRoundTrip) {
+  Machine M;
+  uint64_t Addr = Machine::DataBase + 4096;
+  for (unsigned Size : {1u, 2u, 4u, 8u}) {
+    uint64_t Value = 0x1122334455667788ull;
+    ASSERT_TRUE(M.store(Addr, Size, Value));
+    uint64_t Out = 0;
+    ASSERT_TRUE(M.load(Addr, Size, Out));
+    uint64_t Mask = Size == 8 ? ~0ull : (1ull << (8 * Size)) - 1;
+    EXPECT_EQ(Out, Value & Mask) << "size " << Size;
+  }
+}
+
+TEST(MachineMemory, MisalignedAccessFaults) {
+  Machine M;
+  uint64_t Addr = Machine::DataBase + 4096;
+  uint64_t Out;
+  EXPECT_FALSE(M.load(Addr + 1, 8, Out));
+  EXPECT_FALSE(M.load(Addr + 2, 4, Out));
+  EXPECT_FALSE(M.load(Addr + 1, 2, Out));
+  EXPECT_TRUE(M.load(Addr + 1, 1, Out));
+  EXPECT_FALSE(M.store(Addr + 4, 8, 1));
+}
+
+TEST(MachineMemory, OutOfRangeFaults) {
+  Machine M;
+  uint64_t Out;
+  EXPECT_FALSE(M.load(0, 8, Out));                  // null page
+  EXPECT_FALSE(M.load(Machine::CodeBase - 8, 8, Out));
+  EXPECT_FALSE(M.store(Machine::CodeBase, 8, 1));   // code never writable
+  EXPECT_FALSE(M.store(~0ull - 16, 8, 1));
+}
+
+TEST(MachineMemory, HeapAllocationIsAlignedAndDisjoint) {
+  Machine M;
+  uint64_t A = M.allocHeap(24);
+  uint64_t B = M.allocHeap(100);
+  ASSERT_NE(A, 0u);
+  ASSERT_NE(B, 0u);
+  EXPECT_EQ(A % 8, 0u);
+  EXPECT_EQ(B % 8, 0u);
+  EXPECT_GE(B, A + 24);
+}
+
+TEST(MachineMemory, ReadStringStopsAtNulAndFault) {
+  Machine M;
+  uint64_t Addr = Machine::DataBase + 64;
+  const char *S = "hello";
+  M.writeDataBytes(Addr, reinterpret_cast<const uint8_t *>(S), 6);
+  EXPECT_EQ(M.readString(Addr), "hello");
+  EXPECT_EQ(M.readString(Machine::DataBase - 100), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter trap behaviour (hand-assembled modules)
+//===----------------------------------------------------------------------===//
+
+Instr mk(Opcode Op) {
+  Instr I;
+  I.Op = Op;
+  return I;
+}
+
+/// Maps a single hand-written function as a sealed module and runs it.
+RunResult runRaw(std::vector<AsmItem> Items, uint64_t Fuel = 10000) {
+  AsmFunction Fn;
+  Fn.Name = "raw";
+  Fn.Items = std::move(Items);
+  AssembledCode AC = assemble({Fn});
+
+  MCFIObject Obj;
+  Obj.Name = "raw";
+  Obj.Code = AC.Bytes;
+  FunctionInfo Info;
+  Info.Name = "raw";
+  Obj.Aux.Functions.push_back(Info);
+
+  Machine M;
+  int Idx = M.mapModule(std::move(Obj));
+  M.sealModule(Idx);
+  Thread T;
+  EXPECT_TRUE(M.makeThread("raw", T));
+  return M.run(T, Fuel);
+}
+
+TEST(VM, DivideByZeroTraps) {
+  Instr Div = mk(Opcode::DivS);
+  Div.Rd = 0;
+  Div.Ra = 1;
+  Div.Rb = 2; // r2 = 0
+  RunResult R = runRaw({AsmItem::instr(Div)});
+  EXPECT_EQ(R.Reason, StopReason::Trap);
+  EXPECT_NE(R.Message.find("division"), std::string::npos);
+}
+
+TEST(VM, LoadFaultTraps) {
+  Instr L = mk(Opcode::Load);
+  L.Rd = 0;
+  L.Ra = 1; // r1 = 0: null page
+  RunResult R = runRaw({AsmItem::instr(L)});
+  EXPECT_EQ(R.Reason, StopReason::Trap);
+  EXPECT_NE(R.Message.find("load fault"), std::string::npos);
+}
+
+TEST(VM, JumpOutOfCodeTraps) {
+  Instr Mv = mk(Opcode::MovImm);
+  Mv.Rd = 1;
+  Mv.Imm = 0x12345678;
+  Instr J = mk(Opcode::JmpInd);
+  J.Ra = 1;
+  RunResult R = runRaw({AsmItem::instr(Mv), AsmItem::instr(J)});
+  EXPECT_EQ(R.Reason, StopReason::Trap);
+  EXPECT_NE(R.Message.find("fetch"), std::string::npos);
+}
+
+TEST(VM, HaltIsACfiViolation) {
+  RunResult R = runRaw({AsmItem::instr(mk(Opcode::Halt))});
+  EXPECT_EQ(R.Reason, StopReason::CfiViolation);
+}
+
+TEST(VM, FuelExhaustionStops) {
+  // An infinite loop: jmp -5 (back to itself).
+  Instr J = mk(Opcode::Jmp);
+  J.Off = -5;
+  RunResult R = runRaw({AsmItem::instr(J)}, /*Fuel=*/1000);
+  EXPECT_EQ(R.Reason, StopReason::OutOfFuel);
+  EXPECT_EQ(R.Instructions, 1000u);
+}
+
+TEST(VM, ExecutingUnsealedModuleTraps) {
+  AsmFunction Fn;
+  Fn.Name = "raw";
+  Fn.Items.push_back(AsmItem::instr(mk(Opcode::Nop)));
+  AssembledCode AC = assemble({Fn});
+  MCFIObject Obj;
+  Obj.Name = "raw";
+  Obj.Code = AC.Bytes;
+  FunctionInfo Info;
+  Info.Name = "raw";
+  Obj.Aux.Functions.push_back(Info);
+
+  Machine M;
+  M.mapModule(std::move(Obj)); // never sealed: W^X says not executable
+  Thread T;
+  ASSERT_TRUE(M.makeThread("raw", T));
+  RunResult R = M.run(T, 10);
+  EXPECT_EQ(R.Reason, StopReason::Trap);
+  EXPECT_NE(R.Message.find("W^X"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Syscall interposition via compiled programs
+//===----------------------------------------------------------------------===//
+
+Measured runSrc(const char *Source) {
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  EXPECT_TRUE(BP.Ok) << BP.Error;
+  if (!BP.Ok)
+    return {};
+  return measureRun(BP);
+}
+
+TEST(Syscalls, MallocExhaustionReturnsNull) {
+  Measured M = runSrc(R"(
+    int main() {
+      /* Ask for more than the data region can hold. */
+      long *p = (long *)malloc(1024 * 1024 * 1024);
+      if (p == NULL) { print_str("null\n"); return 0; }
+      return 1;
+    }
+  )");
+  EXPECT_EQ(M.Result.Reason, StopReason::Exited);
+  EXPECT_EQ(M.Output, "null\n");
+  EXPECT_EQ(M.Result.ExitCode, 0);
+}
+
+TEST(Syscalls, PrintFormatsNegativeNumbers) {
+  Measured M = runSrc(R"(
+    int main() { print_int(-12345); return 0; }
+  )");
+  EXPECT_EQ(M.Output, "-12345\n");
+}
+
+TEST(Syscalls, NestedSignalsUnwindInOrder) {
+  Measured M = runSrc(R"(
+    int depth = 0;
+    void inner(int s) { print_str("inner\n"); }
+    void outer(int s) {
+      print_str("outer-pre\n");
+      signal(2, inner);
+      raise(2);
+      print_str("outer-post\n");
+    }
+    int main() {
+      signal(1, outer);
+      raise(1);
+      print_str("main\n");
+      return 0;
+    }
+  )");
+  EXPECT_EQ(M.Result.Reason, StopReason::Exited) << M.Result.Message;
+  EXPECT_EQ(M.Output, "outer-pre\ninner\nouter-post\nmain\n");
+}
+
+TEST(Syscalls, SetjmpSecondLongjmpStillValid) {
+  Measured M = runSrc(R"(
+    long buf[4];
+    int main() {
+      long count = 0;
+      long r = setjmp(buf);
+      count = count + 1;
+      if (r < 3)
+        longjmp(buf, r + 1);
+      print_int(count);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(M.Result.Reason, StopReason::Exited) << M.Result.Message;
+  EXPECT_EQ(M.Output, "4\n");
+}
+
+TEST(Syscalls, DlopenWithoutRegistryFails) {
+  Measured M = runSrc(R"(
+    int main() {
+      if (dlopen(7) < 0) { print_str("no lib\n"); return 0; }
+      return 1;
+    }
+  )");
+  EXPECT_EQ(M.Result.Reason, StopReason::Exited);
+  EXPECT_EQ(M.Output, "no lib\n");
+}
+
+TEST(Syscalls, DlsymUnknownReturnsNull) {
+  Measured M = runSrc(R"(
+    int main() {
+      void *p = dlsym(-1, "no_such_function");
+      if (p == NULL) { print_str("null\n"); return 0; }
+      return 1;
+    }
+  )");
+  EXPECT_EQ(M.Output, "null\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction accounting
+//===----------------------------------------------------------------------===//
+
+TEST(VM, InstructionCountsAreDeterministic) {
+  const char *Source = R"(
+    long f(long n) {
+      long acc = 0;
+      long i;
+      for (i = 0; i < n; i = i + 1) acc = acc + i * i;
+      return acc;
+    }
+    int main() { print_int(f(100)); return 0; }
+  )";
+  Measured A = runSrc(Source);
+  Measured B = runSrc(Source);
+  EXPECT_EQ(A.Result.Instructions, B.Result.Instructions);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+} // namespace

@@ -1,0 +1,335 @@
+//===- tests/TablesTest.cpp - ID tables and transaction tests -------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit and property tests for the ID encoding (Fig. 2), the Bary/Tary
+/// tables, the check/update transactions (Figs. 3-4), and the
+/// linearizability property of Sec. 5.2 under real concurrency.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+#include "tables/Baselines.h"
+#include "tables/ID.h"
+#include "tables/IDTables.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace mcfi;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ID encoding (Fig. 2)
+//===----------------------------------------------------------------------===//
+
+TEST(IDEncoding, ReservedBitsPattern) {
+  // LSB of each byte is 0,0,0,1 from high to low bytes, for every ID.
+  RNG R(1);
+  for (int I = 0; I != 10000; ++I) {
+    uint32_t ECN = static_cast<uint32_t>(R.below(MaxECN + 1));
+    uint32_t Ver = static_cast<uint32_t>(R.below(MaxVersion + 1));
+    uint32_t ID = encodeID(ECN, Ver);
+    EXPECT_TRUE(isValidID(ID));
+    EXPECT_EQ(ID & 0x01010101u, 0x00000001u);
+  }
+}
+
+TEST(IDEncoding, RoundTrip) {
+  RNG R(2);
+  for (int I = 0; I != 10000; ++I) {
+    uint32_t ECN = static_cast<uint32_t>(R.below(MaxECN + 1));
+    uint32_t Ver = static_cast<uint32_t>(R.below(MaxVersion + 1));
+    uint32_t ID = encodeID(ECN, Ver);
+    EXPECT_EQ(idECN(ID), ECN);
+    EXPECT_EQ(idVersion(ID), Ver);
+  }
+}
+
+TEST(IDEncoding, DistinctInputsDistinctIDs) {
+  // The encoding is injective over (ECN, version).
+  EXPECT_NE(encodeID(1, 0), encodeID(0, 1));
+  EXPECT_NE(encodeID(5, 7), encodeID(7, 5));
+  EXPECT_NE(encodeID(MaxECN, 0), encodeID(0, MaxVersion));
+}
+
+TEST(IDEncoding, SameVersionHalfMatchesVersionEquality) {
+  RNG R(3);
+  for (int I = 0; I != 10000; ++I) {
+    uint32_t V1 = static_cast<uint32_t>(R.below(MaxVersion + 1));
+    uint32_t V2 = static_cast<uint32_t>(R.below(MaxVersion + 1));
+    uint32_t A = encodeID(static_cast<uint32_t>(R.below(MaxECN + 1)), V1);
+    uint32_t B = encodeID(static_cast<uint32_t>(R.below(MaxECN + 1)), V2);
+    EXPECT_EQ(sameVersionHalf(A, B), V1 == V2);
+  }
+}
+
+TEST(IDEncoding, ZeroIsInvalid) { EXPECT_FALSE(isValidID(0)); }
+
+/// A word assembled from two halves of adjacent IDs is always invalid:
+/// this is what rejects misaligned indirect-branch targets.
+TEST(IDEncoding, MisalignedCompositesAreInvalid) {
+  RNG R(4);
+  for (int I = 0; I != 10000; ++I) {
+    uint32_t Lo = encodeID(static_cast<uint32_t>(R.below(MaxECN + 1)),
+                           static_cast<uint32_t>(R.below(MaxVersion + 1)));
+    uint32_t Hi = encodeID(static_cast<uint32_t>(R.below(MaxECN + 1)),
+                           static_cast<uint32_t>(R.below(MaxVersion + 1)));
+    for (unsigned Shift = 8; Shift != 32; Shift += 8) {
+      uint32_t Composite = (Lo >> Shift) | (Hi << (32 - Shift));
+      EXPECT_FALSE(isValidID(Composite))
+          << "shift " << Shift << " produced a valid ID";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Table reads and the check transaction
+//===----------------------------------------------------------------------===//
+
+class TablesFixture : public ::testing::Test {
+protected:
+  TablesFixture() : T(4096, 64) {}
+
+  /// Installs a policy where aligned offset 8*i has ECN TaryECNs[i] and
+  /// site j has ECN BaryECNs[j] (negative = none).
+  void install(const std::vector<int64_t> &TaryECNs,
+               const std::vector<int64_t> &BaryECNs) {
+    T.txUpdate(
+        8 * TaryECNs.size(),
+        [&](uint64_t Off) -> int64_t {
+          return (Off % 8 == 0 && Off / 8 < TaryECNs.size())
+                     ? TaryECNs[Off / 8]
+                     : -1;
+        },
+        static_cast<uint32_t>(BaryECNs.size()),
+        [&](uint32_t I) { return BaryECNs[I]; });
+  }
+
+  IDTables T;
+};
+
+TEST_F(TablesFixture, CheckPassesOnMatchingECN) {
+  install({1, 2, 1}, {1, 2});
+  EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);   // site 0 -> offset 0
+  EXPECT_EQ(T.txCheck(0, 16), CheckResult::Pass);  // site 0 -> offset 16
+  EXPECT_EQ(T.txCheck(1, 8), CheckResult::Pass);   // site 1 -> offset 8
+}
+
+TEST_F(TablesFixture, CheckECNViolation) {
+  install({1, 2}, {1});
+  EXPECT_EQ(T.txCheck(0, 8), CheckResult::ViolationECN);
+}
+
+TEST_F(TablesFixture, CheckInvalidTarget) {
+  install({1}, {1});
+  EXPECT_EQ(T.txCheck(0, 8), CheckResult::ViolationInvalid);  // no entry
+  EXPECT_EQ(T.txCheck(0, 2), CheckResult::ViolationInvalid);  // misaligned
+  EXPECT_EQ(T.txCheck(0, 999999), CheckResult::ViolationInvalid);
+}
+
+TEST_F(TablesFixture, MisalignedReadsNeverValid) {
+  install({1, 2, 3, 4}, {1});
+  for (uint64_t Off = 0; Off != 32; ++Off) {
+    uint32_t ID = T.taryRead(Off);
+    if (Off % 4 == 0)
+      continue;
+    EXPECT_FALSE(isValidID(ID)) << "offset " << Off;
+  }
+}
+
+TEST_F(TablesFixture, UninstalledSiteFailsClosed) {
+  install({1}, {-1});
+  // Site 0 has no branch ID (0 in the table): fails closed even against
+  // an all-zero target entry.
+  EXPECT_EQ(T.txCheck(0, 999999), CheckResult::ViolationInvalid);
+}
+
+TEST_F(TablesFixture, VersionAdvancesAndWraps) {
+  EXPECT_EQ(T.currentVersion(), 0u);
+  install({1}, {1});
+  EXPECT_EQ(T.currentVersion(), 1u);
+  install({1}, {1});
+  EXPECT_EQ(T.currentVersion(), 2u);
+  EXPECT_EQ(T.updateCount(), 2u);
+}
+
+TEST_F(TablesFixture, ChecksKeepPassingAcrossUpdates) {
+  install({1, 2}, {1, 2});
+  for (int I = 0; I != 100; ++I) {
+    install({1, 2}, {1, 2}); // same CFG, new version
+    EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
+    EXPECT_EQ(T.txCheck(1, 8), CheckResult::Pass);
+    EXPECT_EQ(T.txCheck(0, 8), CheckResult::ViolationECN);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Linearizability under real concurrency (Sec. 5.2)
+//===----------------------------------------------------------------------===//
+
+/// While an updater thread continuously reinstalls policies, checker
+/// threads verify the invariants:
+///  - an edge present in *every* policy version always passes;
+///  - an edge present in *no* policy version never passes.
+/// Any interleaving that produced a mixed old/new observation would
+/// break one of the two.
+TEST(Linearizability, ConcurrentChecksAndUpdates) {
+  IDTables T(4096, 64);
+
+  // Policy A: offsets {0,8} in class 1, {16} in class 2.
+  // Policy B: same shape but different ECN numbering (2 and 5).
+  // Edge (site0 -> 0) and (site1 -> 16) hold in both; (site0 -> 16)
+  // holds in neither.
+  auto InstallA = [&] {
+    T.txUpdate(
+        32, [](uint64_t O) -> int64_t { return O == 16 ? 2 : (O % 8 ? -1 : 1); },
+        2, [](uint32_t I) -> int64_t { return I == 0 ? 1 : 2; });
+  };
+  auto InstallB = [&] {
+    T.txUpdate(
+        32, [](uint64_t O) -> int64_t { return O == 16 ? 5 : (O % 8 ? -1 : 2); },
+        2, [](uint32_t I) -> int64_t { return I == 0 ? 2 : 5; });
+  };
+  InstallA();
+
+  std::atomic<bool> CheckersDone{false};
+  std::atomic<uint64_t> Passes{0};
+  std::atomic<int> Failures{0};
+  std::atomic<int> Running{4};
+
+  auto Checker = [&] {
+    uint64_t Local = 0;
+    for (int I = 0; I != 100000; ++I) {
+      if (T.txCheck(0, 0) != CheckResult::Pass)
+        Failures.fetch_add(1);
+      if (T.txCheck(1, 16) != CheckResult::Pass)
+        Failures.fetch_add(1);
+      if (T.txCheck(0, 16) == CheckResult::Pass)
+        Failures.fetch_add(1);
+      if (T.txCheck(0, 3) != CheckResult::ViolationInvalid)
+        Failures.fetch_add(1);
+      Local += 4;
+    }
+    Passes.fetch_add(Local);
+    if (Running.fetch_sub(1) == 1)
+      CheckersDone.store(true);
+  };
+
+  std::vector<std::thread> Checkers;
+  for (int I = 0; I != 4; ++I)
+    Checkers.emplace_back(Checker);
+
+  // Keep flipping policies for as long as the checkers run, so updates
+  // genuinely race the checks.
+  uint64_t Flips = 0;
+  while (!CheckersDone.load(std::memory_order_relaxed)) {
+    InstallB();
+    InstallA();
+    Flips += 2;
+  }
+  for (std::thread &Th : Checkers)
+    Th.join();
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_GT(Passes.load(), 0u);
+  EXPECT_GT(Flips, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline schemes agree with MCFI on semantics
+//===----------------------------------------------------------------------===//
+
+template <typename Scheme> void checkBaselineSemantics() {
+  Scheme S(4096, 16);
+  S.update(
+      32, [](uint64_t O) -> int64_t { return O == 8 ? 2 : (O % 8 ? -1 : 1); },
+      2, [](uint32_t I) -> int64_t { return I == 0 ? 1 : 2; });
+  EXPECT_TRUE(S.check(0, 0));
+  EXPECT_TRUE(S.check(1, 8));
+  EXPECT_FALSE(S.check(0, 8));
+  EXPECT_FALSE(S.check(0, 4));      // misaligned
+  EXPECT_FALSE(S.check(0, 100000)); // out of range
+}
+
+TEST(Baselines, TMLSemantics) { checkBaselineSemantics<TMLTables>(); }
+TEST(Baselines, RWLSemantics) { checkBaselineSemantics<RWLTables>(); }
+TEST(Baselines, MutexSemantics) { checkBaselineSemantics<MutexTables>(); }
+
+TEST(Baselines, TMLConcurrentReadersSeeConsistentState) {
+  TMLTables S(4096, 16);
+  auto A = [&] {
+    S.update(
+        16, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1; }, 1,
+        [](uint32_t) -> int64_t { return 1; });
+  };
+  A();
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Failures{0};
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      if (!S.check(0, 0))
+        Failures.fetch_add(1);
+  });
+  for (int I = 0; I != 2000; ++I)
+    A();
+  Stop.store(true);
+  Reader.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+} // namespace
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ABA mitigation and version wraparound (Sec. 5.2)
+//===----------------------------------------------------------------------===//
+
+TEST(ABA, VersionWrapsAndChecksStayCorrect) {
+  IDTables T(256, 8);
+  auto Install = [&] {
+    T.txUpdate(
+        64, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 3; }, 1,
+        [](uint32_t) -> int64_t { return 3; });
+  };
+  // Drive the 14-bit version space all the way around (16384+) with
+  // quiescent checks in between: every check must keep passing and the
+  // invalid/mismatch verdicts must stay stable.
+  for (int I = 0; I != static_cast<int>(MaxVersion) + 10; ++I) {
+    Install();
+    if (I % 1024 == 0) {
+      EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
+      EXPECT_EQ(T.txCheck(0, 4), CheckResult::ViolationInvalid);
+    }
+  }
+  EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
+  EXPECT_GT(T.updateCount(), static_cast<uint64_t>(MaxVersion));
+}
+
+TEST(ABA, EpochCounterDetectsExhaustion) {
+  IDTables T(64, 2);
+  auto Install = [&] {
+    T.txUpdate(
+        8, [](uint64_t) -> int64_t { return 1; }, 1,
+        [](uint32_t) -> int64_t { return 1; });
+  };
+  EXPECT_FALSE(T.versionSpaceLow());
+  for (uint64_t I = 0; I != MaxVersion; ++I)
+    Install();
+  EXPECT_TRUE(T.versionSpaceLow());
+  // A quiescence point (all threads at a syscall) resets the epoch.
+  T.resetVersionEpoch();
+  EXPECT_FALSE(T.versionSpaceLow());
+  EXPECT_EQ(T.updatesSinceEpoch(), 0u);
+  Install();
+  EXPECT_EQ(T.updatesSinceEpoch(), 1u);
+}
+
+} // namespace

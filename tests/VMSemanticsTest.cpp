@@ -1,0 +1,246 @@
+//===- tests/VMSemanticsTest.cpp - Interpreter semantics sweeps -----------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property sweeps over the VISA interpreter: every ALU opcode is
+/// executed on randomized operands inside a real mapped module and
+/// compared against a host-side reference semantics. Also covers shifts'
+/// modulo-64 behaviour, sign extension of sub-word loads, and push/pop
+/// pairing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Machine.h"
+#include "support/RNG.h"
+#include "visa/Assembler.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+namespace {
+
+Instr mk(Opcode Op) {
+  Instr I;
+  I.Op = Op;
+  return I;
+}
+
+/// Runs "r0 = A op B; exit(r0)" on the VM; returns r0.
+uint64_t evalBinary(Opcode Op, uint64_t A, uint64_t B) {
+  AsmFunction Fn;
+  Fn.Name = "f";
+  Instr MA = mk(Opcode::MovImm);
+  MA.Rd = 2;
+  MA.Imm = A;
+  Instr MB = mk(Opcode::MovImm);
+  MB.Rd = 3;
+  MB.Imm = B;
+  Instr OpI = mk(Op);
+  OpI.Rd = 0;
+  OpI.Ra = 2;
+  OpI.Rb = 3;
+  Fn.Items.push_back(AsmItem::instr(MA));
+  Fn.Items.push_back(AsmItem::instr(MB));
+  Fn.Items.push_back(AsmItem::instr(OpI));
+  Instr Mv = mk(Opcode::Mov);
+  Mv.Rd = 1;
+  Mv.Ra = 0;
+  Fn.Items.push_back(AsmItem::instr(Mv));
+  Instr Sys = mk(Opcode::Syscall);
+  Sys.Imm = static_cast<uint64_t>(SyscallNo::Exit);
+  Fn.Items.push_back(AsmItem::instr(Sys));
+
+  MCFIObject Obj;
+  Obj.Name = "sem";
+  Obj.Code = assemble({Fn}).Bytes;
+  FunctionInfo Info;
+  Info.Name = "f";
+  Obj.Aux.Functions.push_back(Info);
+
+  // A small machine keeps the 680-trial sweep fast.
+  MachineOptions Small;
+  Small.CodeCapacity = 1 << 16;
+  Small.DataCapacity = 4 << 20;
+  Small.StackSize = 1 << 16;
+  Small.BaryCapacity = 16;
+  Machine M(Small);
+  int Idx = M.mapModule(std::move(Obj));
+  M.sealModule(Idx);
+  Thread T;
+  EXPECT_TRUE(M.makeThread("f", T));
+  RunResult R = M.run(T, 100);
+  EXPECT_EQ(R.Reason, StopReason::Exited);
+  return static_cast<uint64_t>(R.ExitCode);
+}
+
+/// Host reference semantics.
+uint64_t reference(Opcode Op, uint64_t A, uint64_t B) {
+  int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+  switch (Op) {
+  case Opcode::Add:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (B & 63);
+  case Opcode::ShrL:
+    return A >> (B & 63);
+  case Opcode::ShrA:
+    return static_cast<uint64_t>(SA >> (B & 63));
+  case Opcode::CmpEq:
+    return A == B;
+  case Opcode::CmpNe:
+    return A != B;
+  case Opcode::CmpLtS:
+    return SA < SB;
+  case Opcode::CmpLeS:
+    return SA <= SB;
+  case Opcode::CmpLtU:
+    return A < B;
+  case Opcode::CmpLeU:
+    return A <= B;
+  case Opcode::DivS:
+    return static_cast<uint64_t>(SA / SB);
+  case Opcode::ModS:
+    return static_cast<uint64_t>(SA % SB);
+  default:
+    ADD_FAILURE() << "unexpected opcode";
+    return 0;
+  }
+}
+
+class AluSweep : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(AluSweep, MatchesReferenceOnRandomOperands) {
+  Opcode Op = GetParam();
+  RNG R(0xA1u + static_cast<uint8_t>(Op));
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    uint64_t A = R.next();
+    uint64_t B = R.next();
+    // Shape interesting operand classes.
+    if (Trial % 4 == 1)
+      B = R.below(8);
+    if (Trial % 4 == 2)
+      A = static_cast<uint64_t>(-static_cast<int64_t>(R.below(1000)));
+    if (Op == Opcode::DivS || Op == Opcode::ModS) {
+      if (B == 0)
+        B = 3;
+      if (static_cast<int64_t>(A) == INT64_MIN &&
+          static_cast<int64_t>(B) == -1)
+        A = 42;
+    }
+    EXPECT_EQ(evalBinary(Op, A, B), reference(Op, A, B))
+        << printInstr(mk(Op)) << " A=" << A << " B=" << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllALU, AluSweep,
+    ::testing::Values(Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::DivS,
+                      Opcode::ModS, Opcode::And, Opcode::Or, Opcode::Xor,
+                      Opcode::Shl, Opcode::ShrL, Opcode::ShrA, Opcode::CmpEq,
+                      Opcode::CmpNe, Opcode::CmpLtS, Opcode::CmpLeS,
+                      Opcode::CmpLtU, Opcode::CmpLeU),
+    [](const auto &Info) {
+      Instr I;
+      I.Op = Info.param;
+      std::string Name = printInstr(I);
+      return Name.substr(0, Name.find(' '));
+    });
+
+//===----------------------------------------------------------------------===//
+// Loads: zero-extension of sub-word reads; push/pop pairing
+//===----------------------------------------------------------------------===//
+
+TEST(VMSemantics, SubWordLoadsZeroExtend) {
+  // Store 0xFFFF_FFFF_FFFF_FFFF to memory, read back each width.
+  AsmFunction Fn;
+  Fn.Name = "f";
+  Instr Addr = mk(Opcode::MovImm);
+  Addr.Rd = 2;
+  Addr.Imm = Machine::DataBase + 1024;
+  Fn.Items.push_back(AsmItem::instr(Addr));
+  Instr Val = mk(Opcode::MovImm);
+  Val.Rd = 3;
+  Val.Imm = ~0ull;
+  Fn.Items.push_back(AsmItem::instr(Val));
+  Instr St = mk(Opcode::Store);
+  St.Rd = 2;
+  St.Ra = 3;
+  Fn.Items.push_back(AsmItem::instr(St));
+  Instr L16 = mk(Opcode::Load16);
+  L16.Rd = 1;
+  L16.Ra = 2;
+  Fn.Items.push_back(AsmItem::instr(L16));
+  Instr Sys = mk(Opcode::Syscall);
+  Sys.Imm = static_cast<uint64_t>(SyscallNo::Exit);
+  Fn.Items.push_back(AsmItem::instr(Sys));
+
+  MCFIObject Obj;
+  Obj.Name = "sem";
+  Obj.Code = assemble({Fn}).Bytes;
+  FunctionInfo Info;
+  Info.Name = "f";
+  Obj.Aux.Functions.push_back(Info);
+  Machine M;
+  int Idx = M.mapModule(std::move(Obj));
+  M.sealModule(Idx);
+  Thread T;
+  ASSERT_TRUE(M.makeThread("f", T));
+  RunResult R = M.run(T, 100);
+  ASSERT_EQ(R.Reason, StopReason::Exited);
+  EXPECT_EQ(static_cast<uint64_t>(R.ExitCode), 0xFFFFu); // zero-extended
+}
+
+TEST(VMSemantics, PushPopRoundTrip) {
+  AsmFunction Fn;
+  Fn.Name = "f";
+  Instr V = mk(Opcode::MovImm);
+  V.Rd = 2;
+  V.Imm = 0xDEADBEEFCAFEull;
+  Fn.Items.push_back(AsmItem::instr(V));
+  Instr Push = mk(Opcode::Push);
+  Push.Ra = 2;
+  Fn.Items.push_back(AsmItem::instr(Push));
+  Instr Clear = mk(Opcode::MovImm);
+  Clear.Rd = 2;
+  Clear.Imm = 0;
+  Fn.Items.push_back(AsmItem::instr(Clear));
+  Instr Pop = mk(Opcode::Pop);
+  Pop.Rd = 1;
+  Pop.Ra = 1; // single-register shapes encode from Ra
+  Fn.Items.push_back(AsmItem::instr(Pop));
+  Instr Sys = mk(Opcode::Syscall);
+  Sys.Imm = static_cast<uint64_t>(SyscallNo::Exit);
+  Fn.Items.push_back(AsmItem::instr(Sys));
+
+  MCFIObject Obj;
+  Obj.Name = "sem";
+  Obj.Code = assemble({Fn}).Bytes;
+  FunctionInfo Info;
+  Info.Name = "f";
+  Obj.Aux.Functions.push_back(Info);
+  Machine M;
+  int Idx = M.mapModule(std::move(Obj));
+  M.sealModule(Idx);
+  Thread T;
+  ASSERT_TRUE(M.makeThread("f", T));
+  RunResult R = M.run(T, 100);
+  ASSERT_EQ(R.Reason, StopReason::Exited);
+  EXPECT_EQ(static_cast<uint64_t>(R.ExitCode), 0xDEADBEEFCAFEull);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/WorkloadTest.cpp - Synthetic benchmark suite tests -----------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "metrics/Harness.h"
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcfi;
+
+namespace {
+
+class WorkloadSuite : public ::testing::TestWithParam<size_t> {};
+
+/// Every profile compiles, verifies, runs to a clean exit under MCFI,
+/// and produces the same output as the unprotected baseline.
+TEST_P(WorkloadSuite, InstrumentedMatchesBaseline) {
+  const BenchProfile &P = specProfiles()[GetParam()];
+
+  // Shrink the dynamic work so the whole suite stays fast; structure is
+  // what this test checks.
+  BenchProfile Small = P;
+  Small.WorkIterations = 20;
+
+  std::string OutInstrumented, OutBaseline;
+  Measured MI = runProfile(Small, /*Instrument=*/true, &OutInstrumented);
+  ASSERT_EQ(MI.Result.Reason, StopReason::Exited)
+      << P.Name << ": " << MI.Result.Message;
+  Measured MB = runProfile(Small, /*Instrument=*/false, &OutBaseline);
+  ASSERT_EQ(MB.Result.Reason, StopReason::Exited)
+      << P.Name << ": " << MB.Result.Message;
+
+  EXPECT_EQ(OutInstrumented, OutBaseline) << P.Name;
+  // Instrumentation adds instructions but must not change behaviour.
+  EXPECT_GT(MI.Result.Instructions, MB.Result.Instructions) << P.Name;
+}
+
+/// The Raw variant (violations left in) still compiles and type-checks;
+/// the analyzer's Table-1 counters match the profile's seeded counts.
+TEST_P(WorkloadSuite, AnalyzerCountsMatchSeeds) {
+  const BenchProfile &P = specProfiles()[GetParam()];
+  std::string Source = generateWorkload(P, WorkloadVariant::Raw);
+
+  std::vector<std::string> Errors;
+  auto Prog = minic::parseProgram(Source, Errors);
+  ASSERT_TRUE(Prog) << (Errors.empty() ? "?" : Errors.front());
+  ASSERT_TRUE(minic::analyze(*Prog, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+
+  AnalyzerConfig Config;
+  Config.TaggedAbstractStructs.insert("VBase");
+  AnalysisReport R = analyzeConditions(*Prog, Config);
+
+  EXPECT_EQ(R.UC, P.Upcasts) << P.Name;
+  EXPECT_EQ(R.DC, P.Downcasts) << P.Name;
+  EXPECT_EQ(R.MF, P.MallocCasts) << P.Name;
+  EXPECT_EQ(R.SU, P.NullUpdates) << P.Name;
+  EXPECT_EQ(R.NF, P.NfAccesses) << P.Name;
+  EXPECT_EQ(R.K1, P.K1Cases) << P.Name;
+  EXPECT_EQ(R.K2, P.K2Cases) << P.Name;
+  EXPECT_EQ(R.VBE, R.UC + R.DC + R.MF + R.SU + R.NF + R.VAE) << P.Name;
+}
+
+/// The Fixed variant reports no K1 cases (the wrappers removed them).
+TEST_P(WorkloadSuite, FixedVariantHasNoK1) {
+  const BenchProfile &P = specProfiles()[GetParam()];
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+
+  std::vector<std::string> Errors;
+  auto Prog = minic::parseProgram(Source, Errors);
+  ASSERT_TRUE(Prog) << (Errors.empty() ? "?" : Errors.front());
+  ASSERT_TRUE(minic::analyze(*Prog, Errors));
+
+  AnalyzerConfig Config;
+  Config.TaggedAbstractStructs.insert("VBase");
+  AnalysisReport R = analyzeConditions(*Prog, Config);
+  EXPECT_EQ(R.K1, 0u) << P.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, WorkloadSuite,
+                         ::testing::Range<size_t>(0, 12),
+                         [](const auto &Info) {
+                           return specProfiles()[Info.param].Name;
+                         });
+
+TEST(RtLibrary, CompilesAndAnalyzes) {
+  std::vector<std::string> Errors;
+  auto Prog = minic::parseProgram(runtimeLibrarySource(), Errors);
+  ASSERT_TRUE(Prog) << (Errors.empty() ? "?" : Errors.front());
+  ASSERT_TRUE(minic::analyze(*Prog, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+
+  AnalysisReport R = analyzeConditions(*Prog);
+  // The annotated memcpy assembly satisfies C2.
+  ASSERT_EQ(R.C2.size(), 1u);
+  EXPECT_TRUE(R.C2[0].Annotated);
+  EXPECT_EQ(R.C2Count, 0u);
+}
+
+TEST(RtLibrary, SortWithApplicationCallback) {
+  std::string Main = R"(
+    void rt_sort(long *a, long n, long (*cmp)(long, long));
+    long by_value(long a, long b) { return a - b; }
+    int main() {
+      long v[5];
+      v[0] = 5; v[1] = 1; v[2] = 4; v[3] = 2; v[4] = 3;
+      rt_sort(v, 5, by_value);
+      int i;
+      for (i = 0; i < 5; i = i + 1)
+        print_int(v[i]);
+      return 0;
+    }
+  )";
+  BuiltProgram BP = buildProgram({Main});
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  Measured M = measureRun(BP);
+  EXPECT_EQ(M.Result.Reason, StopReason::Exited) << M.Result.Message;
+  EXPECT_EQ(M.Output, "1\n2\n3\n4\n5\n");
+}
+
+} // namespace

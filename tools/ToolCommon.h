@@ -1,0 +1,55 @@
+//===- tools/ToolCommon.h - Shared CLI plumbing -----------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_TOOLS_TOOLCOMMON_H
+#define MCFI_TOOLS_TOOLCOMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+namespace tools {
+
+inline bool readFileBytes(const std::string &Path,
+                          std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+inline bool readFileText(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+inline bool writeFileBytes(const std::string &Path,
+                           const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  return Out.good();
+}
+
+[[noreturn]] inline void usage(const char *Msg) {
+  std::fprintf(stderr, "%s\n", Msg);
+  std::exit(2);
+}
+
+} // namespace tools
+} // namespace mcfi
+
+#endif // MCFI_TOOLS_TOOLCOMMON_H

@@ -1,0 +1,112 @@
+//===- tools/mcfi-run.cpp - Link and run MCFI modules ----------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// mcfi-run: statically links .mcfo modules (the MCFI static linker +
+/// loader + verifier) and runs the program on the sandboxed VM.
+///
+///   mcfi-run [options] prog.mcfo [more.mcfo ...]
+///     --register <lib.mcfo>  make a library dlopen-able (ids in order)
+///     --fuel <n>             instruction budget (default: unlimited)
+///     --no-verify            skip the modular verifier (debugging only)
+///     --stats                print policy statistics and retired instrs
+///
+/// Exit code: the guest's exit code; 124 on CFI violation; 125 on trap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "toolchain/Toolchain.h"
+#include "tools/ToolCommon.h"
+
+using namespace mcfi;
+using namespace mcfi::tools;
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Modules, Libraries;
+  uint64_t Fuel = ~0ull;
+  bool Verify = true, Stats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--register" && I + 1 < argc) {
+      Libraries.push_back(argv[++I]);
+    } else if (Arg == "--fuel" && I + 1 < argc) {
+      Fuel = std::stoull(argv[++I]);
+    } else if (Arg == "--no-verify") {
+      Verify = false;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usage("mcfi-run: unknown option; see the file header for usage");
+    } else {
+      Modules.push_back(Arg);
+    }
+  }
+  if (Modules.empty())
+    usage("usage: mcfi-run [options] prog.mcfo [more.mcfo ...]");
+
+  auto loadObj = [](const std::string &Path, MCFIObject &Obj) {
+    std::vector<uint8_t> Bytes;
+    if (!readFileBytes(Path, Bytes) || !readObject(Bytes, Obj)) {
+      std::fprintf(stderr, "mcfi-run: cannot load %s\n", Path.c_str());
+      return false;
+    }
+    return true;
+  };
+
+  Machine M;
+  LinkOptions LO;
+  LO.Verify = Verify;
+  Linker L(M, LO);
+
+  std::vector<MCFIObject> Objs;
+  for (const std::string &Path : Modules) {
+    MCFIObject Obj;
+    if (!loadObj(Path, Obj))
+      return 2;
+    Objs.push_back(std::move(Obj));
+  }
+  std::string Error;
+  if (!L.linkProgram(std::move(Objs), Error)) {
+    std::fprintf(stderr, "mcfi-run: link failed: %s\n", Error.c_str());
+    return 2;
+  }
+  for (const std::string &Path : Libraries) {
+    MCFIObject Obj;
+    if (!loadObj(Path, Obj))
+      return 2;
+    L.registerLibrary(std::move(Obj));
+  }
+
+  RunResult R = runProgram(M, Fuel);
+  std::fputs(M.takeOutput().c_str(), stdout);
+
+  if (Stats) {
+    std::fprintf(stderr,
+                 "[mcfi-run] %llu instructions; policy: %llu IBs, %llu "
+                 "IBTs, %llu classes; CFG version %u\n",
+                 static_cast<unsigned long long>(R.Instructions),
+                 static_cast<unsigned long long>(L.policy().NumIBs),
+                 static_cast<unsigned long long>(L.policy().NumIBTs),
+                 static_cast<unsigned long long>(L.policy().NumEQCs),
+                 M.tables().currentVersion());
+  }
+
+  switch (R.Reason) {
+  case StopReason::Exited:
+    return static_cast<int>(R.ExitCode);
+  case StopReason::CfiViolation:
+    std::fprintf(stderr, "mcfi-run: CFI violation: %s\n", R.Message.c_str());
+    return 124;
+  case StopReason::Trap:
+    std::fprintf(stderr, "mcfi-run: trap: %s\n", R.Message.c_str());
+    return 125;
+  case StopReason::OutOfFuel:
+    std::fprintf(stderr, "mcfi-run: instruction budget exhausted\n");
+    return 126;
+  }
+  return 125;
+}
