@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_align.dir/bench_ablation_align.cpp.o"
+  "CMakeFiles/bench_ablation_align.dir/bench_ablation_align.cpp.o.d"
+  "bench_ablation_align"
+  "bench_ablation_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_air.dir/bench_air.cpp.o"
+  "CMakeFiles/bench_air.dir/bench_air.cpp.o.d"
+  "bench_air"
+  "bench_air.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_air.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

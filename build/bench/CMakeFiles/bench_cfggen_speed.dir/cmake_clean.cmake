@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cfggen_speed.dir/bench_cfggen_speed.cpp.o"
+  "CMakeFiles/bench_cfggen_speed.dir/bench_cfggen_speed.cpp.o.d"
+  "bench_cfggen_speed"
+  "bench_cfggen_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cfggen_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

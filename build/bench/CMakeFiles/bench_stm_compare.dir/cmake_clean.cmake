@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stm_compare.dir/bench_stm_compare.cpp.o"
+  "CMakeFiles/bench_stm_compare.dir/bench_stm_compare.cpp.o.d"
+  "bench_stm_compare"
+  "bench_stm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

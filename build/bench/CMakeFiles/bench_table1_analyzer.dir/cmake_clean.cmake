@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_analyzer.dir/bench_table1_analyzer.cpp.o"
+  "CMakeFiles/bench_table1_analyzer.dir/bench_table1_analyzer.cpp.o.d"
+  "bench_table1_analyzer"
+  "bench_table1_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

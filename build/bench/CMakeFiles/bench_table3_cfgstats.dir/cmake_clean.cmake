@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cfgstats.dir/bench_table3_cfgstats.cpp.o"
+  "CMakeFiles/bench_table3_cfgstats.dir/bench_table3_cfgstats.cpp.o.d"
+  "bench_table3_cfgstats"
+  "bench_table3_cfgstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cfgstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

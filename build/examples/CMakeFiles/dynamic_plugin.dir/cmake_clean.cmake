@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_plugin.dir/dynamic_plugin.cpp.o"
+  "CMakeFiles/dynamic_plugin.dir/dynamic_plugin.cpp.o.d"
+  "dynamic_plugin"
+  "dynamic_plugin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_plugin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

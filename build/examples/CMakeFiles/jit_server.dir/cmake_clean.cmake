@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_server.dir/jit_server.cpp.o"
+  "CMakeFiles/jit_server.dir/jit_server.cpp.o.d"
+  "jit_server"
+  "jit_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

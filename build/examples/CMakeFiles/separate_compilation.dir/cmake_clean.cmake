@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separate_compilation.dir/separate_compilation.cpp.o"
+  "CMakeFiles/separate_compilation.dir/separate_compilation.cpp.o.d"
+  "separate_compilation"
+  "separate_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separate_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

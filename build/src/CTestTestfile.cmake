@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ctypes")
+subdirs("minic")
+subdirs("analyzer")
+subdirs("mir")
+subdirs("visa")
+subdirs("module")
+subdirs("cfg")
+subdirs("tables")
+subdirs("rewriter")
+subdirs("verifier")
+subdirs("runtime")
+subdirs("linker")
+subdirs("toolchain")
+subdirs("workload")
+subdirs("metrics")

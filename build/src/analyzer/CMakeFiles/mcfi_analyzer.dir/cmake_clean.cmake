@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_analyzer.dir/Analyzer.cpp.o"
+  "CMakeFiles/mcfi_analyzer.dir/Analyzer.cpp.o.d"
+  "libmcfi_analyzer.a"
+  "libmcfi_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_cfg.dir/CFGGen.cpp.o"
+  "CMakeFiles/mcfi_cfg.dir/CFGGen.cpp.o.d"
+  "CMakeFiles/mcfi_cfg.dir/SigMatch.cpp.o"
+  "CMakeFiles/mcfi_cfg.dir/SigMatch.cpp.o.d"
+  "libmcfi_cfg.a"
+  "libmcfi_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

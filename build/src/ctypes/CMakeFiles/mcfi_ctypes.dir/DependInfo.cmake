@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctypes/Layout.cpp" "src/ctypes/CMakeFiles/mcfi_ctypes.dir/Layout.cpp.o" "gcc" "src/ctypes/CMakeFiles/mcfi_ctypes.dir/Layout.cpp.o.d"
+  "/root/repo/src/ctypes/Type.cpp" "src/ctypes/CMakeFiles/mcfi_ctypes.dir/Type.cpp.o" "gcc" "src/ctypes/CMakeFiles/mcfi_ctypes.dir/Type.cpp.o.d"
+  "/root/repo/src/ctypes/TypeParser.cpp" "src/ctypes/CMakeFiles/mcfi_ctypes.dir/TypeParser.cpp.o" "gcc" "src/ctypes/CMakeFiles/mcfi_ctypes.dir/TypeParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

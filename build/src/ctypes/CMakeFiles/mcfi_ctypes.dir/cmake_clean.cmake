@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_ctypes.dir/Layout.cpp.o"
+  "CMakeFiles/mcfi_ctypes.dir/Layout.cpp.o.d"
+  "CMakeFiles/mcfi_ctypes.dir/Type.cpp.o"
+  "CMakeFiles/mcfi_ctypes.dir/Type.cpp.o.d"
+  "CMakeFiles/mcfi_ctypes.dir/TypeParser.cpp.o"
+  "CMakeFiles/mcfi_ctypes.dir/TypeParser.cpp.o.d"
+  "libmcfi_ctypes.a"
+  "libmcfi_ctypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_ctypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

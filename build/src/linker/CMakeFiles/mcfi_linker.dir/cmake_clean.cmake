@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_linker.dir/Linker.cpp.o"
+  "CMakeFiles/mcfi_linker.dir/Linker.cpp.o.d"
+  "libmcfi_linker.a"
+  "libmcfi_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_metrics.dir/Harness.cpp.o"
+  "CMakeFiles/mcfi_metrics.dir/Harness.cpp.o.d"
+  "CMakeFiles/mcfi_metrics.dir/Metrics.cpp.o"
+  "CMakeFiles/mcfi_metrics.dir/Metrics.cpp.o.d"
+  "libmcfi_metrics.a"
+  "libmcfi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/AST.cpp" "src/minic/CMakeFiles/mcfi_minic.dir/AST.cpp.o" "gcc" "src/minic/CMakeFiles/mcfi_minic.dir/AST.cpp.o.d"
+  "/root/repo/src/minic/Lexer.cpp" "src/minic/CMakeFiles/mcfi_minic.dir/Lexer.cpp.o" "gcc" "src/minic/CMakeFiles/mcfi_minic.dir/Lexer.cpp.o.d"
+  "/root/repo/src/minic/Parser.cpp" "src/minic/CMakeFiles/mcfi_minic.dir/Parser.cpp.o" "gcc" "src/minic/CMakeFiles/mcfi_minic.dir/Parser.cpp.o.d"
+  "/root/repo/src/minic/Sema.cpp" "src/minic/CMakeFiles/mcfi_minic.dir/Sema.cpp.o" "gcc" "src/minic/CMakeFiles/mcfi_minic.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctypes/CMakeFiles/mcfi_ctypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

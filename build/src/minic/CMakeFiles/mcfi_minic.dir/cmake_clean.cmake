@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_minic.dir/AST.cpp.o"
+  "CMakeFiles/mcfi_minic.dir/AST.cpp.o.d"
+  "CMakeFiles/mcfi_minic.dir/Lexer.cpp.o"
+  "CMakeFiles/mcfi_minic.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mcfi_minic.dir/Parser.cpp.o"
+  "CMakeFiles/mcfi_minic.dir/Parser.cpp.o.d"
+  "CMakeFiles/mcfi_minic.dir/Sema.cpp.o"
+  "CMakeFiles/mcfi_minic.dir/Sema.cpp.o.d"
+  "libmcfi_minic.a"
+  "libmcfi_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_mir.dir/AsmGen.cpp.o"
+  "CMakeFiles/mcfi_mir.dir/AsmGen.cpp.o.d"
+  "CMakeFiles/mcfi_mir.dir/Lowering.cpp.o"
+  "CMakeFiles/mcfi_mir.dir/Lowering.cpp.o.d"
+  "libmcfi_mir.a"
+  "libmcfi_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

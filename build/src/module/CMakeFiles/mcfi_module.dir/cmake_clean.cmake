@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_module.dir/Finalize.cpp.o"
+  "CMakeFiles/mcfi_module.dir/Finalize.cpp.o.d"
+  "CMakeFiles/mcfi_module.dir/Serialize.cpp.o"
+  "CMakeFiles/mcfi_module.dir/Serialize.cpp.o.d"
+  "libmcfi_module.a"
+  "libmcfi_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

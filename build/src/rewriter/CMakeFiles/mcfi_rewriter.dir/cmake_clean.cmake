@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_rewriter.dir/Rewriter.cpp.o"
+  "CMakeFiles/mcfi_rewriter.dir/Rewriter.cpp.o.d"
+  "libmcfi_rewriter.a"
+  "libmcfi_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

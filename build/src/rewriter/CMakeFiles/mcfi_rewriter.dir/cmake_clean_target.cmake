@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcfi_rewriter.a"
+)

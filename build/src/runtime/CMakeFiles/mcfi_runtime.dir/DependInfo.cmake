@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Machine.cpp" "src/runtime/CMakeFiles/mcfi_runtime.dir/Machine.cpp.o" "gcc" "src/runtime/CMakeFiles/mcfi_runtime.dir/Machine.cpp.o.d"
+  "/root/repo/src/runtime/VM.cpp" "src/runtime/CMakeFiles/mcfi_runtime.dir/VM.cpp.o" "gcc" "src/runtime/CMakeFiles/mcfi_runtime.dir/VM.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/module/CMakeFiles/mcfi_module.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/mcfi_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/visa/CMakeFiles/mcfi_visa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_runtime.dir/Machine.cpp.o"
+  "CMakeFiles/mcfi_runtime.dir/Machine.cpp.o.d"
+  "CMakeFiles/mcfi_runtime.dir/VM.cpp.o"
+  "CMakeFiles/mcfi_runtime.dir/VM.cpp.o.d"
+  "libmcfi_runtime.a"
+  "libmcfi_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/mcfi_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/mcfi_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/mcfi_support.dir/TablePrinter.cpp.o.d"
+  "libmcfi_support.a"
+  "libmcfi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

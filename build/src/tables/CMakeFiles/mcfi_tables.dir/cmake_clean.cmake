@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_tables.dir/IDTables.cpp.o"
+  "CMakeFiles/mcfi_tables.dir/IDTables.cpp.o.d"
+  "libmcfi_tables.a"
+  "libmcfi_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_toolchain.dir/Toolchain.cpp.o"
+  "CMakeFiles/mcfi_toolchain.dir/Toolchain.cpp.o.d"
+  "libmcfi_toolchain.a"
+  "libmcfi_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_verifier.dir/Verifier.cpp.o"
+  "CMakeFiles/mcfi_verifier.dir/Verifier.cpp.o.d"
+  "libmcfi_verifier.a"
+  "libmcfi_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_visa.dir/Assembler.cpp.o"
+  "CMakeFiles/mcfi_visa.dir/Assembler.cpp.o.d"
+  "CMakeFiles/mcfi_visa.dir/ISA.cpp.o"
+  "CMakeFiles/mcfi_visa.dir/ISA.cpp.o.d"
+  "libmcfi_visa.a"
+  "libmcfi_visa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_visa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi_workload.dir/Workload.cpp.o"
+  "CMakeFiles/mcfi_workload.dir/Workload.cpp.o.d"
+  "libmcfi_workload.a"
+  "libmcfi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctypes.dir/CtypesTest.cpp.o"
+  "CMakeFiles/test_ctypes.dir/CtypesTest.cpp.o.d"
+  "test_ctypes"
+  "test_ctypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

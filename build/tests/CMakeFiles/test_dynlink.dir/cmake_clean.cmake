@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynlink.dir/DynlinkTest.cpp.o"
+  "CMakeFiles/test_dynlink.dir/DynlinkTest.cpp.o.d"
+  "test_dynlink"
+  "test_dynlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

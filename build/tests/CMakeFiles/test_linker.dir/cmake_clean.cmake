@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linker.dir/LinkerTest.cpp.o"
+  "CMakeFiles/test_linker.dir/LinkerTest.cpp.o.d"
+  "test_linker"
+  "test_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mir.dir/MirTest.cpp.o"
+  "CMakeFiles/test_mir.dir/MirTest.cpp.o.d"
+  "test_mir"
+  "test_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

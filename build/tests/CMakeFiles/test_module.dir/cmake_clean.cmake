@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_module.dir/ModuleTest.cpp.o"
+  "CMakeFiles/test_module.dir/ModuleTest.cpp.o.d"
+  "test_module"
+  "test_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

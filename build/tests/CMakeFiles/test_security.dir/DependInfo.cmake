@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/SecurityTest.cpp" "tests/CMakeFiles/test_security.dir/SecurityTest.cpp.o" "gcc" "tests/CMakeFiles/test_security.dir/SecurityTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/mcfi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcfi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/mcfi_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/mcfi_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/mcfi_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/mcfi_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriter/CMakeFiles/mcfi_rewriter.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mcfi_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mcfi_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tables/CMakeFiles/mcfi_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/mcfi_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/mcfi_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/module/CMakeFiles/mcfi_module.dir/DependInfo.cmake"
+  "/root/repo/build/src/visa/CMakeFiles/mcfi_visa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctypes/CMakeFiles/mcfi_ctypes.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcfi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_visa.dir/VisaTest.cpp.o"
+  "CMakeFiles/test_visa.dir/VisaTest.cpp.o.d"
+  "test_visa"
+  "test_visa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_visa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmsemantics.dir/VMSemanticsTest.cpp.o"
+  "CMakeFiles/test_vmsemantics.dir/VMSemanticsTest.cpp.o.d"
+  "test_vmsemantics"
+  "test_vmsemantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmsemantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi-cc.dir/mcfi-cc.cpp.o"
+  "CMakeFiles/mcfi-cc.dir/mcfi-cc.cpp.o.d"
+  "mcfi-cc"
+  "mcfi-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

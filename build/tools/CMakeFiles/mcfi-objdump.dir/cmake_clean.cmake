@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi-objdump.dir/mcfi-objdump.cpp.o"
+  "CMakeFiles/mcfi-objdump.dir/mcfi-objdump.cpp.o.d"
+  "mcfi-objdump"
+  "mcfi-objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi-objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi-run.dir/mcfi-run.cpp.o"
+  "CMakeFiles/mcfi-run.dir/mcfi-run.cpp.o.d"
+  "mcfi-run"
+  "mcfi-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfi-verify.dir/mcfi-verify.cpp.o"
+  "CMakeFiles/mcfi-verify.dir/mcfi-verify.cpp.o.d"
+  "mcfi-verify"
+  "mcfi-verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfi-verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
