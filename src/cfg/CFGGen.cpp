@@ -10,6 +10,7 @@
 #include "cfg/SigMatch.h"
 #include "support/Assert.h"
 #include "support/UnionFind.h"
+#include "tables/ID.h"
 
 #include <deque>
 #include <unordered_set>
@@ -71,6 +72,7 @@ private:
         FuncByName.emplace(E.Name, Idx);
         Funcs.push_back(std::move(E));
       }
+      ModuleFuncEnd.push_back(static_cast<uint32_t>(Funcs.size()));
     }
     // A module may take the address of a function another module
     // defines; the definition then becomes an indirect-branch target.
@@ -126,6 +128,7 @@ private:
         }
         CallSites.push_back(std::move(E));
       }
+      ModuleCallEnd.push_back(static_cast<uint32_t>(CallSites.size()));
     }
   }
 
@@ -248,12 +251,29 @@ private:
       return It->second;
     };
 
-    for (const FuncEntry &F : Funcs)
-      if (F.AddressTaken)
-        ibtIndex(F.Addr);
-    for (const CallSiteEntry &CS : CallSites)
-      if (!CS.IsSetjmp)
-        ibtIndex(CS.RetSiteAddr);
+    // Index IBTs grouped *per module* (each module's address-taken
+    // entries, then its return sites). Loading another module then only
+    // appends to the IBT list, so the first-seen ECN assignment below
+    // gives every pre-existing class the same number it had before —
+    // the stability the incremental-update delta relies on. (A flat
+    // all-functions-then-all-ret-sites order would splice a new
+    // module's functions in front of older modules' return sites and
+    // renumber their classes.)
+    {
+      uint32_t FuncBegin = 0, CallBegin = 0;
+      for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
+        for (uint32_t F = FuncBegin; F != ModuleFuncEnd[Mi]; ++F)
+          if (Funcs[F].AddressTaken)
+            ibtIndex(Funcs[F].Addr);
+        for (uint32_t C = CallBegin; C != ModuleCallEnd[Mi]; ++C)
+          if (!CallSites[C].IsSetjmp)
+            ibtIndex(CallSites[C].RetSiteAddr);
+        FuncBegin = ModuleFuncEnd[Mi];
+        CallBegin = ModuleCallEnd[Mi];
+      }
+    }
+    // Remaining targets (e.g. PLT targets that are not address-taken),
+    // in global-site order — also append-only across loads.
     for (const auto &Targets : BranchTargets)
       for (uint64_t A : Targets)
         ibtIndex(A);
@@ -280,12 +300,19 @@ private:
       Policy.TargetECN[IBTAddrs[I]] = It->second;
     }
 
+    // Real classes must stay below the reserved empty-class ECN so the
+    // fail-closed encoding below can never collide with one.
+    assert(NextECN < EmptyClassECN && "ECN space exhausted");
+
     for (size_t B = 0; B != BranchTargets.size(); ++B) {
       const auto &Targets = BranchTargets[B];
       if (Targets.empty()) {
-        // Empty target set: a fresh ECN no address carries, so the
-        // check always fails closed.
-        Policy.BranchECN[B] = NextECN++;
+        // Empty target set: the shared reserved ECN no address carries,
+        // so the check always fails closed. One fixed number (rather
+        // than a fresh ECN per site) keeps ECN assignment stable when
+        // the CFG is regenerated with more modules, which the
+        // incremental-update delta depends on.
+        Policy.BranchECN[B] = EmptyClassECN;
         Policy.BranchClassSize[B] = 0;
         continue;
       }
@@ -302,6 +329,8 @@ private:
   CFGPolicy Policy;
 
   std::vector<FuncEntry> Funcs;
+  std::vector<uint32_t> ModuleFuncEnd; ///< Funcs end index per module
+  std::vector<uint32_t> ModuleCallEnd; ///< CallSites end index per module
   std::unordered_map<std::string, uint32_t> FuncByName;
   std::unordered_map<std::string, std::vector<uint32_t>> BySig;
   std::vector<CallSiteEntry> CallSites;

@@ -27,6 +27,10 @@
 ///
 /// Target sets that overlap are merged into equivalence classes exactly
 /// as in the classic CFI (union-find), and each class receives an ECN.
+/// ECN assignment is *stable under module loads*: regenerating the CFG
+/// with extra modules appended keeps every surviving class's number (new
+/// classes get fresh, higher numbers), so the linker can usually install
+/// a post-dlopen policy as a pure extension of the previous one.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,9 +57,10 @@ struct CFGPolicy {
   /// ECN for every indirect-branch target (absolute code address).
   std::unordered_map<uint64_t, uint32_t> TargetECN;
 
-  /// ECN per global branch-site index, or -1 for a site with an empty
-  /// target set (its check can never pass). Global index = module's
-  /// SiteIndexBase + module-local SiteId.
+  /// ECN per global branch-site index; a site with an empty target set
+  /// carries the reserved EmptyClassECN, which no target ever holds, so
+  /// its check can never pass. Global index = module's SiteIndexBase +
+  /// module-local SiteId.
   std::vector<int64_t> BranchECN;
 
   /// Post-merge target-class size per global branch-site index (the

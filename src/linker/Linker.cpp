@@ -13,6 +13,9 @@
 #include "support/StringUtils.h"
 #include "verifier/Verifier.h"
 
+#include <algorithm>
+#include <chrono>
+
 using namespace mcfi;
 using namespace mcfi::visa;
 
@@ -227,18 +230,87 @@ void Linker::updateGotEntries() {
   }
 }
 
-void Linker::installPolicy(CFGPolicy &&NewPolicy) {
+bool Linker::installPolicy(CFGPolicy &&NewPolicy) {
+  // Flatten the policy to table coordinates so the shadow can diff it
+  // against what the tables currently hold.
+  PolicyImage Image;
+  Image.TaryLimitBytes = M.codeTop() - Machine::CodeBase;
+  Image.BaryCount = static_cast<uint32_t>(NewPolicy.BranchECN.size());
+  Image.TaryECN.reserve(NewPolicy.TargetECN.size());
+  for (const auto &[Addr, ECN] : NewPolicy.TargetECN)
+    Image.TaryECN.emplace(Addr - Machine::CodeBase, ECN);
+  Image.BaryECN = NewPolicy.BranchECN;
+
+  ShadowDelta Delta;
+  if (Opts.IncrementalUpdates)
+    Delta = Shadow.computeDelta(Image);
+  else
+    Delta.Reason = "incremental updates disabled";
+
+#ifndef NDEBUG
+  // Cross-check the delta against the modules' declared IBT offsets:
+  // every new Tary entry must be a potential indirect-branch target some
+  // loaded module announced at finalize time.
+  if (!Delta.FullRebuild) {
+    for (uint64_t Off : Delta.TaryDirtyOffsets) {
+      uint64_t Addr = Off + Machine::CodeBase;
+      // Owning module = the highest CodeBase at or below the address.
+      const MappedModule *Owner = nullptr;
+      for (const MappedModule &Mod : M.modules())
+        if (Mod.CodeBase <= Addr && (!Owner || Mod.CodeBase > Owner->CodeBase))
+          Owner = &Mod;
+      assert(Owner && "delta Tary offset outside every module");
+      // Hand-assembled objects (some tests) skip finalizeObject and
+      // carry no declared offsets; only finalized modules are checked.
+      if (!Owner->Obj->Aux.IBTOffsets.empty()) {
+        assert(std::binary_search(Owner->Obj->Aux.IBTOffsets.begin(),
+                                  Owner->Obj->Aux.IBTOffsets.end(),
+                                  Addr - Owner->CodeBase) &&
+               "delta Tary offset is not a declared IBT");
+      }
+      (void)Owner;
+    }
+  }
+#endif
+
   Policy = std::move(NewPolicy);
-  uint64_t TaryLimit = M.codeTop() - Machine::CodeBase;
-  M.tables().txUpdate(
-      TaryLimit,
-      [this](uint64_t Off) {
-        return Policy.getTaryECN(Machine::CodeBase + Off);
-      },
-      static_cast<uint32_t>(Policy.BranchECN.size()),
-      [this](uint32_t Index) { return Policy.getBaryECN(Index); },
-      [this]() { updateGotEntries(); });
+
+  TxUpdateStats Stats;
+  auto Start = std::chrono::steady_clock::now();
+  TxUpdateStatus Status;
+  if (!Delta.FullRebuild) {
+    Status = M.tables().txUpdateIncremental(
+        Image.TaryLimitBytes, Delta.TaryDirty,
+        [this](uint64_t Off) {
+          return Policy.getTaryECN(Machine::CodeBase + Off);
+        },
+        Image.BaryCount, Delta.BaryDirty,
+        [this](uint32_t Index) { return Policy.getBaryECN(Index); },
+        [this]() { updateGotEntries(); }, &Stats);
+  } else {
+    Status = M.tables().txUpdate(
+        Image.TaryLimitBytes,
+        [this](uint64_t Off) {
+          return Policy.getTaryECN(Machine::CodeBase + Off);
+        },
+        Image.BaryCount,
+        [this](uint32_t Index) { return Policy.getBaryECN(Index); },
+        [this]() { updateGotEntries(); }, &Stats);
+  }
+  if (Status != TxUpdateStatus::Ok) {
+    LastError = "ID-table update refused: version space exhausted "
+                "without a quiescence point";
+    return false;
+  }
+  Stats.Micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  UpdateHistory.push_back(Stats);
+
+  Shadow.install(std::move(Image), M.tables().currentVersion());
   M.setSetjmpRetSites(Policy.SetjmpRetSites);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -292,7 +364,10 @@ bool Linker::linkProgram(std::vector<MCFIObject> Objects,
 
     for (int Idx : Indexes)
       M.sealModule(Idx);
-    installPolicy(std::move(NewPolicy));
+    if (!installPolicy(std::move(NewPolicy))) {
+      Error = LastError;
+      return false;
+    }
   } else {
     for (int Idx : Indexes)
       M.sealModule(Idx);
@@ -359,6 +434,9 @@ int64_t Linker::dlopen(int64_t RegistryId) {
   M.sealModule(Idx);
 
   // Step 3: ID-table updates (GOT updates run inside the transaction).
-  installPolicy(std::move(NewPolicy));
+  if (!installPolicy(std::move(NewPolicy))) {
+    LastError = "dlopen: " + LastError;
+    return -1;
+  }
   return Idx;
 }

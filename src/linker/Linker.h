@@ -31,6 +31,7 @@
 
 #include "cfg/CFGGen.h"
 #include "runtime/Machine.h"
+#include "tables/Shadow.h"
 
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ struct LinkOptions {
   /// Instrument the synthesized bootstrap module (matches whether the
   /// program modules are instrumented).
   bool InstrumentBootstrap = true;
+  /// Install pure-extension policies (typical dlopen of a self-contained
+  /// library) with the O(delta) incremental transaction instead of the
+  /// full O(code-region) rebuild. Off forces every install through the
+  /// full path (the bench's comparison baseline).
+  bool IncrementalUpdates = true;
 };
 
 /// Drives loading, relocation, CFG generation, verification, and table
@@ -71,6 +77,16 @@ public:
   /// The policy currently installed (valid after linkProgram).
   const CFGPolicy &policy() const { return Policy; }
 
+  /// Per-install accounting for every update transaction this linker
+  /// ran, in order (the metrics layer aggregates these).
+  const std::vector<TxUpdateStats> &updateHistory() const {
+    return UpdateHistory;
+  }
+
+  /// The shadow of the installed policy (delta source; exposed for
+  /// metrics and tests).
+  const PolicyShadow &shadow() const { return Shadow; }
+
   const std::string &lastError() const { return LastError; }
 
 private:
@@ -78,12 +94,14 @@ private:
   bool resolveModule(int Index, std::string &Error);
   void patchBaryIndexes(const CFGPolicy &Policy);
   void updateGotEntries();
-  void installPolicy(CFGPolicy &&NewPolicy);
+  bool installPolicy(CFGPolicy &&NewPolicy);
   MCFIObject makeBootstrap();
 
   Machine &M;
   LinkOptions Opts;
   CFGPolicy Policy;
+  PolicyShadow Shadow;
+  std::vector<TxUpdateStats> UpdateHistory;
   std::vector<MCFIObject> Registry;
   std::vector<bool> BaryPatched; ///< per machine module index
   std::string LastError;

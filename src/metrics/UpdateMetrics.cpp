@@ -1,0 +1,51 @@
+//===- metrics/UpdateMetrics.cpp - Update-transaction accounting ----------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/UpdateMetrics.h"
+
+#include "support/StringUtils.h"
+
+using namespace mcfi;
+
+UpdateSummary mcfi::summarizeUpdates(const Linker &L, const IDTables &Tables) {
+  UpdateSummary S;
+  for (const TxUpdateStats &U : L.updateHistory()) {
+    ++S.Installs;
+    uint64_t Touched = U.entriesTouched();
+    S.TotalEntriesTouched += Touched;
+    S.TotalMicros += U.Micros;
+    if (U.Incremental) {
+      ++S.IncrementalInstalls;
+      S.IncrementalEntriesTouched += Touched;
+      S.IncrementalMicros += U.Micros;
+    } else {
+      ++S.FullInstalls;
+      S.FullEntriesTouched += Touched;
+      S.FullMicros += U.Micros;
+    }
+  }
+  S.SlowRetries = Tables.slowRetryCount();
+  return S;
+}
+
+std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
+                                    const std::string &Label) {
+  return formatString(
+      "{\"mode\":\"%s\",\"installs\":%llu,\"full_installs\":%llu,"
+      "\"incremental_installs\":%llu,\"entries_touched\":%llu,"
+      "\"full_entries_touched\":%llu,\"incremental_entries_touched\":%llu,"
+      "\"micros\":%.1f,\"full_micros\":%.1f,\"incremental_micros\":%.1f,"
+      "\"slow_retries\":%llu}",
+      Label.c_str(), static_cast<unsigned long long>(S.Installs),
+      static_cast<unsigned long long>(S.FullInstalls),
+      static_cast<unsigned long long>(S.IncrementalInstalls),
+      static_cast<unsigned long long>(S.TotalEntriesTouched),
+      static_cast<unsigned long long>(S.FullEntriesTouched),
+      static_cast<unsigned long long>(S.IncrementalEntriesTouched),
+      S.TotalMicros, S.FullMicros, S.IncrementalMicros,
+      static_cast<unsigned long long>(S.SlowRetries));
+}

@@ -1,0 +1,52 @@
+//===- metrics/UpdateMetrics.h - Update-transaction accounting --*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The update-latency / entries-touched counter surface over the
+/// linker's per-install TxUpdateStats history. bench_fig6_updates uses
+/// it to compare the full-rebuild and incremental installation paths;
+/// the JSON emitter keeps the numbers machine-trackable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_METRICS_UPDATEMETRICS_H
+#define MCFI_METRICS_UPDATEMETRICS_H
+
+#include "linker/Linker.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mcfi {
+
+/// Aggregated view of a linker's update-transaction history.
+struct UpdateSummary {
+  uint64_t Installs = 0;            ///< update transactions run
+  uint64_t FullInstalls = 0;        ///< version-bumping full rebuilds
+  uint64_t IncrementalInstalls = 0; ///< O(delta) installs
+  uint64_t TotalEntriesTouched = 0; ///< table stores across all installs
+  uint64_t FullEntriesTouched = 0;
+  uint64_t IncrementalEntriesTouched = 0;
+  double TotalMicros = 0;
+  double FullMicros = 0;
+  double IncrementalMicros = 0;
+  /// Times a check transaction's slow path re-read the tables because an
+  /// update was in flight (bounded-retry telemetry from the tables).
+  uint64_t SlowRetries = 0;
+};
+
+/// Aggregates \p L's updateHistory() plus retry telemetry from \p Tables.
+UpdateSummary summarizeUpdates(const Linker &L, const IDTables &Tables);
+
+/// One-line JSON rendering, \p Label under a "mode" key (e.g. "full" /
+/// "incremental").
+std::string updateSummaryJSON(const UpdateSummary &S,
+                              const std::string &Label);
+
+} // namespace mcfi
+
+#endif // MCFI_METRICS_UPDATEMETRICS_H

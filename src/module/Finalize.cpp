@@ -9,8 +9,28 @@
 
 #include "support/Assert.h"
 
+#include <algorithm>
+
 using namespace mcfi;
 using namespace mcfi::visa;
+
+void mcfi::computeIBTOffsets(AuxInfo &Aux) {
+  // The universe of offsets the CFG generator can ever turn into Tary
+  // entries for this module: function entries (address-taken or not —
+  // another module loaded later may take the address) and non-setjmp
+  // return sites. Setjmp return sites go through the runtime's longjmp
+  // validation instead of the tables.
+  Aux.IBTOffsets.clear();
+  for (const FunctionInfo &F : Aux.Functions)
+    Aux.IBTOffsets.push_back(F.CodeOffset);
+  for (const CallSiteInfo &CS : Aux.CallSites)
+    if (!CS.IsSetjmp)
+      Aux.IBTOffsets.push_back(CS.RetSiteOffset);
+  std::sort(Aux.IBTOffsets.begin(), Aux.IBTOffsets.end());
+  Aux.IBTOffsets.erase(
+      std::unique(Aux.IBTOffsets.begin(), Aux.IBTOffsets.end()),
+      Aux.IBTOffsets.end());
+}
 
 namespace {
 
@@ -72,6 +92,8 @@ MCFIObject mcfi::finalizeObject(PendingModule &&PM) {
   }
 
   Obj.Aux.TailCalls = std::move(PM.TailCalls);
+
+  computeIBTOffsets(Obj.Aux);
 
   for (const PendingJumpTable &PJT : PM.JumpTables) {
     JumpTableInfo JT;

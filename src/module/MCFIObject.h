@@ -105,7 +105,17 @@ struct AuxInfo {
   /// Imported functions whose address this module takes: their
   /// definitions (in other modules) become indirect-branch targets.
   std::vector<std::string> AddressTakenImports;
+  /// Every module-relative code offset that can become an indirect-branch
+  /// target under *some* CFG: function entries and non-setjmp return
+  /// sites, sorted and deduplicated. Derived from the fields above
+  /// (computeIBTOffsets) at finalize and deserialize time — not
+  /// serialized — so the linker can sanity-check that an incremental
+  /// table delta only touches offsets the owning module declared.
+  std::vector<uint64_t> IBTOffsets;
 };
+
+/// Computes AuxInfo::IBTOffsets from the other aux fields.
+void computeIBTOffsets(AuxInfo &Aux);
 
 /// A separately compiled and instrumented MCFI module.
 struct MCFIObject {

@@ -334,5 +334,9 @@ bool mcfi::readObject(const std::vector<uint8_t> &Blob, MCFIObject &Out) {
 
   if (!R.str(Out.EntryFunction))
     return false;
-  return R.done();
+  if (!R.done())
+    return false;
+  // Derived field, not part of the wire format.
+  computeIBTOffsets(Out.Aux);
+  return true;
 }

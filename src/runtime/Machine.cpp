@@ -34,24 +34,30 @@ Machine::~Machine() = default;
 int Machine::mapModule(MCFIObject Obj) {
   uint64_t CodeSize = Obj.Code.size();
   uint64_t NeededCode = (CodeSize + 7) & ~7ull; // keep modules 8-aligned
-  if (CodeUsed + NeededCode > CodeCapacity)
+  uint64_t Used = CodeUsed.load(std::memory_order_relaxed);
+  if (Used + NeededCode > CodeCapacity)
     return -1;
   uint64_t DataSize = (Obj.DataSize + 7) & ~7ull;
   if (DataUsed + DataSize > DataCapacity / 2)
     return -1;
 
   MappedModule M;
-  M.CodeBase = CodeBase + CodeUsed;
+  M.CodeBase = CodeBase + Used;
   M.DataBase = DataBase + DataUsed;
-  std::memcpy(CodeBytes.data() + CodeUsed, Obj.Code.data(), CodeSize);
-  CodeUsed += NeededCode;
+  std::memcpy(CodeBytes.data() + Used, Obj.Code.data(), CodeSize);
+  // Publish the extension only after the bytes are in place: a guest
+  // thread whose isCodeAddr sees the new extent must see the code too.
+  CodeUsed.store(Used + NeededCode, std::memory_order_release);
   DataUsed += DataSize;
 
   for (const auto &[Off, Bytes] : Obj.DataInit)
     writeDataBytes(M.DataBase + Off, Bytes.data(), Bytes.size());
 
   M.Obj = std::make_unique<MCFIObject>(std::move(Obj));
-  Mapped.push_back(std::move(M));
+  {
+    std::lock_guard<std::mutex> Guard(ModuleLock);
+    Mapped.push_back(std::move(M));
+  }
 
   // The heap starts after all loaded globals (re-based on every load;
   // allocations already handed out stay put because the heap bump pointer
@@ -66,6 +72,7 @@ int Machine::mapModule(MCFIObject Obj) {
 }
 
 void Machine::sealModule(int Index) {
+  std::lock_guard<std::mutex> Guard(ModuleLock);
   assert(Index >= 0 && static_cast<size_t>(Index) < Mapped.size());
   Mapped[Index].Sealed = true;
   // Extend the contiguous sealed prefix (fast executable check).
@@ -75,7 +82,7 @@ void Machine::sealModule(int Index) {
       break;
     Prefix = M.CodeBase - CodeBase + ((M.Obj->Code.size() + 7) & ~7ull);
   }
-  SealedPrefix = Prefix;
+  SealedPrefix.store(Prefix, std::memory_order_release);
 }
 
 void Machine::patchCode64(uint64_t Addr, uint64_t Value) {
@@ -123,6 +130,29 @@ void Machine::setSetjmpRetSites(std::vector<uint64_t> Sites) {
 bool Machine::isSetjmpRetSite(uint64_t Addr) const {
   std::lock_guard<std::mutex> Guard(SetjmpLock);
   return SetjmpSites.count(Addr) != 0;
+}
+
+void Machine::noteSyscallBoundary(Thread &T) {
+  uint64_t Gen = QuiesceGen.load(std::memory_order_acquire);
+  if (T.QuiesceGen == Gen)
+    return; // already counted this generation
+  T.QuiesceGen = Gen;
+
+  std::lock_guard<std::mutex> Guard(QuiesceLock);
+  // The generation may have advanced while we waited for the lock; the
+  // thread's stamp still marks it quiesced for the *new* generation only
+  // if the stamps match.
+  if (Gen != QuiesceGen.load(std::memory_order_relaxed))
+    return;
+  ++QuiescedThisGen;
+  if (QuiescedThisGen < RunningThreads.load(std::memory_order_acquire))
+    return;
+  // Every thread currently inside the interpreter has crossed a syscall
+  // boundary this generation: no in-flight check transaction can hold a
+  // pre-generation version, so the ABA counter resets (Sec. 5.2).
+  Tables.resetVersionEpoch();
+  QuiescedThisGen = 0;
+  QuiesceGen.store(Gen + 1, std::memory_order_release);
 }
 
 //===----------------------------------------------------------------------===//

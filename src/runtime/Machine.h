@@ -89,6 +89,9 @@ struct Thread {
   uint64_t Instructions = 0;
   /// Saved resume points for nested signal dispatches.
   std::vector<uint64_t> SignalReturnStack;
+  /// Last quiescence generation this thread was observed crossing a
+  /// syscall boundary in (see Machine::noteSyscallBoundary).
+  uint64_t QuiesceGen = 0;
 };
 
 /// A module mapped into the machine.
@@ -132,7 +135,9 @@ public:
   MappedModule &module(int Index) { return Mapped[Index]; }
 
   /// Next free code address (the load point for the next module).
-  uint64_t codeTop() const { return CodeBase + CodeUsed; }
+  uint64_t codeTop() const {
+    return CodeBase + CodeUsed.load(std::memory_order_acquire);
+  }
 
   /// Host access to module bytes for relocation patching; only legal
   /// while the owning module is unsealed (asserts otherwise).
@@ -152,6 +157,15 @@ public:
   /// Replaces the longjmp-validation set (absolute setjmp return sites).
   void setSetjmpRetSites(std::vector<uint64_t> Sites);
 
+  /// Sec. 5.2's quiescence scheme: "if every thread is observed to
+  /// finish using old-version IDs (e.g., when each thread invokes a
+  /// system call), the counter is reset to zero." The interpreter calls
+  /// this at every syscall while versionSpaceLow(); a thread at a
+  /// syscall boundary holds no in-flight check transaction, so once all
+  /// running threads have crossed one in the current generation, stale
+  /// versions are unreachable and the tables' epoch counter resets.
+  void noteSyscallBoundary(Thread &T);
+
   /// Installed by the linker: services the guest's dlopen syscall.
   std::function<int64_t(Machine &, int64_t)> DlopenHook;
 
@@ -163,7 +177,8 @@ public:
     return Addr >= DataBase && Addr + Size <= DataBase + DataCapacity;
   }
   bool isCodeAddr(uint64_t Addr, uint64_t Size) const {
-    return Addr >= CodeBase && Addr + Size <= CodeBase + CodeUsed;
+    return Addr >= CodeBase &&
+           Addr + Size <= CodeBase + CodeUsed.load(std::memory_order_acquire);
   }
 
   /// Typed guest loads/stores. Return false on a fault (unmapped,
@@ -226,15 +241,30 @@ private:
 
   std::vector<uint8_t> CodeBytes;   ///< [0, CodeCapacity)
   std::vector<uint64_t> DataWords;  ///< DataCapacity/8 words, 8-aligned
-  uint64_t CodeUsed = 0;
+  /// Extent of mapped code. Written by the linker (release, after the
+  /// module's bytes are copied in), read by executing guest threads
+  /// (acquire): passing isCodeAddr implies the bytes are visible.
+  std::atomic<uint64_t> CodeUsed{0};
   uint64_t DataUsed = 0;            ///< globals + heap bump pointer
   std::atomic<uint64_t> HeapNext{0};
   std::atomic<uint64_t> StackNext{0}; ///< allocated downward from the top
 
+  /// Guards Mapped against dlopen mutating it (push_back may relocate
+  /// the vector) while a guest thread walks it in the interpreter's
+  /// slow executable check.
+  mutable std::mutex ModuleLock;
   std::vector<MappedModule> Mapped;
-  uint64_t SealedPrefix = 0; ///< bytes of contiguously sealed code
+  /// Bytes of contiguously sealed code (release/acquire like CodeUsed).
+  std::atomic<uint64_t> SealedPrefix{0};
 
   IDTables Tables;
+
+  /// Quiescence tracking (noteSyscallBoundary). Generations start at 1
+  /// so a fresh Thread (QuiesceGen 0) always counts as unobserved.
+  std::atomic<uint64_t> QuiesceGen{1};
+  std::atomic<int> RunningThreads{0};
+  std::mutex QuiesceLock;
+  int QuiescedThisGen = 0;
 
   mutable std::mutex SetjmpLock;
   std::unordered_set<uint64_t> SetjmpSites;

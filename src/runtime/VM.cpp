@@ -41,6 +41,15 @@ RunResult stop(StopReason Reason, const Thread &T, std::string Msg = "",
 RunResult Machine::run(Thread &T, uint64_t Fuel) {
   uint64_t &SP = T.Regs[RegSP];
 
+  // Track how many threads are inside the interpreter so the quiescence
+  // scheme (noteSyscallBoundary) knows when *every* running thread has
+  // crossed a syscall boundary.
+  RunningThreads.fetch_add(1, std::memory_order_acq_rel);
+  struct RunningGuard {
+    std::atomic<int> &C;
+    ~RunningGuard() { C.fetch_sub(1, std::memory_order_acq_rel); }
+  } Guard{RunningThreads};
+
   auto push = [&](uint64_t V) -> bool {
     SP -= 8;
     return store(SP, 8, V);
@@ -61,8 +70,12 @@ RunResult Machine::run(Thread &T, uint64_t Fuel) {
       return stop(StopReason::Trap, T,
                   formatString("fetch from unmapped address 0x%llx",
                                static_cast<unsigned long long>(PC)));
-    bool Executable = PC - CodeBase < SealedPrefix;
+    bool Executable =
+        PC - CodeBase < SealedPrefix.load(std::memory_order_acquire);
     if (!Executable) {
+      // Slow path: dlopen may seal modules out of prefix order. It also
+      // mutates Mapped, so walk it under the module lock.
+      std::lock_guard<std::mutex> Guard(ModuleLock);
       for (const MappedModule &M : Mapped) {
         if (PC >= M.CodeBase && PC < M.CodeBase + M.Obj->Code.size()) {
           Executable = M.Sealed;
@@ -76,7 +89,8 @@ RunResult Machine::run(Thread &T, uint64_t Fuel) {
                                static_cast<unsigned long long>(PC)));
 
     Instr I;
-    if (!decode(CodeBytes.data(), CodeUsed, PC - CodeBase, I))
+    if (!decode(CodeBytes.data(), CodeUsed.load(std::memory_order_acquire),
+                PC - CodeBase, I))
       return stop(StopReason::Trap, T,
                   formatString("invalid instruction at 0x%llx",
                                static_cast<unsigned long long>(PC)));
@@ -256,6 +270,11 @@ RunResult Machine::run(Thread &T, uint64_t Fuel) {
       R[I.Rd] = Tables.baryRead(static_cast<uint32_t>(I.Imm));
       break;
     case Opcode::Syscall: {
+      // A thread entering a syscall holds no in-flight check
+      // transaction: the Sec. 5.2 quiescence point. Only engage the
+      // bookkeeping when the version space is actually running low.
+      if (Tables.versionSpaceLow())
+        noteSyscallBoundary(T);
       switch (static_cast<SyscallNo>(I.Imm)) {
       case SyscallNo::Malloc:
         R[RegRet] = allocHeap(R[RegArg0]);

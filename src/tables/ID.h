@@ -35,6 +35,16 @@ namespace mcfi {
 constexpr uint32_t MaxECN = (1u << 14) - 1;
 constexpr uint32_t MaxVersion = (1u << 14) - 1;
 
+/// ECN reserved for branch sites whose target set is empty. No Tary entry
+/// ever carries it (the CFG generator asserts real classes stay below it),
+/// so a branch ID built from it fails closed against every target while
+/// still being a *valid* ID. Sharing one reserved number — instead of
+/// minting a fresh ECN per empty site — keeps ECN assignment stable
+/// across CFG regenerations, which is what lets the incremental update
+/// path recognize a reloaded policy as a pure extension of the installed
+/// one.
+constexpr uint32_t EmptyClassECN = MaxECN;
+
 /// The reserved-bit mask and expected pattern: LSB of each byte must be
 /// 0,0,0,1 from high to low bytes.
 constexpr uint32_t ReservedMask = 0x01010101u;

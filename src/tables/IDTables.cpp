@@ -69,6 +69,12 @@ CheckResult IDTables::txCheck(uint32_t BaryIndex,
 CheckResult IDTables::txCheckSlow(uint32_t BaryIndex,
                                   uint64_t TargetOffset) const {
   for (;;) {
+    // Seqlock read: if UpdateSeq is even and unchanged across the table
+    // reads, no update transaction overlapped them, so a cross-version
+    // pair is genuinely stale (e.g. the target outlived a shrinking
+    // update) and must be reported as a violation rather than retried
+    // forever.
+    uint64_t Seq = UpdateSeq.load(std::memory_order_acquire);
     uint32_t BranchID = baryRead(BaryIndex);
     std::atomic_thread_fence(std::memory_order_acquire);
     uint32_t TargetID = taryRead(TargetOffset);
@@ -81,29 +87,56 @@ CheckResult IDTables::txCheckSlow(uint32_t BaryIndex,
     // race, and genuine ECN mismatch.
     if (!isValidID(TargetID))
       return CheckResult::ViolationInvalid;
-    if (!sameVersionHalf(BranchID, TargetID))
-      continue; // an update transaction is in flight; retry
-    return CheckResult::ViolationECN;
+    if (sameVersionHalf(BranchID, TargetID))
+      return CheckResult::ViolationECN;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if ((Seq & 1) == 0 && UpdateSeq.load(std::memory_order_relaxed) == Seq)
+      // Version mismatch with no update in flight: one side is stale.
+      // An invalid *branch* ID means the site was never (re)installed;
+      // otherwise the edge crosses versions and is not in any single
+      // installed CFG.
+      return isValidID(BranchID) ? CheckResult::ViolationECN
+                                 : CheckResult::ViolationInvalid;
+    SlowRetries.fetch_add(1, std::memory_order_relaxed);
+    // An update transaction is in flight; retry.
   }
 }
 
-void IDTables::txUpdate(uint64_t TaryLimitBytes,
-                        const std::function<int64_t(uint64_t)> &GetTaryECN,
-                        uint32_t BaryCount,
-                        const std::function<int64_t(uint32_t)> &GetBaryECN,
-                        const std::function<void()> &BetweenTablesHook) {
+TxUpdateStatus
+IDTables::txUpdate(uint64_t TaryLimitBytes,
+                   const std::function<int64_t(uint64_t)> &GetTaryECN,
+                   uint32_t BaryCount,
+                   const std::function<int64_t(uint32_t)> &GetBaryECN,
+                   const std::function<void()> &BetweenTablesHook,
+                   TxUpdateStats *Stats) {
   // Update transactions are serialized by a global lock (they are rare);
   // check transactions proceed concurrently and are synchronized only
   // through the version numbers embedded in the IDs.
   std::lock_guard<std::mutex> Guard(UpdateLock);
 
+  // Sec. 5.2's ABA guard: at quiescence only the current version is
+  // live, so bumps 1..MaxVersion within an epoch are fresh, but bump
+  // MaxVersion+1 lands back on the epoch's starting version, which a
+  // stalled check transaction may still hold. Refuse instead of
+  // silently wrapping; the runtime must quiesce (every thread observed
+  // at a syscall boundary) and resetVersionEpoch() first.
+  if (updatesSinceEpoch() >= MaxVersion)
+    return TxUpdateStatus::VersionExhausted;
+
   uint32_t NewVersion =
       (Version.load(std::memory_order_relaxed) + 1) & MaxVersion;
   Version.store(NewVersion, std::memory_order_relaxed);
   Updates.fetch_add(1, std::memory_order_relaxed);
+  VersionedUpdates.fetch_add(1, std::memory_order_relaxed);
 
   assert(TaryLimitBytes <= taryCapacityBytes() && "code past table capacity");
   assert(BaryCount <= BaryEntries.size() && "too many branch sites");
+
+  TxUpdateStats Local;
+  Local.Version = NewVersion;
+
+  // Mark the update in flight (odd seq) before the first table store.
+  UpdateSeq.fetch_add(1, std::memory_order_release);
 
   // Step 1: construct the new Tary table locally, then copy it in with
   // relaxed (movnti-style, weakly ordered) stores. Each 4-byte store is
@@ -120,6 +153,17 @@ void IDTables::txUpdate(uint64_t TaryLimitBytes,
   }
   for (uint64_t I = 0; I != Limit; ++I)
     TaryEntries[I].store(NewTary[I], std::memory_order_relaxed);
+  Local.TaryWritten = Limit;
+
+  // If the code region shrank, zero the tail of the previous install in
+  // the same phase: stale old-version target IDs there would otherwise
+  // read as "update in flight" forever.
+  uint64_t PrevTaryWords = InstalledTaryWords.load(std::memory_order_relaxed);
+  for (uint64_t I = Limit; I < PrevTaryWords; ++I) {
+    TaryEntries[I].store(0, std::memory_order_relaxed);
+    ++Local.TaryCleared;
+  }
+  InstalledTaryWords.store(Limit, std::memory_order_relaxed);
 
   // Memory write barrier: all Tary stores complete before any Bary store
   // (Fig. 3 line 5). This is the linearization point of the update.
@@ -132,7 +176,8 @@ void IDTables::txUpdate(uint64_t TaryLimitBytes,
     std::atomic_thread_fence(std::memory_order_seq_cst);
   }
 
-  // Step 2: update the Bary table.
+  // Step 2: update the Bary table, zeroing any tail left over from a
+  // larger previous install.
   for (uint32_t I = 0; I != BaryCount; ++I) {
     int64_t ECN = GetBaryECN(I);
     uint32_t ID = 0;
@@ -142,5 +187,119 @@ void IDTables::txUpdate(uint64_t TaryLimitBytes,
     }
     BaryEntries[I].store(ID, std::memory_order_relaxed);
   }
+  Local.BaryWritten = BaryCount;
+  uint32_t PrevBaryCount = InstalledBaryCount.load(std::memory_order_relaxed);
+  for (uint32_t I = BaryCount; I < PrevBaryCount; ++I) {
+    BaryEntries[I].store(0, std::memory_order_relaxed);
+    ++Local.BaryCleared;
+  }
+  InstalledBaryCount.store(BaryCount, std::memory_order_relaxed);
   std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  // Update complete (seq back to even).
+  UpdateSeq.fetch_add(1, std::memory_order_release);
+
+  if (Stats) {
+    Local.Incremental = false;
+    Local.Micros = Stats->Micros; // caller-owned timing, keep it
+    *Stats = Local;
+  }
+  return TxUpdateStatus::Ok;
+}
+
+TxUpdateStatus IDTables::txUpdateIncremental(
+    uint64_t TaryLimitBytes, const std::vector<TaryRange> &TaryDirty,
+    const std::function<int64_t(uint64_t)> &GetTaryECN, uint32_t BaryCount,
+    const std::vector<uint32_t> &BaryDirty,
+    const std::function<int64_t(uint32_t)> &GetBaryECN,
+    const std::function<void()> &BetweenTablesHook, TxUpdateStats *Stats) {
+  std::lock_guard<std::mutex> Guard(UpdateLock);
+
+  assert(TaryLimitBytes <= taryCapacityBytes() && "code past table capacity");
+  assert(BaryCount <= BaryEntries.size() && "too many branch sites");
+  // Grow-only: a delta install may never shrink either table — shrinks
+  // retire entries and must go through the full, version-bumping path.
+  uint64_t PrevTaryWords = InstalledTaryWords.load(std::memory_order_relaxed);
+  uint32_t PrevBaryCount = InstalledBaryCount.load(std::memory_order_relaxed);
+  assert((TaryLimitBytes + 3) / 4 >= PrevTaryWords &&
+         "incremental update may not shrink the Tary table");
+  assert(BaryCount >= PrevBaryCount &&
+         "incremental update may not shrink the Bary table");
+
+  // No version bump: every new entry is stamped with the version already
+  // installed, so each individual atomic store is its own linearization
+  // point — a reader sees the edge absent or present, never a torn
+  // cross-version pair. This is what makes the O(delta) cost safe.
+  uint32_t CurVersion = Version.load(std::memory_order_relaxed);
+  Updates.fetch_add(1, std::memory_order_relaxed);
+
+  TxUpdateStats Local;
+  Local.Incremental = true;
+  Local.Version = CurVersion;
+
+  UpdateSeq.fetch_add(1, std::memory_order_release);
+
+  // Step 1: (re-)encode only the dirty Tary ranges. Re-encoding an
+  // unchanged entry at the same version is idempotent, so ranges may be
+  // coalesced generously by the caller.
+  uint64_t Limit = (TaryLimitBytes + 3) / 4;
+  for (const TaryRange &R : TaryDirty) {
+    uint64_t Begin = R.BeginBytes / 4;
+    uint64_t End = (R.EndBytes + 3) / 4;
+    assert(End <= Limit && "dirty range past the new Tary limit");
+    for (uint64_t I = Begin; I < End; ++I) {
+      int64_t ECN = GetTaryECN(I * 4);
+      uint32_t ID = 0;
+      if (ECN >= 0) {
+        assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+        ID = encodeID(static_cast<uint32_t>(ECN), CurVersion);
+      }
+#ifndef NDEBUG
+      // Eligibility cross-check: an already-installed entry may only be
+      // rewritten with the value it already holds.
+      uint32_t Old = TaryEntries[I].load(std::memory_order_relaxed);
+      assert((I >= PrevTaryWords || Old == 0 || Old == ID) &&
+             "incremental update would change an installed Tary entry");
+#endif
+      TaryEntries[I].store(ID, std::memory_order_relaxed);
+      ++Local.TaryWritten;
+    }
+  }
+  InstalledTaryWords.store(Limit, std::memory_order_relaxed);
+
+  // Same barrier discipline as the full transaction: new targets become
+  // visible before the hook runs and before any new site can read them.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  if (BetweenTablesHook) {
+    BetweenTablesHook();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  // Step 2: install the new Bary sites. Only indexes >= the previous
+  // count are eligible — an existing site's window between the GOT hook
+  // and its bary store would otherwise spuriously halt guests.
+  for (uint32_t I : BaryDirty) {
+    assert(I < BaryCount && "dirty site past the new Bary count");
+    assert(I >= PrevBaryCount &&
+           "incremental update would rewrite an installed Bary site");
+    int64_t ECN = GetBaryECN(I);
+    uint32_t ID = 0;
+    if (ECN >= 0) {
+      assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+      ID = encodeID(static_cast<uint32_t>(ECN), CurVersion);
+    }
+    BaryEntries[I].store(ID, std::memory_order_relaxed);
+    ++Local.BaryWritten;
+  }
+  InstalledBaryCount.store(BaryCount, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  UpdateSeq.fetch_add(1, std::memory_order_release);
+
+  if (Stats) {
+    Local.Micros = Stats->Micros;
+    *Stats = Local;
+  }
+  return TxUpdateStatus::Ok;
 }

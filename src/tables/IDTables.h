@@ -40,6 +40,41 @@ enum class CheckResult : uint8_t {
   ViolationECN,     ///< valid target, same version, different ECN
 };
 
+/// Outcome of an update transaction.
+enum class TxUpdateStatus : uint8_t {
+  Ok,
+  /// The 14-bit version space has been consumed since the last quiescence
+  /// point (Sec. 5.2's ABA hazard): bumping the version again would
+  /// silently re-enter version numbers a stalled check transaction may
+  /// still hold. The caller must arrange a quiescence point (every thread
+  /// observed at a syscall boundary) and resetVersionEpoch() first; the
+  /// transaction had no effect.
+  VersionExhausted,
+};
+
+/// A half-open byte range [BeginBytes, EndBytes) of the conceptual
+/// byte-indexed Tary table; bounds are rounded to 4-byte entries.
+struct TaryRange {
+  uint64_t BeginBytes = 0;
+  uint64_t EndBytes = 0;
+};
+
+/// Per-transaction accounting, the raw material of the update-latency /
+/// entries-touched metrics surface (src/metrics/UpdateMetrics.h).
+struct TxUpdateStats {
+  uint64_t TaryWritten = 0; ///< Tary entries stored (new or re-encoded)
+  uint64_t BaryWritten = 0; ///< Bary entries stored
+  uint64_t TaryCleared = 0; ///< stale Tary entries zeroed (table shrank)
+  uint64_t BaryCleared = 0; ///< stale Bary entries zeroed
+  bool Incremental = false; ///< delta installation vs full rebuild
+  uint32_t Version = 0;     ///< version the written IDs carry
+  double Micros = 0;        ///< wall-clock latency, filled by the caller
+
+  uint64_t entriesTouched() const {
+    return TaryWritten + BaryWritten + TaryCleared + BaryCleared;
+  }
+};
+
 /// The Bary and Tary ID tables plus the global version and update lock.
 ///
 /// The Tary table conceptually maps every code address to an ID; thanks
@@ -76,21 +111,78 @@ public:
   /// \p GetTaryECN, negative = not a target); memory barrier; runs
   /// \p BetweenTablesHook (the dynamic linker's GOT updates go here);
   /// barrier; installs Bary entries [0, BaryCount) from \p GetBaryECN.
-  void txUpdate(uint64_t TaryLimitBytes,
-                const std::function<int64_t(uint64_t)> &GetTaryECN,
-                uint32_t BaryCount,
-                const std::function<int64_t(uint32_t)> &GetBaryECN,
-                const std::function<void()> &BetweenTablesHook = nullptr);
+  /// Entries past the new limits but within the previously installed
+  /// extents are zeroed in the same phases, so a shrinking update leaves
+  /// no stale old-version IDs behind.
+  ///
+  /// Fails with VersionExhausted (and no side effects) when the 14-bit
+  /// version space has been consumed since the last resetVersionEpoch().
+  TxUpdateStatus
+  txUpdate(uint64_t TaryLimitBytes,
+           const std::function<int64_t(uint64_t)> &GetTaryECN,
+           uint32_t BaryCount,
+           const std::function<int64_t(uint32_t)> &GetBaryECN,
+           const std::function<void()> &BetweenTablesHook = nullptr,
+           TxUpdateStats *Stats = nullptr);
+
+  /// Incremental (delta) update transaction: installs a policy that is a
+  /// pure *extension* of the currently installed one — same ECN for every
+  /// already-installed Tary entry and Bary site, new entries only in
+  /// \p TaryDirty ranges and at \p BaryDirty site indexes (all >= the
+  /// previously installed Bary count).
+  ///
+  /// Because the installed entries are untouched and every new entry is
+  /// stamped with the *current* version (no bump), each entry-write
+  /// linearizes independently: a TxCheck sees the edge either absent
+  /// (old CFG) or present (new CFG) and can never observe a torn
+  /// cross-version mix, so the Fig. 3 contract holds without paying the
+  /// O(code-region) rebuild. The same Tary→barrier→hook→barrier→Bary
+  /// phase ordering is kept so new Bary sites only become reachable
+  /// after their targets exist.
+  ///
+  /// The caller (the linker's PolicyShadow delta) is responsible for
+  /// eligibility: any change to an existing entry's ECN, any shrink, or
+  /// any rewrite of an existing Bary site must go through the full
+  /// txUpdate instead. Debug builds assert these preconditions.
+  TxUpdateStatus txUpdateIncremental(
+      uint64_t TaryLimitBytes, const std::vector<TaryRange> &TaryDirty,
+      const std::function<int64_t(uint64_t)> &GetTaryECN, uint32_t BaryCount,
+      const std::vector<uint32_t> &BaryDirty,
+      const std::function<int64_t(uint32_t)> &GetBaryECN,
+      const std::function<void()> &BetweenTablesHook = nullptr,
+      TxUpdateStats *Stats = nullptr);
 
   /// Current CFG version (only advanced by txUpdate).
   uint32_t currentVersion() const {
     return Version.load(std::memory_order_relaxed);
   }
 
-  /// Number of update transactions executed (the ABA counter of Sec. 5.2:
-  /// callers can detect version-space exhaustion and quiesce).
+  /// Number of update transactions executed, full and incremental alike.
   uint64_t updateCount() const {
     return Updates.load(std::memory_order_relaxed);
+  }
+
+  /// Number of *version-bumping* (full) update transactions executed —
+  /// the ABA counter of Sec. 5.2. Incremental updates reuse the current
+  /// version and so do not consume version space.
+  uint64_t versionedUpdateCount() const {
+    return VersionedUpdates.load(std::memory_order_relaxed);
+  }
+
+  /// Times txCheckSlow re-read the table pair because an update was in
+  /// flight. Bounded at quiescence: with no update running, the slow
+  /// path resolves in one pass.
+  uint64_t slowRetryCount() const {
+    return SlowRetries.load(std::memory_order_relaxed);
+  }
+
+  /// Extents covered by the most recent update transaction (what a
+  /// shrinking update must zero down from).
+  uint64_t installedTaryLimitBytes() const {
+    return InstalledTaryWords.load(std::memory_order_relaxed) * 4;
+  }
+  uint32_t installedBaryCount() const {
+    return InstalledBaryCount.load(std::memory_order_relaxed);
   }
 
   //===--------------------------------------------------------------------===//
@@ -101,9 +193,9 @@ public:
   // system call), the counter is reset to zero."
   //===--------------------------------------------------------------------===//
 
-  /// Updates executed since the last quiescence point.
+  /// Version-bumping updates executed since the last quiescence point.
   uint64_t updatesSinceEpoch() const {
-    return Updates.load(std::memory_order_relaxed) -
+    return VersionedUpdates.load(std::memory_order_relaxed) -
            EpochBase.load(std::memory_order_relaxed);
   }
 
@@ -118,7 +210,7 @@ public:
   /// any in-flight check transaction, so old-version IDs can no longer
   /// be compared and the ABA counter restarts.
   void resetVersionEpoch() {
-    EpochBase.store(Updates.load(std::memory_order_relaxed),
+    EpochBase.store(VersionedUpdates.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
   }
 
@@ -136,7 +228,18 @@ private:
 
   std::atomic<uint32_t> Version{0};
   std::atomic<uint64_t> Updates{0};
+  std::atomic<uint64_t> VersionedUpdates{0};
   std::atomic<uint64_t> EpochBase{0};
+  /// Seqlock-style generation: odd while an update transaction is
+  /// between its first and last table store. txCheckSlow uses it to tell
+  /// a genuine cross-version violation (stable seq, even) from an
+  /// in-flight update (must retry), bounding the retry loop.
+  std::atomic<uint64_t> UpdateSeq{0};
+  mutable std::atomic<uint64_t> SlowRetries{0};
+  /// Extents the last transaction installed, in Tary words / Bary
+  /// entries; the next shrinking update zeroes down from these.
+  std::atomic<uint64_t> InstalledTaryWords{0};
+  std::atomic<uint32_t> InstalledBaryCount{0};
   std::mutex UpdateLock;
 };
 

@@ -15,6 +15,7 @@
 #include "tables/Baselines.h"
 #include "tables/ID.h"
 #include "tables/IDTables.h"
+#include "tables/Shadow.h"
 
 #include <gtest/gtest.h>
 
@@ -171,6 +172,202 @@ TEST_F(TablesFixture, ChecksKeepPassingAcrossUpdates) {
 }
 
 //===----------------------------------------------------------------------===//
+// Shrinking updates must retire stale entries (regression)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TablesFixture, ShrinkingUpdateClearsStaleTaryEntries) {
+  // Install a wide policy, then a narrower one. The old code left the
+  // entries in [new limit, old limit) holding old-version IDs; a check
+  // against such an offset then saw "valid ID, different version" and
+  // retried forever in txCheckSlow (livelock) instead of reporting the
+  // violation.
+  install({1, 1, 1, 1, 1, 1}, {1, 1});
+  EXPECT_TRUE(isValidID(T.taryRead(40)));
+  install({1, 1}, {1, 1});
+  // The stale range is zeroed inside the transaction...
+  EXPECT_EQ(T.taryRead(40), 0u);
+  EXPECT_EQ(T.taryRead(16), 0u);
+  // ...so a check against a retired target terminates with a violation.
+  EXPECT_EQ(T.txCheck(0, 40), CheckResult::ViolationInvalid);
+  EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
+}
+
+TEST_F(TablesFixture, ShrinkingUpdateClearsStaleBaryEntries) {
+  install({1, 1}, {1, 1, 1, 1});
+  EXPECT_TRUE(isValidID(T.baryRead(3)));
+  install({1, 1}, {1});
+  EXPECT_EQ(T.baryRead(3), 0u);
+  // A stale site index fails closed rather than spinning against the
+  // new-version target.
+  EXPECT_EQ(T.txCheck(3, 0), CheckResult::ViolationInvalid);
+  EXPECT_EQ(T.installedBaryCount(), 1u);
+  EXPECT_EQ(T.installedTaryLimitBytes(), 16u);
+}
+
+TEST_F(TablesFixture, StaleCrossVersionPairTerminates) {
+  // Even when both IDs are valid but from different versions (no update
+  // in flight), the slow path must conclude, not spin. Build the state
+  // directly: install, then shrink the Bary side so site 1 is stale,
+  // then grow it back under a *new* version so the site reads a valid
+  // ID whose version differs from the target's.
+  install({1, 1}, {1, 1});
+  install({1, 1}, {1});      // site 1 retired
+  uint64_t RetriesBefore = T.slowRetryCount();
+  EXPECT_EQ(T.txCheck(1, 0), CheckResult::ViolationInvalid);
+  // At quiescence the verdict takes at most one extra read pair.
+  EXPECT_LE(T.slowRetryCount() - RetriesBefore, 1u);
+}
+
+TEST_F(TablesFixture, UpdateStatsCountEntriesTouched) {
+  TxUpdateStats Stats;
+  T.txUpdate(
+      32, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1; }, 4,
+      [](uint32_t) -> int64_t { return 1; }, nullptr, &Stats);
+  EXPECT_FALSE(Stats.Incremental);
+  EXPECT_EQ(Stats.TaryWritten, 8u); // 32 bytes = 8 words
+  EXPECT_EQ(Stats.BaryWritten, 4u);
+  EXPECT_EQ(Stats.TaryCleared, 0u);
+  EXPECT_EQ(Stats.BaryCleared, 0u);
+
+  T.txUpdate(
+      16, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1; }, 2,
+      [](uint32_t) -> int64_t { return 1; }, nullptr, &Stats);
+  EXPECT_EQ(Stats.TaryWritten, 4u);
+  EXPECT_EQ(Stats.TaryCleared, 4u); // words 4..8 retired
+  EXPECT_EQ(Stats.BaryWritten, 2u);
+  EXPECT_EQ(Stats.BaryCleared, 2u); // sites 2..4 retired
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental (delta) update transactions
+//===----------------------------------------------------------------------===//
+
+TEST_F(TablesFixture, IncrementalUpdateExtendsWithoutVersionBump) {
+  install({1, 2}, {1, 2});
+  uint32_t Version = T.currentVersion();
+
+  // Extend: offsets 16 and 24 join classes 1 and 3; site 2 is new.
+  auto TaryECN = [](uint64_t Off) -> int64_t {
+    switch (Off) {
+    case 0:
+    case 16:
+      return 1;
+    case 8:
+      return 2;
+    case 24:
+      return 3;
+    default:
+      return -1;
+    }
+  };
+  TxUpdateStats Stats;
+  EXPECT_EQ(T.txUpdateIncremental(
+                32, {{16, 32}}, TaryECN, 3, {2},
+                [](uint32_t I) -> int64_t { return I == 2 ? 3 : (I + 1); },
+                nullptr, &Stats),
+            TxUpdateStatus::Ok);
+
+  EXPECT_TRUE(Stats.Incremental);
+  EXPECT_EQ(Stats.TaryWritten, 4u); // words 4..8 (bytes 16..32)
+  EXPECT_EQ(Stats.BaryWritten, 1u);
+  EXPECT_EQ(T.currentVersion(), Version) << "no version bump on delta";
+
+  // Old edges still pass, new edges pass, cross-class still violates.
+  EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
+  EXPECT_EQ(T.txCheck(1, 8), CheckResult::Pass);
+  EXPECT_EQ(T.txCheck(0, 16), CheckResult::Pass);
+  EXPECT_EQ(T.txCheck(2, 24), CheckResult::Pass);
+  EXPECT_EQ(T.txCheck(2, 0), CheckResult::ViolationECN);
+  EXPECT_EQ(T.txCheck(0, 24), CheckResult::ViolationECN);
+}
+
+TEST_F(TablesFixture, IncrementalUpdateDoesNotConsumeVersionSpace) {
+  install({1}, {1});
+  uint64_t Since = T.updatesSinceEpoch();
+  for (int I = 0; I != 100; ++I) {
+    uint64_t Limit = 8 + 8 * static_cast<uint64_t>(I + 1);
+    EXPECT_EQ(T.txUpdateIncremental(
+                  Limit, {{Limit - 8, Limit}},
+                  [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1; }, 1, {},
+                  [](uint32_t) -> int64_t { return 1; }),
+              TxUpdateStatus::Ok);
+  }
+  EXPECT_EQ(T.updatesSinceEpoch(), Since) << "deltas must not burn versions";
+  EXPECT_EQ(T.updateCount(), 101u); // but they do count as updates
+  EXPECT_EQ(T.txCheck(0, 800), CheckResult::Pass);
+}
+
+//===----------------------------------------------------------------------===//
+// PolicyShadow delta computation
+//===----------------------------------------------------------------------===//
+
+PolicyImage makeImage(uint64_t TaryLimit,
+                      std::initializer_list<std::pair<uint64_t, uint32_t>> Tary,
+                      std::initializer_list<int64_t> Bary) {
+  PolicyImage P;
+  P.TaryLimitBytes = TaryLimit;
+  for (auto &[Off, ECN] : Tary)
+    P.TaryECN.emplace(Off, ECN);
+  P.BaryECN.assign(Bary);
+  P.BaryCount = static_cast<uint32_t>(P.BaryECN.size());
+  return P;
+}
+
+TEST(ShadowDelta, FirstInstallIsFullRebuild) {
+  PolicyShadow S;
+  ShadowDelta D = S.computeDelta(makeImage(32, {{0, 1}}, {1}));
+  EXPECT_TRUE(D.FullRebuild);
+  EXPECT_EQ(D.Reason, "first install");
+}
+
+TEST(ShadowDelta, PureExtensionIsIncremental) {
+  PolicyShadow S;
+  S.install(makeImage(32, {{0, 1}, {8, 2}}, {1, 2}), 1);
+  ShadowDelta D = S.computeDelta(
+      makeImage(64, {{0, 1}, {8, 2}, {40, 1}, {48, 3}}, {1, 2, 3}));
+  ASSERT_FALSE(D.FullRebuild) << D.Reason;
+  EXPECT_EQ(D.TaryDirtyOffsets, (std::vector<uint64_t>{40, 48}));
+  EXPECT_EQ(D.TaryDirtyEntries, 2u);
+  EXPECT_EQ(D.BaryDirty, (std::vector<uint32_t>{2}));
+  // Nearby offsets coalesce into one range.
+  ASSERT_EQ(D.TaryDirty.size(), 1u);
+  EXPECT_EQ(D.TaryDirty[0].BeginBytes, 40u);
+  EXPECT_EQ(D.TaryDirty[0].EndBytes, 52u);
+}
+
+TEST(ShadowDelta, DistantOffsetsSplitRanges) {
+  PolicyShadow S;
+  S.install(makeImage(8, {{0, 1}}, {1}), 1);
+  ShadowDelta D = S.computeDelta(
+      makeImage(4096, {{0, 1}, {8, 2}, {4000, 2}}, {1}));
+  ASSERT_FALSE(D.FullRebuild) << D.Reason;
+  ASSERT_EQ(D.TaryDirty.size(), 2u);
+  EXPECT_EQ(D.TaryDirty[0].BeginBytes, 8u);
+  EXPECT_EQ(D.TaryDirty[1].BeginBytes, 4000u);
+}
+
+TEST(ShadowDelta, ShrinksForceFullRebuild) {
+  PolicyShadow S;
+  S.install(makeImage(64, {{0, 1}}, {1, 2}), 1);
+  EXPECT_TRUE(S.computeDelta(makeImage(32, {{0, 1}}, {1, 2})).FullRebuild);
+  EXPECT_TRUE(S.computeDelta(makeImage(64, {{0, 1}}, {1})).FullRebuild);
+}
+
+TEST(ShadowDelta, ChangedEntriesForceFullRebuild) {
+  PolicyShadow S;
+  S.install(makeImage(64, {{0, 1}, {8, 2}}, {1, 2}), 1);
+  // Target changed class.
+  EXPECT_TRUE(
+      S.computeDelta(makeImage(64, {{0, 1}, {8, 7}}, {1, 2})).FullRebuild);
+  // Target removed.
+  EXPECT_TRUE(S.computeDelta(makeImage(64, {{0, 1}}, {1, 2})).FullRebuild);
+  // Existing branch site changed (e.g. a resolved import): value change
+  // at a live index needs the version bump.
+  EXPECT_TRUE(
+      S.computeDelta(makeImage(64, {{0, 1}, {8, 2}}, {1, 7})).FullRebuild);
+}
+
+//===----------------------------------------------------------------------===//
 // Linearizability under real concurrency (Sec. 5.2)
 //===----------------------------------------------------------------------===//
 
@@ -295,15 +492,18 @@ namespace {
 TEST(ABA, VersionWrapsAndChecksStayCorrect) {
   IDTables T(256, 8);
   auto Install = [&] {
-    T.txUpdate(
+    return T.txUpdate(
         64, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 3; }, 1,
         [](uint32_t) -> int64_t { return 3; });
   };
-  // Drive the 14-bit version space all the way around (16384+) with
-  // quiescent checks in between: every check must keep passing and the
+  // Drive the 14-bit version space all the way around (16384+), with
+  // epoch resets standing in for the runtime's quiescence points once
+  // the space runs low: every check must keep passing and the
   // invalid/mismatch verdicts must stay stable.
   for (int I = 0; I != static_cast<int>(MaxVersion) + 10; ++I) {
-    Install();
+    if (T.versionSpaceLow())
+      T.resetVersionEpoch(); // no checks in flight here: quiescent
+    EXPECT_EQ(Install(), TxUpdateStatus::Ok);
     if (I % 1024 == 0) {
       EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
       EXPECT_EQ(T.txCheck(0, 4), CheckResult::ViolationInvalid);
@@ -311,6 +511,30 @@ TEST(ABA, VersionWrapsAndChecksStayCorrect) {
   }
   EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
   EXPECT_GT(T.updateCount(), static_cast<uint64_t>(MaxVersion));
+}
+
+TEST(ABA, UpdateRefusesToWrapWithoutQuiescence) {
+  IDTables T(64, 2);
+  auto Install = [&] {
+    return T.txUpdate(
+        8, [](uint64_t) -> int64_t { return 1; }, 1,
+        [](uint32_t) -> int64_t { return 1; });
+  };
+  // Exhaust the version space without ever declaring quiescence.
+  for (uint64_t I = 0; I != MaxVersion; ++I)
+    ASSERT_EQ(Install(), TxUpdateStatus::Ok);
+  uint32_t Version = T.currentVersion();
+  uint64_t Count = T.updateCount();
+  // The next bump would re-enter used version space: it must fail
+  // loudly and leave no trace, not wrap silently (the old behaviour).
+  EXPECT_EQ(Install(), TxUpdateStatus::VersionExhausted);
+  EXPECT_EQ(T.currentVersion(), Version);
+  EXPECT_EQ(T.updateCount(), Count);
+  EXPECT_EQ(T.txCheck(0, 0), CheckResult::Pass);
+  // After a quiescence point the transaction goes through again.
+  T.resetVersionEpoch();
+  EXPECT_EQ(Install(), TxUpdateStatus::Ok);
+  EXPECT_EQ(T.updateCount(), Count + 1);
 }
 
 TEST(ABA, EpochCounterDetectsExhaustion) {

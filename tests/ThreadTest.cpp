@@ -135,6 +135,94 @@ TEST(GuestThreads, ViolationInOneThreadDoesNotStopOthers) {
   EXPECT_FALSE(AViolated.load());
 }
 
+//===----------------------------------------------------------------------===//
+// Linearizability of incremental updates (Sec. 5.2 + delta installs)
+//===----------------------------------------------------------------------===//
+
+/// Concurrent txCheck readers race an updater that alternates
+/// *incremental* (growing) installs with full *shrinking* rebuilds.
+/// Invariants:
+///  - an edge in every installed CFG always passes;
+///  - an edge in no installed CFG never passes (and, being invalid in
+///    both, is never misreported as an ECN violation);
+///  - a grown-only edge is either Pass (new CFG) or ViolationInvalid
+///    (old CFG) — any other verdict would be a mixed observation;
+///  - once updates stop, the slow path's retry counter stops growing:
+///    stale states report violations instead of livelocking.
+TEST(Linearizability, IncrementalAndShrinkingUpdates) {
+  IDTables T(4096, 64);
+
+  // Base CFG: offsets {0,8} class 1, site 0 class 1; offset 16 class 2,
+  // site 1 class 2. The "grown" extension adds offset 24 to class 1.
+  auto InstallBase = [&] {
+    T.txUpdate(
+        24,
+        [](uint64_t O) -> int64_t { return O == 16 ? 2 : (O % 8 ? -1 : 1); },
+        2, [](uint32_t I) -> int64_t { return I == 0 ? 1 : 2; });
+  };
+  auto GrowIncrementally = [&] {
+    ASSERT_EQ(T.txUpdateIncremental(
+                  32, {{24, 32}},
+                  [](uint64_t O) -> int64_t {
+                    return O == 16 ? 2 : (O % 8 ? -1 : 1);
+                  },
+                  2, {}, [](uint32_t I) -> int64_t { return I == 0 ? 1 : 2; }),
+              TxUpdateStatus::Ok);
+  };
+  InstallBase();
+
+  std::atomic<bool> CheckersDone{false};
+  std::atomic<int> Failures{0};
+  std::atomic<int> Running{4};
+  auto Checker = [&] {
+    for (int I = 0; I != 60000; ++I) {
+      if (T.txCheck(0, 0) != CheckResult::Pass)
+        Failures.fetch_add(1); // always-present edge
+      if (T.txCheck(1, 16) != CheckResult::Pass)
+        Failures.fetch_add(1); // always-present edge
+      if (T.txCheck(0, 4) != CheckResult::ViolationInvalid)
+        Failures.fetch_add(1); // never a target (misaligned word)
+      CheckResult Grown = T.txCheck(0, 24);
+      if (Grown != CheckResult::Pass &&
+          Grown != CheckResult::ViolationInvalid)
+        Failures.fetch_add(1); // mixed observation
+      CheckResult Cross = T.txCheck(1, 0);
+      if (Cross != CheckResult::ViolationECN)
+        Failures.fetch_add(1); // wrong-class edge, present in both CFGs
+    }
+    if (Running.fetch_sub(1) == 1)
+      CheckersDone.store(true);
+  };
+  std::vector<std::thread> Checkers;
+  for (int I = 0; I != 4; ++I)
+    Checkers.emplace_back(Checker);
+
+  // Grow incrementally, then shrink back with a full rebuild, for as
+  // long as the checkers run.
+  uint64_t Cycles = 0;
+  while (!CheckersDone.load(std::memory_order_relaxed)) {
+    if (T.versionSpaceLow())
+      T.resetVersionEpoch(); // stand-in for the runtime's quiescence
+    GrowIncrementally();
+    InstallBase(); // shrinks the Tary table: offset 24 retired
+    ++Cycles;
+  }
+  for (std::thread &Th : Checkers)
+    Th.join();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_GT(Cycles, 0u);
+
+  // Quiescence: with no update in flight, violating checks must resolve
+  // without a single retry — the stale-ID livelock regression.
+  uint64_t Retries = T.slowRetryCount();
+  for (int I = 0; I != 10000; ++I) {
+    EXPECT_EQ(T.txCheck(0, 24), CheckResult::ViolationInvalid);
+    EXPECT_EQ(T.txCheck(1, 0), CheckResult::ViolationECN);
+  }
+  EXPECT_EQ(T.slowRetryCount(), Retries)
+      << "slow path kept spinning at quiescence";
+}
+
 TEST(GuestThreads, StacksAreDisjoint) {
   BuiltProgram BP = buildShared();
   ASSERT_TRUE(BP.Ok) << BP.Error;

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Builds the project under ThreadSanitizer (-DMCFI_SANITIZE=thread) in a
+# separate build tree and runs the concurrency-sensitive test suites:
+# the lock-free check/update transaction paths, the multithreaded guest
+# runtime, and dynamic linking racing executing threads.
+#
+# Usage: tools/tsan-check.sh [build-dir]   (default: build-tsan)
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build-tsan"}
+
+cmake -B "$BUILD" -S "$ROOT" -DMCFI_SANITIZE=thread
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+  -R 'test_(tables|threads|dynlink|runtime|linker)'
