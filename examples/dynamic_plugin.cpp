@@ -31,6 +31,10 @@ int main() {
         acc = acc + fn(i);
       return acc;
     }
+    long identity(long x) { return x; }       /* fallback transforms:   */
+    long negate(long x) { return 0 - x; }     /* address-taken, never   */
+    long (*fallback_a)(long) = identity;      /* invoked — refinement   */
+    long (*fallback_b)(long) = negate;        /* headroom for mcfi-audit */
     int main() {
       print_str("host: loading plugin...\n");
       long h = dlopen(0);

@@ -95,9 +95,14 @@ bool linkAndRun(const std::vector<std::string> &ObjectFiles) {
 
 int main() {
   // The shared library module: instrumented once, linked twice below.
+  // dbg_trace is address-taken (the debug hook default) but never
+  // invoked by any program: type matching must keep it callable, while
+  // the flow-refined CFG (mcfi-audit --refine) can drop it.
   if (!compileTo("mathlib", R"(
         long apply(long (*f)(long), long x) { return f(x); }
         long triple(long x) { return 3 * x; }
+        long dbg_trace(long x) { return x; }
+        long (*trace_hook)(long) = dbg_trace;
       )"))
     return 1;
 

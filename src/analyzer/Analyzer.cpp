@@ -9,6 +9,8 @@
 
 #include "support/Assert.h"
 
+#include <cassert>
+
 using namespace mcfi;
 using namespace mcfi::minic;
 
@@ -367,12 +369,7 @@ private:
     for (const C1Violation &V : Report.C1) {
       switch (V.Eliminated) {
       case FPRule::None:
-        ++Report.VAE;
-        if (V.Residual == ResidualKind::K1)
-          ++Report.K1;
-        else if (V.Residual == ResidualKind::K2)
-          ++Report.K2;
-        break;
+        break; // survivors are counted from the vector below
       case FPRule::UC:
         ++Report.UC;
         break;
@@ -390,6 +387,21 @@ private:
         break;
       }
     }
+    // Derive VAE (and the Table 2 split) from the surviving-violation
+    // vector itself, so the counters cannot drift from the reports they
+    // summarize; VBE == UC+DC+MF+SU+NF+VAE holds by construction.
+    for (const C1Violation &V : Report.C1) {
+      if (V.Eliminated != FPRule::None)
+        continue;
+      ++Report.VAE;
+      if (V.Residual == ResidualKind::K1)
+        ++Report.K1;
+      else if (V.Residual == ResidualKind::K2)
+        ++Report.K2;
+    }
+    assert(Report.VBE == Report.UC + Report.DC + Report.MF + Report.SU +
+                             Report.NF + Report.VAE &&
+           "Table 1 counters must partition the violation set");
     for (const C2Violation &V : Report.C2)
       if (!V.Annotated)
         ++Report.C2Count;

@@ -56,6 +56,11 @@ struct C1Violation {
   FPRule Eliminated = FPRule::None;
   ResidualKind Residual = ResidualKind::None;
   std::string Description;
+  /// Witness chain attached by the interprocedural dataflow engine when
+  /// it proves this violation puts an incompatible function into an
+  /// indirect call (see dataflow/Dataflow.h refineResidualsWithFlow);
+  /// formatted "what happened (module:line:col)" hops, seed first.
+  std::vector<std::string> Witness;
 };
 
 struct C2Violation {

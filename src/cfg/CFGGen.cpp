@@ -39,8 +39,9 @@ struct CallSiteEntry {
 
 class CFGBuilder {
 public:
-  explicit CFGBuilder(const std::vector<LoadedModuleView> &Modules)
-      : Modules(Modules) {}
+  CFGBuilder(const std::vector<LoadedModuleView> &Modules,
+             const CFGRefinement *Refine)
+      : Modules(Modules), Refine(Refine) {}
 
   CFGPolicy build() {
     collectFunctions();
@@ -111,6 +112,23 @@ private:
     return Out;
   }
 
+  /// Intersects an indirect branch's resolved callee set with the
+  /// refinement's allowed names for its (owner, signature) key. Branches
+  /// without a key keep the full type-matched set: the analysis saw no
+  /// such site (foreign module, incomplete flow), so narrowing would be
+  /// unsound. Intersection-only: this can never add a callee.
+  void refineCallees(std::vector<uint32_t> &Callees,
+                     const std::string &Owner, const std::string &Sig) {
+    if (!Refine)
+      return;
+    auto It = Refine->Allowed.find({Owner, Sig});
+    if (It == Refine->Allowed.end())
+      return;
+    const std::set<std::string> &Names = It->second;
+    std::erase_if(Callees,
+                  [&](uint32_t F) { return !Names.count(Funcs[F].Name); });
+  }
+
   void resolveCallSites() {
     for (const LoadedModuleView &M : Modules) {
       for (const CallSiteInfo &CS : M.Obj->Aux.CallSites) {
@@ -125,6 +143,7 @@ private:
             E.Callees.push_back(It->second);
         } else {
           E.Callees = matchTargets(CS.TypeSig, CS.VariadicPointer);
+          refineCallees(E.Callees, CS.Caller, CS.TypeSig);
         }
         CallSites.push_back(std::move(E));
       }
@@ -158,6 +177,7 @@ private:
             Callees.push_back(It->second);
         } else {
           Callees = matchTargets(TC.TypeSig, TC.VariadicPointer);
+          refineCallees(Callees, TC.Caller, TC.TypeSig);
         }
         for (uint32_t C : Callees)
           TailEdges[CallerIt->second].push_back(C);
@@ -219,10 +239,14 @@ private:
           break;
         }
         case BranchKind::IndirectCall:
-        case BranchKind::IndirectJump:
-          for (uint32_t FI : matchTargets(BS.TypeSig, BS.VariadicPointer))
+        case BranchKind::IndirectJump: {
+          std::vector<uint32_t> Matched =
+              matchTargets(BS.TypeSig, BS.VariadicPointer);
+          refineCallees(Matched, BS.Function, BS.TypeSig);
+          for (uint32_t FI : Matched)
             Targets.push_back(Funcs[FI].Addr);
           break;
+        }
         case BranchKind::PltJump: {
           auto It = FuncByName.find(BS.PltSymbol);
           if (It != FuncByName.end())
@@ -251,6 +275,20 @@ private:
       return It->second;
     };
 
+    // Under refinement, an address-taken function that survives in no
+    // branch target set — and is not pinned — has no live inbound edge:
+    // keeping it would leave a stale singleton class, so it drops out of
+    // the IBT universe entirely (a branch to it then fails the Tary
+    // check, exactly like any other non-target address).
+    std::unordered_set<uint64_t> LiveTargets;
+    if (Refine)
+      for (const auto &Targets : BranchTargets)
+        LiveTargets.insert(Targets.begin(), Targets.end());
+    auto dropUnderRefinement = [&](const FuncEntry &F) {
+      return Refine && !LiveTargets.count(F.Addr) &&
+             !Refine->KeepTargets.count(F.Name);
+    };
+
     // Index IBTs grouped *per module* (each module's address-taken
     // entries, then its return sites). Loading another module then only
     // appends to the IBT list, so the first-seen ECN assignment below
@@ -263,7 +301,7 @@ private:
       uint32_t FuncBegin = 0, CallBegin = 0;
       for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
         for (uint32_t F = FuncBegin; F != ModuleFuncEnd[Mi]; ++F)
-          if (Funcs[F].AddressTaken)
+          if (Funcs[F].AddressTaken && !dropUnderRefinement(Funcs[F]))
             ibtIndex(Funcs[F].Addr);
         for (uint32_t C = CallBegin; C != ModuleCallEnd[Mi]; ++C)
           if (!CallSites[C].IsSetjmp)
@@ -326,6 +364,7 @@ private:
   }
 
   const std::vector<LoadedModuleView> &Modules;
+  const CFGRefinement *Refine;
   CFGPolicy Policy;
 
   std::vector<FuncEntry> Funcs;
@@ -342,7 +381,8 @@ private:
 
 } // namespace
 
-CFGPolicy mcfi::generateCFG(const std::vector<LoadedModuleView> &Modules) {
-  CFGBuilder B(Modules);
+CFGPolicy mcfi::generateCFG(const std::vector<LoadedModuleView> &Modules,
+                            const CFGRefinement *Refinement) {
+  CFGBuilder B(Modules, Refinement);
   return B.build();
 }

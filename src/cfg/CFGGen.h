@@ -40,7 +40,11 @@
 #include "module/MCFIObject.h"
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mcfi {
@@ -97,8 +101,36 @@ struct CFGPolicy {
 /// trampoline edge ("void (*)(int)").
 extern const char *const SignalHandlerSig;
 
+/// An *intersection-only* sharpening of the type-matching policy,
+/// produced by the interprocedural dataflow engine (dataflow/Dataflow.h).
+///
+/// Soundness contract: refinement never widens. Every indirect branch
+/// whose (owner function, pointer signature) key appears in Allowed has
+/// its type-matched target set intersected with the named set; branches
+/// with no key keep their full type-matched set, so modules outside the
+/// analysis (e.g. the bootstrap runtime) are unaffected. Address-taken
+/// functions that survive in no target set and are not pinned by
+/// KeepTargets are dropped from the IBT universe — they were only
+/// reachable through edges the flow analysis proved dead, and dropping
+/// them is what shrinks equivalence classes (per-site intersection alone
+/// cannot: overlapping sets re-merge under the union-find coarsening).
+struct CFGRefinement {
+  /// Allowed indirect-branch target *names*, keyed by (owner function
+  /// name, canonical pointer signature) — the same key triple aux-info
+  /// branch sites, call sites, and tail calls carry.
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> Allowed;
+
+  /// Functions that must remain indirect-branch targets even when no
+  /// refined set references them (escapees: values handed to the
+  /// runtime or to code outside the analyzed module set).
+  std::set<std::string> KeepTargets;
+};
+
 /// Generates the combined CFG policy for \p Modules (in load order).
-CFGPolicy generateCFG(const std::vector<LoadedModuleView> &Modules);
+/// With \p Refinement, target sets are intersected as described above;
+/// passing nullptr yields the paper's plain type-matching policy.
+CFGPolicy generateCFG(const std::vector<LoadedModuleView> &Modules,
+                      const CFGRefinement *Refinement = nullptr);
 
 } // namespace mcfi
 

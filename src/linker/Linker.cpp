@@ -346,7 +346,7 @@ bool Linker::linkProgram(std::vector<MCFIObject> Objects,
     Views.push_back({Mod.Obj.get(), Mod.CodeBase});
 
   if (Opts.InstallPolicy) {
-    CFGPolicy NewPolicy = generateCFG(Views);
+    CFGPolicy NewPolicy = generateCFG(Views, Opts.Refinement);
     patchBaryIndexes(NewPolicy);
 
     if (Opts.Verify) {
@@ -419,7 +419,7 @@ int64_t Linker::dlopen(int64_t RegistryId) {
   std::vector<LoadedModuleView> Views;
   for (const MappedModule &Mod : M.modules())
     Views.push_back({Mod.Obj.get(), Mod.CodeBase});
-  CFGPolicy NewPolicy = generateCFG(Views);
+  CFGPolicy NewPolicy = generateCFG(Views, Opts.Refinement);
   patchBaryIndexes(NewPolicy);
 
   const MappedModule &Mod = M.modules()[static_cast<size_t>(Idx)];

@@ -53,6 +53,12 @@ struct LinkOptions {
   /// full O(code-region) rebuild. Off forces every install through the
   /// full path (the bench's comparison baseline).
   bool IncrementalUpdates = true;
+  /// Optional intersection-only CFG refinement from the dataflow engine;
+  /// applied to every policy this linker generates (static link and
+  /// dlopen regenerations alike, so the refined policy stays consistent
+  /// across loads). The caller keeps the object alive for the linker's
+  /// lifetime. Null: plain type-matching CFG.
+  const CFGRefinement *Refinement = nullptr;
 };
 
 /// Drives loading, relocation, CFG generation, verification, and table

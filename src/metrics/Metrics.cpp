@@ -9,7 +9,9 @@
 
 #include "visa/ISA.h"
 
+#include <algorithm>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace mcfi;
@@ -56,6 +58,26 @@ AIRReport mcfi::computeAIR(const CFGPolicy &Policy,
 
   // NaCl-style 32-byte chunks: any chunk beginning is a legal target.
   R.NaCl = 1.0 - 1.0 / 32.0;
+  return R;
+}
+
+PrecisionReport mcfi::computePrecision(const CFGPolicy &Policy) {
+  PrecisionReport R;
+  R.NumIBs = Policy.NumIBs;
+  R.NumIBTs = Policy.NumIBTs;
+  R.NumEQCs = Policy.NumEQCs;
+  std::unordered_map<uint32_t, uint64_t> ClassSize;
+  for (const auto &[Addr, ECN] : Policy.TargetECN) {
+    (void)Addr;
+    ++ClassSize[ECN];
+  }
+  for (const auto &[ECN, Size] : ClassSize) {
+    (void)ECN;
+    R.LargestClass = std::max(R.LargestClass, Size);
+  }
+  if (!ClassSize.empty())
+    R.AvgClass = static_cast<double>(Policy.NumIBTs) /
+                 static_cast<double>(ClassSize.size());
   return R;
 }
 

@@ -48,6 +48,22 @@ AIRReport computeAIR(const CFGPolicy &Policy,
                      const std::vector<LoadedModuleView> &Modules,
                      uint64_t CodeSize);
 
+/// Policy-precision summary (the Burow et al. view of CFI strength: how
+/// many equivalence classes, and how large the worst one is).
+struct PrecisionReport {
+  uint64_t NumIBs = 0;       ///< instrumented indirect branches
+  uint64_t NumIBTs = 0;      ///< indirect-branch targets
+  uint64_t NumEQCs = 0;      ///< equivalence classes among IBTs
+  uint64_t LargestClass = 0; ///< IBT count of the largest class
+  double AvgClass = 0;       ///< mean IBTs per class
+};
+
+/// Summarizes a policy's precision. LargestClass/AvgClass are computed
+/// over the Tary side (all IBTs grouped by ECN), so they measure the
+/// enforced classes themselves, not just the classes some branch
+/// happens to reference.
+PrecisionReport computePrecision(const CFGPolicy &Policy);
+
 struct GadgetReport {
   uint64_t OriginalGadgets = 0;
   uint64_t HardenedGadgets = 0;

@@ -11,10 +11,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/Analyzer.h"
+#include "dataflow/Dataflow.h"
 #include "minic/Parser.h"
 #include "minic/Sema.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace mcfi;
 using namespace mcfi::minic;
@@ -189,6 +192,129 @@ TEST(Analyzer, UnannotatedAsmIsC2Violation) {
   )MC");
   ASSERT_EQ(R.C2.size(), 2u);
   EXPECT_EQ(R.C2Count, 1u); // only the unannotated one violates C2
+}
+
+TEST(Analyzer, CountersPartitionTheViolationSet) {
+  // Table 1 invariant: every violation-before-elimination is either
+  // eliminated by exactly one rule or survives — on a fixture that
+  // exercises several rules and residuals at once.
+  AnalysisReport R = analyze(std::string(Preamble) + R"(
+    long wrong(long x, long y) { return x + y; }
+    long g(void) {
+      struct Der d;
+      long (*p)(long) = 0;               /* SU */
+      long (*q)(long) = (long (*)(long))wrong; /* residual */
+      struct Base *b = (struct Base *)&d; /* UC */
+      long *m = (long *)malloc(8);        /* MF */
+      free((void *)m);                    /* MF */
+      return use(b) + q(2) + (p != 0);
+    }
+  )");
+  EXPECT_GT(R.VBE, 0u);
+  EXPECT_EQ(R.VBE, R.UC + R.DC + R.MF + R.SU + R.NF + R.VAE);
+  EXPECT_EQ(R.VAE, R.K1 + R.K2);
+  EXPECT_EQ(R.VAE,
+            static_cast<unsigned>(std::count_if(
+                R.C1.begin(), R.C1.end(), [](const C1Violation &V) {
+                  return V.Eliminated == FPRule::None;
+                })));
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural residual classification (analyzer + dataflow engine)
+//===----------------------------------------------------------------------===//
+
+/// Runs the analyzer and then sharpens the K1/K2 split with the
+/// whole-program flow engine over \p Sources (module names m0, m1, ...).
+/// Returns the sharpened report of module \p Idx.
+AnalysisReport analyzeWithFlow(const std::vector<std::string> &Sources,
+                               size_t Idx) {
+  std::vector<std::unique_ptr<Program>> Programs;
+  std::vector<FlowModule> Mods;
+  for (size_t I = 0; I < Sources.size(); ++I) {
+    std::vector<std::string> Errors;
+    auto P = parseProgram(Sources[I], Errors);
+    EXPECT_TRUE(P) << (Errors.empty() ? "?" : Errors.front());
+    if (!P)
+      return {};
+    EXPECT_TRUE(minic::analyze(*P, Errors))
+        << (Errors.empty() ? "?" : Errors.front());
+    Mods.push_back({P.get(), "m" + std::to_string(I)});
+    Programs.push_back(std::move(P));
+  }
+  AnalysisReport R = analyzeConditions(*Programs[Idx]);
+  DataflowResult Flow = analyzeFunctionPointerFlow(Mods);
+  refineResidualsWithFlow(R, "m" + std::to_string(Idx), Flow);
+  return R;
+}
+
+TEST(Analyzer, FlowProvesK1ThroughStructFieldEscape) {
+  // The incompatible function escapes into a struct field in one
+  // function and is invoked from another: only the interprocedural
+  // engine can prove the K1 (and must attach a witness chain).
+  AnalysisReport R = analyzeWithFlow({R"(
+    struct Slot { long (*fp)(long); };
+    long wrong(long x, long y) { return x + y; }
+    void park(struct Slot *s) { s->fp = (long (*)(long))wrong; }
+    long fire(struct Slot *s) { return s->fp(3); }
+    int main() {
+      struct Slot s;
+      park(&s);
+      return (int)fire(&s);
+    }
+  )"},
+                                     0);
+  EXPECT_EQ(R.K1, 1u);
+  EXPECT_EQ(R.K2, 0u);
+  bool SawWitness = false;
+  for (const C1Violation &V : R.C1)
+    if (V.Residual == ResidualKind::K1 && !V.Witness.empty())
+      SawWitness = true;
+  EXPECT_TRUE(SawWitness);
+}
+
+TEST(Analyzer, FlowProvesRoundTripIsK2) {
+  // Cast away and back before the call: the flow engine sees only a
+  // compatible function reach the site, so the residual is benign.
+  AnalysisReport R = analyzeWithFlow({R"(
+    long ok(long x) { return x; }
+    int main() {
+      long (*stash)(long, long) = (long (*)(long, long))ok;
+      long (*back)(long) = (long (*)(long))stash;
+      return (int)back(7);
+    }
+  )"},
+                                     0);
+  EXPECT_GE(R.VAE, 2u);
+  EXPECT_EQ(R.K1, 0u);
+  EXPECT_EQ(R.K2, R.VAE);
+}
+
+TEST(Analyzer, FlowProvesCrossModuleK1) {
+  // The bad cast sits in module m1 but the broken edge is exercised by
+  // an indirect call in module m0: the witness chain crosses modules.
+  AnalysisReport R = analyzeWithFlow(
+      {R"(
+    long (*handler)(long);
+    long run(long x) { return handler(x); }
+  )",
+       R"(
+    long (*handler)(long);
+    long wrong(long x, long y) { return x * y; }
+    long run(long x);
+    int main() {
+      handler = (long (*)(long))wrong;
+      return (int)run(5);
+    }
+  )"},
+      1);
+  EXPECT_EQ(R.K1, 1u);
+  bool MentionsOtherModule = false;
+  for (const C1Violation &V : R.C1)
+    for (const std::string &W : V.Witness)
+      if (W.find("m0:") != std::string::npos)
+        MentionsOtherModule = true;
+  EXPECT_TRUE(MentionsOtherModule);
 }
 
 } // namespace

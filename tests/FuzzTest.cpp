@@ -14,7 +14,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dataflow/Dataflow.h"
 #include "metrics/Harness.h"
+#include "minic/Parser.h"
+#include "minic/Sema.h"
 #include "support/RNG.h"
 #include "verifier/Verifier.h"
 #include "workload/Workload.h"
@@ -107,6 +110,35 @@ TEST_P(FuzzPipeline, MaskAlignVariantAlsoWorks) {
   ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
   RunResult R = runProgram(M);
   EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+}
+
+TEST_P(FuzzPipeline, DataflowEngineTerminates) {
+  // The fixpoint must converge on every generator-produced program —
+  // including the cast-heavy ones — and its per-site completeness must
+  // stay internally consistent (incompatible flows only ever come out
+  // of recorded sites, havoc forces an empty refinement).
+  BenchProfile P = randomProfile(GetParam() ^ 0xDF10);
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+
+  std::vector<std::string> Errors;
+  auto Prog = minic::parseProgram(Source, Errors);
+  ASSERT_TRUE(Prog) << (Errors.empty() ? "?" : Errors.front());
+  ASSERT_TRUE(minic::analyze(*Prog, Errors))
+      << (Errors.empty() ? "?" : Errors.front());
+
+  std::vector<FlowModule> Mods{{Prog.get(), P.Name}};
+  DataflowResult R = analyzeFunctionPointerFlow(Mods);
+  EXPECT_GT(R.Stats.Nodes, 0u);
+  for (const FlowFinding &F : R.Incompatible) {
+    bool FromSite = false;
+    for (const SiteFlow &S : R.Sites)
+      if (S.Caller == F.Caller && S.Loc.Line == F.CallLoc.Line)
+        FromSite = true;
+    EXPECT_TRUE(FromSite) << F.Target;
+  }
+  CFGRefinement Ref = computeRefinement(R);
+  if (R.Havoc)
+    EXPECT_TRUE(Ref.Allowed.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,

@@ -153,6 +153,75 @@ TEST_F(ToolsFixture, CfiViolationExitCode) {
   EXPECT_NE(Out.find("CFI violation"), std::string::npos);
 }
 
+TEST_F(ToolsFixture, VerifyJsonOutput) {
+  writeFile(path("vj.minic"), "int main() { return 0; }\n");
+  std::string Out;
+  ASSERT_EQ(run(std::string(MCFI_CC) + " -o " + path("vj.mcfo") + " " +
+                    path("vj.minic"),
+                &Out),
+            0);
+  ASSERT_EQ(run(std::string(MCFI_VERIFY) + " --json " + path("vj.mcfo"),
+                &Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("\"tool\":\"mcfi-verify\""), std::string::npos);
+  EXPECT_NE(Out.find("\"verify\":{\"ok\":true"), std::string::npos);
+  EXPECT_NE(Out.find("\"ok\":true}"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, AuditReportsFlowAndPrecision) {
+  writeFile(path("lib2.minic"),
+            "long apply(long (*f)(long), long x) { return f(x); }\n"
+            "long spare(long x) { return x; }\n"
+            "long (*spare_hook)(long) = spare;\n");
+  writeFile(path("app2.minic"),
+            "long apply(long (*f)(long), long x);\n"
+            "long inc(long x) { return x + 1; }\n"
+            "int main() { return (int)apply(inc, 1); }\n");
+  std::string Out;
+  // The refined CFG must strictly improve (spare is never invoked), and
+  // nothing here is a K1.
+  ASSERT_EQ(run(std::string(MCFI_AUDIT) +
+                    " --refine --fail-on K1 --expect-refinement " +
+                    path("lib2.minic") + " " + path("app2.minic"),
+                &Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("type-match"), std::string::npos);
+  EXPECT_NE(Out.find("refined"), std::string::npos);
+  EXPECT_NE(Out.find("status: OK"), std::string::npos);
+
+  // JSON mode carries the same data machine-readably.
+  ASSERT_EQ(run(std::string(MCFI_AUDIT) + " --refine --json " +
+                    path("lib2.minic") + " " + path("app2.minic"),
+                &Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("\"tool\":\"mcfi-audit\""), std::string::npos);
+  EXPECT_NE(Out.find("\"typeMatched\":"), std::string::npos);
+  EXPECT_NE(Out.find("\"refined\":"), std::string::npos);
+}
+
+TEST_F(ToolsFixture, AuditFailOnK1Gates) {
+  writeFile(path("k1.minic"), R"(
+    long wrong(long x, long y) { return x + y; }
+    int main() {
+      long (*p)(long) = (long (*)(long))wrong;
+      return (int)p(1);
+    }
+  )");
+  std::string Out;
+  EXPECT_EQ(run(std::string(MCFI_AUDIT) + " --fail-on K1 " +
+                    path("k1.minic"),
+                &Out),
+            1)
+      << Out;
+  EXPECT_NE(Out.find("K1"), std::string::npos);
+  EXPECT_NE(Out.find("status: FAILED"), std::string::npos);
+  // Without the gate the same audit reports and exits clean.
+  EXPECT_EQ(run(std::string(MCFI_AUDIT) + " " + path("k1.minic"), &Out), 0);
+}
+
 TEST_F(ToolsFixture, FuelLimitExitCode) {
   writeFile(path("loop.minic"),
             "int main() { while (1) { } return 0; }\n");

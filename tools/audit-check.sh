@@ -1,0 +1,27 @@
+#!/bin/sh
+# Runs the mcfi-audit policy-precision linter over the examples that
+# exercise separate compilation and dynamic loading, as a CI gate:
+#
+#   - every embedded module must compile and verify;
+#   - no proven-K1 residual may remain (--fail-on K1);
+#   - the flow-refined CFG must strictly improve on plain type matching
+#     (--expect-refinement: EQCs no worse, largest class strictly
+#     smaller, AIR no worse).
+#
+# Usage: tools/audit-check.sh [mcfi-audit-binary] [examples-dir]
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+AUDIT=${1:-"$ROOT/build/tools/mcfi-audit"}
+EXAMPLES=${2:-"$ROOT/examples"}
+
+status=0
+for example in separate_compilation dynamic_plugin; do
+  echo "== auditing $example =="
+  if ! "$AUDIT" --extract --refine --fail-on K1 --expect-refinement \
+      "$EXAMPLES/$example.cpp"; then
+    echo "audit-check: $example FAILED"
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,416 @@
+//===- tools/mcfi-audit.cpp - Policy-precision linter ----------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// mcfi-audit: the whole-program policy-precision linter. It compiles a
+/// module set, runs the C1/C2 condition analyzer over every module,
+/// sharpens the residual K1/K2 split with the interprocedural
+/// function-pointer dataflow engine (witness chains attached), verifies
+/// every module, and reports the precision of the type-matching CFG —
+/// optionally against the flow-refined CFG, which only ever intersects
+/// target sets.
+///
+///   mcfi-audit [options] module.mc...
+///   mcfi-audit --extract [options] example.cpp...
+///
+///   --extract            inputs are C++ files; audit every embedded
+///                        R"( ... )" MiniC module (names are recovered
+///                        from the surrounding code)
+///   --refine             also generate the flow-refined CFG and compare
+///   --json               machine-readable report on stdout
+///   --fail-on <KIND>     exit 1 if findings of KIND remain:
+///                        K1, K2, C1 (any residual), C2, none (default)
+///   --tagged <t1,t2,..>  struct tags with a checked type-tag discipline
+///                        (the analyzer's DC rule attestation)
+///   --expect-refinement  exit 1 unless the refined CFG strictly
+///                        improves: EQCs no worse, largest class
+///                        strictly smaller, AIR no worse
+///
+/// Exit code: 0 clean, 1 gate failed, 2 bad invocation or load error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "dataflow/Dataflow.h"
+#include "metrics/Metrics.h"
+#include "toolchain/Toolchain.h"
+#include "tools/ToolCommon.h"
+#include "verifier/Verifier.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+using namespace mcfi;
+using namespace mcfi::tools;
+
+namespace {
+
+struct Options {
+  bool Extract = false;
+  bool Refine = false;
+  bool Json = false;
+  bool ExpectRefinement = false;
+  std::string FailOn = "none";
+  std::set<std::string> Tagged;
+  std::vector<std::string> Inputs;
+};
+
+struct ModuleSource {
+  std::string Name;
+  std::string Source;
+};
+
+struct AuditedModule {
+  std::string Name;
+  CompileResult CR;
+  AnalysisReport Report;
+  VerifyResult Verify;
+};
+
+/// Recovers a module name for the raw string starting at \p Pos in \p
+/// Text: the nearest preceding quoted literal in the same statement
+/// (compileTo("mathlib", R"(...)), else an identifier ending in
+/// "Source" (const char *HostSource = R"(...)), else mod<N>.
+std::string guessName(const std::string &Text, size_t Pos, size_t Index) {
+  size_t Start = Text.rfind(';', Pos);
+  Start = Start == std::string::npos ? 0 : Start + 1;
+  std::string Stmt = Text.substr(Start, Pos - Start);
+
+  size_t Close = Stmt.rfind('"');
+  if (Close != std::string::npos && Close > 0) {
+    size_t Open = Stmt.rfind('"', Close - 1);
+    if (Open != std::string::npos && Close > Open + 1)
+      return Stmt.substr(Open + 1, Close - Open - 1);
+  }
+
+  size_t Src = Stmt.rfind("Source");
+  if (Src != std::string::npos) {
+    size_t B = Src;
+    while (B > 0 && (std::isalnum(Stmt[B - 1]) || Stmt[B - 1] == '_'))
+      --B;
+    if (B < Src) {
+      std::string Name = Stmt.substr(B, Src - B);
+      for (char &C : Name)
+        C = static_cast<char>(std::tolower(C));
+      return Name;
+    }
+  }
+  return "mod" + std::to_string(Index);
+}
+
+/// Pulls every R"( ... )" raw-string literal out of a C++ file.
+std::vector<ModuleSource> extractModules(const std::string &Text) {
+  std::vector<ModuleSource> Out;
+  size_t Pos = 0;
+  while ((Pos = Text.find("R\"(", Pos)) != std::string::npos) {
+    size_t BodyStart = Pos + 3;
+    size_t End = Text.find(")\"", BodyStart);
+    if (End == std::string::npos)
+      break;
+    Out.push_back({guessName(Text, Pos, Out.size()),
+                   Text.substr(BodyStart, End - BodyStart)});
+    Pos = End + 2;
+  }
+  return Out;
+}
+
+std::string baseName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  return Dot == std::string::npos ? Base : Base.substr(0, Dot);
+}
+
+const char *residualName(ResidualKind K) {
+  return K == ResidualKind::K1 ? "K1" : K == ResidualKind::K2 ? "K2" : "-";
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report (schema shared with mcfi-verify --json; see
+// docs/INTERNALS.md)
+//===----------------------------------------------------------------------===//
+
+void jsonPrecision(std::ostringstream &O, const PrecisionReport &P,
+                   double Air) {
+  O << "{\"numIBs\":" << P.NumIBs << ",\"numIBTs\":" << P.NumIBTs
+    << ",\"numEQCs\":" << P.NumEQCs << ",\"largestClass\":" << P.LargestClass
+    << ",\"avgClass\":" << P.AvgClass << ",\"air\":" << Air << "}";
+}
+
+std::string jsonReport(const std::vector<AuditedModule> &Mods,
+                       const DataflowResult &Flow, const PrecisionReport &Un,
+                       double UnAir, const PrecisionReport *Re, double ReAir,
+                       bool Ok) {
+  std::ostringstream O;
+  O << "{\"tool\":\"mcfi-audit\",\"modules\":[";
+  for (size_t I = 0; I < Mods.size(); ++I) {
+    const AuditedModule &M = Mods[I];
+    if (I)
+      O << ",";
+    O << "{\"name\":\"" << jsonEscape(M.Name) << "\",\"codeBytes\":"
+      << M.CR.Obj.Code.size() << ",\"branchSites\":"
+      << M.CR.Obj.Aux.BranchSites.size() << ",\"verify\":{\"ok\":"
+      << (M.Verify.Ok ? "true" : "false") << ",\"findings\":[";
+    for (size_t J = 0; J < M.Verify.Errors.size(); ++J)
+      O << (J ? "," : "") << "\"" << jsonEscape(M.Verify.Errors[J]) << "\"";
+    O << "]},\"analysis\":{\"vbe\":" << M.Report.VBE << ",\"uc\":"
+      << M.Report.UC << ",\"dc\":" << M.Report.DC << ",\"mf\":" << M.Report.MF
+      << ",\"su\":" << M.Report.SU << ",\"nf\":" << M.Report.NF << ",\"vae\":"
+      << M.Report.VAE << ",\"k1\":" << M.Report.K1 << ",\"k2\":"
+      << M.Report.K2 << ",\"c2\":" << M.Report.C2Count << ",\"residuals\":[";
+    bool First = true;
+    for (const C1Violation &V : M.Report.C1) {
+      if (V.Residual == ResidualKind::None)
+        continue;
+      if (!First)
+        O << ",";
+      First = false;
+      O << "{\"line\":" << V.Loc.Line << ",\"col\":" << V.Loc.Col
+        << ",\"kind\":\"" << residualName(V.Residual) << "\","
+        << "\"description\":\"" << jsonEscape(V.Description)
+        << "\",\"witness\":[";
+      for (size_t J = 0; J < V.Witness.size(); ++J)
+        O << (J ? "," : "") << "\"" << jsonEscape(V.Witness[J]) << "\"";
+      O << "]}";
+    }
+    O << "]}}";
+  }
+  O << "],\"flow\":{\"sites\":" << Flow.Sites.size() << ",\"complete\":";
+  size_t Complete = 0;
+  for (const SiteFlow &S : Flow.Sites)
+    Complete += S.Complete;
+  O << Complete << ",\"incompatible\":" << Flow.Incompatible.size()
+    << ",\"havoc\":" << (Flow.Havoc ? "true" : "false") << ",\"escaped\":[";
+  bool First = true;
+  for (const std::string &E : Flow.EscapedFunctions) {
+    O << (First ? "" : ",") << "\"" << jsonEscape(E) << "\"";
+    First = false;
+  }
+  O << "],\"notes\":[";
+  for (size_t I = 0; I < Flow.Notes.size(); ++I)
+    O << (I ? "," : "") << "\"" << jsonEscape(Flow.Notes[I]) << "\"";
+  O << "]},\"cfg\":{\"typeMatched\":";
+  jsonPrecision(O, Un, UnAir);
+  if (Re) {
+    O << ",\"refined\":";
+    jsonPrecision(O, *Re, ReAir);
+  }
+  O << "},\"ok\":" << (Ok ? "true" : "false") << "}";
+  return O.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Human report
+//===----------------------------------------------------------------------===//
+
+void printHuman(const std::vector<AuditedModule> &Mods,
+                const DataflowResult &Flow, const PrecisionReport &Un,
+                double UnAir, const PrecisionReport *Re, double ReAir) {
+  std::printf("== modules ==\n");
+  for (const AuditedModule &M : Mods) {
+    std::printf("  %-12s %5zu bytes, %3zu branch sites, verify %s\n",
+                M.Name.c_str(), M.CR.Obj.Code.size(),
+                M.CR.Obj.Aux.BranchSites.size(),
+                M.Verify.Ok ? "OK" : "FAILED");
+    for (const std::string &E : M.Verify.Errors)
+      std::printf("    verifier: %s\n", E.c_str());
+  }
+
+  std::printf("\n== condition analysis (paper Sec. 6) ==\n");
+  for (const AuditedModule &M : Mods) {
+    const AnalysisReport &R = M.Report;
+    std::printf("  %-12s VBE %u | UC %u DC %u MF %u SU %u NF %u | "
+                "VAE %u (K1 %u, K2 %u) | C2 %u\n",
+                M.Name.c_str(), R.VBE, R.UC, R.DC, R.MF, R.SU, R.NF, R.VAE,
+                R.K1, R.K2, R.C2Count);
+    for (const C1Violation &V : R.C1) {
+      if (V.Residual == ResidualKind::None)
+        continue;
+      std::printf("    %s at %u:%u: %s\n", residualName(V.Residual),
+                  V.Loc.Line, V.Loc.Col, V.Description.c_str());
+      for (const std::string &W : V.Witness)
+        std::printf("        %s\n", W.c_str());
+    }
+  }
+
+  std::printf("\n== function-pointer flow ==\n");
+  size_t Complete = 0;
+  for (const SiteFlow &S : Flow.Sites)
+    Complete += S.Complete;
+  std::printf("  %zu indirect call sites (%zu complete), %zu incompatible "
+              "flows, %zu escaped functions, havoc: %s\n",
+              Flow.Sites.size(), Complete, Flow.Incompatible.size(),
+              Flow.EscapedFunctions.size(), Flow.Havoc ? "YES" : "no");
+  for (const std::string &N : Flow.Notes)
+    std::printf("  note: %s\n", N.c_str());
+
+  std::printf("\n== CFG precision ==\n");
+  std::printf("  %-12s %6s %6s %6s %8s %7s %8s\n", "", "IBs", "IBTs", "EQCs",
+              "largest", "avg", "AIR");
+  std::printf("  %-12s %6llu %6llu %6llu %8llu %7.2f %8.5f\n", "type-match",
+              (unsigned long long)Un.NumIBs, (unsigned long long)Un.NumIBTs,
+              (unsigned long long)Un.NumEQCs,
+              (unsigned long long)Un.LargestClass, Un.AvgClass, UnAir);
+  if (Re)
+    std::printf("  %-12s %6llu %6llu %6llu %8llu %7.2f %8.5f\n", "refined",
+                (unsigned long long)Re->NumIBs,
+                (unsigned long long)Re->NumIBTs,
+                (unsigned long long)Re->NumEQCs,
+                (unsigned long long)Re->LargestClass, Re->AvgClass, ReAir);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--extract") {
+      O.Extract = true;
+    } else if (A == "--refine") {
+      O.Refine = true;
+    } else if (A == "--json") {
+      O.Json = true;
+    } else if (A == "--expect-refinement") {
+      O.ExpectRefinement = O.Refine = true;
+    } else if (A == "--fail-on" && I + 1 < argc) {
+      O.FailOn = argv[++I];
+    } else if (A == "--tagged" && I + 1 < argc) {
+      std::istringstream In(argv[++I]);
+      std::string Tag;
+      while (std::getline(In, Tag, ','))
+        if (!Tag.empty())
+          O.Tagged.insert(Tag);
+    } else if (!A.empty() && A[0] == '-') {
+      usage("mcfi-audit: unknown option (see header for usage)");
+    } else {
+      O.Inputs.push_back(A);
+    }
+  }
+  if (O.Inputs.empty())
+    usage("usage: mcfi-audit [--extract] [--refine] [--json] "
+          "[--fail-on K1|K2|C1|C2|none] [--tagged t1,t2] "
+          "[--expect-refinement] input...");
+  if (O.FailOn != "none" && O.FailOn != "K1" && O.FailOn != "K2" &&
+      O.FailOn != "C1" && O.FailOn != "C2")
+    usage("mcfi-audit: --fail-on expects K1, K2, C1, C2, or none");
+
+  // Gather module sources.
+  std::vector<ModuleSource> Sources;
+  for (const std::string &Path : O.Inputs) {
+    std::string Text;
+    if (!readFileText(Path, Text)) {
+      std::fprintf(stderr, "mcfi-audit: cannot read %s\n", Path.c_str());
+      return 2;
+    }
+    if (O.Extract) {
+      std::vector<ModuleSource> Ex = extractModules(Text);
+      if (Ex.empty())
+        std::fprintf(stderr, "mcfi-audit: no embedded modules in %s\n",
+                     Path.c_str());
+      Sources.insert(Sources.end(), Ex.begin(), Ex.end());
+    } else {
+      Sources.push_back({baseName(Path), Text});
+    }
+  }
+  if (Sources.empty())
+    return 2;
+
+  // Compile, analyze, verify each module; skip non-MiniC snippets in
+  // extract mode (an example may embed other text).
+  std::vector<AuditedModule> Mods;
+  AnalyzerConfig AC;
+  AC.TaggedAbstractStructs = O.Tagged;
+  for (ModuleSource &S : Sources) {
+    AuditedModule M;
+    M.Name = S.Name;
+    M.CR = compileModule(S.Source, {.ModuleName = S.Name});
+    if (!M.CR.Ok) {
+      if (O.Extract) {
+        std::fprintf(stderr,
+                     "mcfi-audit: skipping '%s' (not a MiniC module: %s)\n",
+                     S.Name.c_str(),
+                     M.CR.Errors.empty() ? "?" : M.CR.Errors.front().c_str());
+        continue;
+      }
+      std::fprintf(stderr, "mcfi-audit: %s: %s\n", S.Name.c_str(),
+                   M.CR.Errors.empty() ? "compile error"
+                                       : M.CR.Errors.front().c_str());
+      return 2;
+    }
+    M.Report = analyzeConditions(*M.CR.Prog, AC);
+    M.Verify = verifyModule(M.CR.Obj.Code.data(), M.CR.Obj.Code.size(),
+                            M.CR.Obj);
+    Mods.push_back(std::move(M));
+  }
+  if (Mods.empty()) {
+    std::fprintf(stderr, "mcfi-audit: nothing to audit\n");
+    return 2;
+  }
+
+  // Whole-program flow analysis; sharpen each module's residual split.
+  std::vector<FlowModule> FlowMods;
+  for (AuditedModule &M : Mods)
+    FlowMods.push_back({M.CR.Prog.get(), M.Name});
+  DataflowResult Flow = analyzeFunctionPointerFlow(FlowMods);
+  for (AuditedModule &M : Mods)
+    refineResidualsWithFlow(M.Report, M.Name, Flow);
+
+  // CFG precision, type-matched and (optionally) flow-refined. Modules
+  // are laid out at page-aligned synthetic bases; precision and AIR only
+  // depend on relative layout.
+  std::vector<LoadedModuleView> Views;
+  uint64_t Base = 0x400000, CodeSize = 0;
+  for (const AuditedModule &M : Mods) {
+    Views.push_back({&M.CR.Obj, Base});
+    Base += (M.CR.Obj.Code.size() + 0xFFF) & ~0xFFFull;
+    CodeSize += M.CR.Obj.Code.size();
+  }
+  CFGPolicy Unrefined = generateCFG(Views);
+  PrecisionReport Un = computePrecision(Unrefined);
+  double UnAir = computeAIR(Unrefined, Views, CodeSize).MCFI;
+
+  PrecisionReport Re;
+  double ReAir = 0;
+  CFGRefinement Refinement;
+  if (O.Refine) {
+    Refinement = computeRefinement(Flow);
+    CFGPolicy Refined = generateCFG(Views, &Refinement);
+    Re = computePrecision(Refined);
+    ReAir = computeAIR(Refined, Views, CodeSize).MCFI;
+  }
+
+  // Gates.
+  bool Ok = true;
+  for (const AuditedModule &M : Mods) {
+    if (!M.Verify.Ok)
+      Ok = false;
+    if (O.FailOn == "K1" && M.Report.K1)
+      Ok = false;
+    if (O.FailOn == "K2" && M.Report.K2)
+      Ok = false;
+    if (O.FailOn == "C1" && M.Report.VAE)
+      Ok = false;
+    if (O.FailOn == "C2" && M.Report.C2Count)
+      Ok = false;
+  }
+  if (O.ExpectRefinement &&
+      !(Re.NumEQCs <= Un.NumEQCs && Re.LargestClass < Un.LargestClass &&
+        ReAir >= UnAir))
+    Ok = false;
+
+  if (O.Json) {
+    std::printf("%s\n", jsonReport(Mods, Flow, Un, UnAir,
+                                   O.Refine ? &Re : nullptr, ReAir, Ok)
+                            .c_str());
+  } else {
+    printHuman(Mods, Flow, Un, UnAir, O.Refine ? &Re : nullptr, ReAir);
+    std::printf("\nstatus: %s\n", Ok ? "OK" : "FAILED");
+  }
+  return Ok ? 0 : 1;
+}

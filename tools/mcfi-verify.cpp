@@ -9,7 +9,10 @@
 /// printing every finding. A module produced by *any* compiler is safe
 /// to load iff it verifies — the rewriter stays outside the TCB.
 ///
-///   mcfi-verify module.mcfo [more.mcfo ...]
+///   mcfi-verify [--json] module.mcfo [more.mcfo ...]
+///
+/// With --json, emits one machine-readable report on stdout (the same
+/// per-module shape mcfi-audit uses; see docs/INTERNALS.md).
 ///
 /// Exit code 0 iff every module verifies.
 ///
@@ -18,32 +21,67 @@
 #include "tools/ToolCommon.h"
 #include "verifier/Verifier.h"
 
+#include <sstream>
+
 using namespace mcfi;
 using namespace mcfi::tools;
 
 int main(int argc, char **argv) {
-  if (argc < 2)
-    usage("usage: mcfi-verify module.mcfo [more.mcfo ...]");
+  bool Json = false;
+  std::vector<std::string> Inputs;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) == "--json")
+      Json = true;
+    else
+      Inputs.push_back(argv[I]);
+  }
+  if (Inputs.empty())
+    usage("usage: mcfi-verify [--json] module.mcfo [more.mcfo ...]");
 
   bool AllOk = true;
-  for (int I = 1; I < argc; ++I) {
+  std::ostringstream J;
+  J << "{\"tool\":\"mcfi-verify\",\"modules\":[";
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const std::string &Path = Inputs[I];
     std::vector<uint8_t> Bytes;
     MCFIObject Obj;
-    if (!readFileBytes(argv[I], Bytes) || !readObject(Bytes, Obj)) {
-      std::fprintf(stderr, "mcfi-verify: cannot load %s\n", argv[I]);
-      AllOk = false;
+    bool Loaded = readFileBytes(Path, Bytes) && readObject(Bytes, Obj);
+    VerifyResult R;
+    if (Loaded) {
+      R = verifyModule(Obj.Code.data(), Obj.Code.size(), Obj);
+    } else {
+      R.Ok = false;
+      R.Errors.push_back("cannot load module");
+      if (!Json)
+        std::fprintf(stderr, "mcfi-verify: cannot load %s\n", Path.c_str());
+    }
+    AllOk = AllOk && R.Ok;
+
+    if (Json) {
+      if (I)
+        J << ",";
+      J << "{\"name\":\"" << jsonEscape(Path) << "\",\"codeBytes\":"
+        << Obj.Code.size() << ",\"branchSites\":"
+        << Obj.Aux.BranchSites.size() << ",\"verify\":{\"ok\":"
+        << (R.Ok ? "true" : "false") << ",\"findings\":[";
+      for (size_t E = 0; E < R.Errors.size(); ++E)
+        J << (E ? "," : "") << "\"" << jsonEscape(R.Errors[E]) << "\"";
+      J << "]}}";
       continue;
     }
-    VerifyResult R = verifyModule(Obj.Code.data(), Obj.Code.size(), Obj);
     if (R.Ok) {
-      std::printf("%s: OK (%zu branch sites, %zu bytes)\n", argv[I],
+      std::printf("%s: OK (%zu branch sites, %zu bytes)\n", Path.c_str(),
                   Obj.Aux.BranchSites.size(), Obj.Code.size());
-      continue;
+    } else if (Loaded) {
+      std::printf("%s: FAILED, %zu finding(s)\n", Path.c_str(),
+                  R.Errors.size());
+      for (const std::string &E : R.Errors)
+        std::printf("  %s\n", E.c_str());
     }
-    AllOk = false;
-    std::printf("%s: FAILED, %zu finding(s)\n", argv[I], R.Errors.size());
-    for (const std::string &E : R.Errors)
-      std::printf("  %s\n", E.c_str());
+  }
+  if (Json) {
+    J << "],\"ok\":" << (AllOk ? "true" : "false") << "}";
+    std::printf("%s\n", J.str().c_str());
   }
   return AllOk ? 0 : 1;
 }
