@@ -29,6 +29,7 @@ UpdateSummary mcfi::summarizeUpdates(const Linker &L, const IDTables &Tables) {
     }
   }
   S.SlowRetries = Tables.slowRetryCount();
+  S.UpdateInFlight = Tables.updateInFlight();
   return S;
 }
 
@@ -39,7 +40,7 @@ std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
       "\"incremental_installs\":%llu,\"entries_touched\":%llu,"
       "\"full_entries_touched\":%llu,\"incremental_entries_touched\":%llu,"
       "\"micros\":%.1f,\"full_micros\":%.1f,\"incremental_micros\":%.1f,"
-      "\"slow_retries\":%llu}",
+      "\"slow_retries\":%llu,\"update_in_flight\":%s}",
       Label.c_str(), static_cast<unsigned long long>(S.Installs),
       static_cast<unsigned long long>(S.FullInstalls),
       static_cast<unsigned long long>(S.IncrementalInstalls),
@@ -47,5 +48,6 @@ std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
       static_cast<unsigned long long>(S.FullEntriesTouched),
       static_cast<unsigned long long>(S.IncrementalEntriesTouched),
       S.TotalMicros, S.FullMicros, S.IncrementalMicros,
-      static_cast<unsigned long long>(S.SlowRetries));
+      static_cast<unsigned long long>(S.SlowRetries),
+      S.UpdateInFlight ? "true" : "false");
 }

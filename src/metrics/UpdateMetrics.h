@@ -37,6 +37,11 @@ struct UpdateSummary {
   /// Times a check transaction's slow path re-read the tables because an
   /// update was in flight (bounded-retry telemetry from the tables).
   uint64_t SlowRetries = 0;
+  /// Whether an update transaction was in flight at the instant of the
+  /// snapshot (acquire-ordered read of the seqlock's parity). True in a
+  /// steady-state summary means an updater died inside its bracket —
+  /// every checker would be pinned to the slow path forever.
+  bool UpdateInFlight = false;
 };
 
 /// Aggregates \p L's updateHistory() plus retry telemetry from \p Tables.

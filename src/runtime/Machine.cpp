@@ -153,6 +153,8 @@ void Machine::noteSyscallBoundary(Thread &T) {
   Tables.resetVersionEpoch();
   QuiescedThisGen = 0;
   QuiesceGen.store(Gen + 1, std::memory_order_release);
+  if (QuiesceEpochHook)
+    QuiesceEpochHook(Gen);
 }
 
 //===----------------------------------------------------------------------===//

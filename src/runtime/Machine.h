@@ -169,6 +169,13 @@ public:
   /// Installed by the linker: services the guest's dlopen syscall.
   std::function<int64_t(Machine &, int64_t)> DlopenHook;
 
+  /// Fired after each quiescence-point epoch reset with the generation
+  /// that just completed. Lets metrics and the schedule checker observe
+  /// exactly when the version space was reclaimed without polling
+  /// updatesSinceEpoch(). Called under the quiescence lock; keep it
+  /// cheap and do not re-enter the Machine.
+  std::function<void(uint64_t)> QuiesceEpochHook;
+
   //===--------------------------------------------------------------------===//
   // Guest memory (atomic; threads may race per the paper's threat model)
   //===--------------------------------------------------------------------===//

@@ -1,0 +1,66 @@
+//===- schedcheck/Oracle.cpp - Sequential specification of txCheck --------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedcheck/SchedCheck.h"
+
+using namespace mcfi;
+using namespace mcfi::schedcheck;
+
+const char *schedcheck::violationKindName(ViolationKind Kind) {
+  switch (Kind) {
+  case ViolationKind::TornObservation:
+    return "torn-observation";
+  case ViolationKind::ReservedBits:
+    return "reserved-bits";
+  case ViolationKind::SeqlockBound:
+    return "seqlock-bound";
+  case ViolationKind::UpdateStatus:
+    return "update-status";
+  case ViolationKind::Harness:
+    return "harness";
+  }
+  return "?";
+}
+
+const char *schedcheck::checkResultName(CheckResult R) {
+  switch (R) {
+  case CheckResult::Pass:
+    return "Pass";
+  case CheckResult::ViolationInvalid:
+    return "ViolationInvalid";
+  case CheckResult::ViolationECN:
+    return "ViolationECN";
+  }
+  return "?";
+}
+
+CheckResult schedcheck::evalCheck(const SpecPolicy &P, uint32_t Site,
+                                  uint64_t Target) {
+  // Mirrors txCheck evaluated atomically against the snapshot. Under a
+  // single policy all IDs carry the same version, so the version-race
+  // branch of txCheckSlow cannot trigger and the outcome reduces to
+  // validity plus ECN comparison.
+  //
+  // A misaligned target synthesizes its word from two adjacent entries;
+  // the reserved-bit layout (LSB 1 only in the lowest byte of an ID)
+  // guarantees the synthesized word is invalid or zero, so it can never
+  // equal a valid branch ID: always a violation, per the paper's
+  // byte-addressed Tary design.
+  bool TargetValid = (Target & 3) == 0 && Target < P.TaryLimitBytes &&
+                     P.TaryECN.count(Target) != 0;
+  if (!TargetValid)
+    return CheckResult::ViolationInvalid;
+  bool BranchValid = Site < P.BaryCount && P.BaryECN.count(Site) != 0;
+  if (!BranchValid)
+    // txCheckSlow: an invalid branch ID never equals the (valid) target
+    // ID and fails the version comparison, landing on ViolationInvalid
+    // once the seqlock confirms no update was in flight.
+    return CheckResult::ViolationInvalid;
+  return P.TaryECN.at(Target) == P.BaryECN.at(Site)
+             ? CheckResult::Pass
+             : CheckResult::ViolationECN;
+}

@@ -1,0 +1,200 @@
+//===- schedcheck/SchedCheck.h - Deterministic schedule checker -*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic schedule-exploration checking for the ID-table
+/// transactions. A scenario describes one updater thread (a sequence of
+/// full / incremental update transactions) racing a set of checker
+/// threads (scripts of TxCheck operations). The harness runs all logical
+/// threads as cooperative fibers on one OS thread, taking a scheduling
+/// decision at every SchedPoint (tables/SchedPoint.h) — i.e. before
+/// every atomic access of the transaction paths — and explores the
+/// decision tree exhaustively under a preemption bound, or by seeded
+/// random walks for larger spaces.
+///
+/// A linearizability oracle validates every completed TxCheck against
+/// the sequential specification: the result must equal evalCheck() of
+/// *some* policy snapshot within the operation's real-time window (the
+/// CFG before the update, after it, or — for incremental updates —
+/// old-plus-installed-delta is always one of those two endpoints, since
+/// deltas are pure extensions). Torn observations, reserved-ID-bit
+/// corruption, seqlock retries beyond their bound, and unexpected update
+/// statuses are reported with a replayable schedule string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_SCHEDCHECK_SCHEDCHECK_H
+#define MCFI_SCHEDCHECK_SCHEDCHECK_H
+
+#if !MCFI_SCHED_HOOKS
+#error "schedcheck requires the instrumented tables build: link " \
+       "mcfi_tables_sched (never mcfi_tables) into schedcheck binaries"
+#endif
+
+#include "tables/IDTables.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcfi {
+namespace schedcheck {
+
+/// One scripted check operation: txCheck(Site, Target).
+struct CheckOp {
+  uint32_t Site = 0;
+  uint64_t Target = 0;
+};
+
+/// A complete CFG snapshot (the sequential specification's state), plus
+/// the installation recipe the updater uses to reach it. For incremental
+/// updates the ECN maps still describe the full *resulting* policy; the
+/// dirty lists say which part is new.
+struct SpecPolicy {
+  uint64_t TaryLimitBytes = 0;
+  std::map<uint64_t, uint32_t> TaryECN; ///< aligned byte offset -> ECN
+  uint32_t BaryCount = 0;
+  std::map<uint32_t, uint32_t> BaryECN; ///< branch-site index -> ECN
+
+  bool Incremental = false; ///< install via txUpdateIncremental
+  std::vector<TaryRange> TaryDirty;
+  std::vector<uint32_t> BaryDirty;
+
+  /// This update must be refused with VersionExhausted (and has no
+  /// effect on the linearization sequence).
+  bool ExpectExhausted = false;
+  /// Call resetVersionEpoch() (a quiescence point) before this update.
+  bool QuiesceBefore = false;
+};
+
+/// One transaction-layer race to explore. Thread 0 is the updater,
+/// threads 1..N the checkers.
+struct Scenario {
+  std::string Name;
+  std::string Summary;
+  uint64_t CodeCapacity = 0;  ///< IDTables code-region capacity, bytes
+  uint32_t BaryCapacity = 0;  ///< IDTables branch-site capacity
+  /// Pre-age the version space by this many version-bumping updates
+  /// before the initial install (0 = fresh tables). Lets the wrap
+  /// scenario sit at the MaxVersion boundary without 2^14 installs.
+  uint64_t ForceVersionedUpdates = 0;
+  SpecPolicy Initial; ///< installed before the race starts
+  std::vector<SpecPolicy> Updates;
+  std::vector<std::vector<CheckOp>> Checkers;
+};
+
+enum class ViolationKind : uint8_t {
+  /// A completed TxCheck's result matches no policy snapshot in its
+  /// real-time window: the check observed a torn old/new mix.
+  TornObservation,
+  /// An observed Tary/Bary word was nonzero yet had a wrong reserved-bit
+  /// pattern (the 0,0,0,1 per-byte LSBs).
+  ReservedBits,
+  /// txCheckSlow retried past its seqlock bound.
+  SeqlockBound,
+  /// An update transaction returned a status other than the scenario
+  /// expected (Ok vs VersionExhausted).
+  UpdateStatus,
+  /// The harness itself could not proceed: a replayed schedule chose a
+  /// thread that is not runnable, or no thread was runnable.
+  Harness,
+};
+
+const char *violationKindName(ViolationKind Kind);
+const char *checkResultName(CheckResult R);
+
+/// A reported failure, replayable via runSchedule(Violation.Schedule).
+struct Violation {
+  ViolationKind Kind = ViolationKind::Harness;
+  std::string Message;  ///< what went wrong, with operation context
+  std::string Schedule; ///< comma-separated thread choices up to failure
+  std::string Trace;    ///< printable per-access event trace
+};
+
+/// A completed TxCheck with its linearization evidence.
+struct OpRecord {
+  int Thread = 0;
+  uint32_t Site = 0;
+  uint64_t Target = 0;
+  CheckResult Result = CheckResult::Pass;
+  uint64_t Retries = 0;       ///< slow-path retries this op took
+  size_t WindowLo = 0;        ///< updates completed before the op began
+  size_t WindowHi = 0;        ///< updates started before the op ended
+  size_t AssignedPolicy = 0;  ///< linearization point the oracle chose
+};
+
+/// The outcome of executing one schedule.
+struct RunRecord {
+  std::vector<OpRecord> Checks;
+  std::vector<TxUpdateStatus> UpdateStatuses;
+  std::string Schedule; ///< the full schedule actually executed
+  size_t Decisions = 0;
+  bool Violated = false;
+  Violation Fault; ///< valid only when Violated
+};
+
+struct ExploreOptions {
+  /// Maximum number of preemptions (switching away from a runnable
+  /// thread) per schedule in exhaustive mode; random walks ignore it.
+  int PreemptionBound = 2;
+  /// Hard cap on schedules executed; hitting it sets Report.Truncated.
+  uint64_t MaxSchedules = 500000;
+  /// Enable the test-only Bary-before-Tary phase-order mutant
+  /// (SchedPoint.h's GSchedMutantReorderPhases) during the run.
+  bool MutantReorderPhases = false;
+  bool StopAtFirstViolation = true;
+  /// Prune exploration at decisions whose state fingerprint was already
+  /// expanded with at least as much preemption budget remaining.
+  bool StateHashPruning = true;
+};
+
+struct ExploreReport {
+  uint64_t Schedules = 0;
+  uint64_t Decisions = 0;
+  uint64_t PrunedStates = 0;
+  bool Truncated = false;
+  std::vector<Violation> Violations;
+};
+
+/// The sequential specification of txCheck against snapshot \p P.
+CheckResult evalCheck(const SpecPolicy &P, uint32_t Site, uint64_t Target);
+
+/// Exhaustive DFS over all schedules within the preemption bound.
+ExploreReport exploreExhaustive(const Scenario &S,
+                                const ExploreOptions &Opts = {});
+
+/// \p Walks seeded uniform random walks (walk i uses Seed + i); fully
+/// deterministic for a given seed.
+ExploreReport exploreRandom(const Scenario &S, uint64_t Walks, uint64_t Seed,
+                            const ExploreOptions &Opts = {});
+
+/// Replays \p Schedule (comma-separated thread indexes, as printed in a
+/// Violation). The forced steps must match runnable threads; once the
+/// string is exhausted the deterministic default policy finishes the
+/// run, so a truncated prefix is itself a valid schedule.
+RunRecord runSchedule(const Scenario &S, const std::string &Schedule,
+                      const ExploreOptions &Opts = {});
+
+/// Shortest prefix of \p Schedule that still reproduces a violation when
+/// completed by the default policy; returns \p Schedule unchanged if no
+/// prefix reproduces one.
+std::string minimizeSchedule(const Scenario &S, const std::string &Schedule,
+                             const ExploreOptions &Opts = {});
+
+std::string formatSchedule(const std::vector<int> &Choices);
+std::vector<int> parseSchedule(const std::string &Schedule);
+
+/// The five built-in transaction scenarios (full-update race,
+/// incremental race, shrink race, version wrap, back-to-back updates).
+const std::vector<Scenario> &builtinScenarios();
+const Scenario *findScenario(const std::string &Name);
+
+} // namespace schedcheck
+} // namespace mcfi
+
+#endif // MCFI_SCHEDCHECK_SCHEDCHECK_H

@@ -1,0 +1,684 @@
+//===- schedcheck/Scheduler.cpp - Cooperative schedule exploration --------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The harness runs every logical thread of a scenario as a ucontext
+// fiber on one OS thread. The SchedPoint Yield hook fires inside the
+// running fiber immediately before each atomic access; the harness takes
+// a scheduling decision there and, when it picks a different thread,
+// swaps fiber contexts. Because all "concurrency" is these explicit
+// switches, a schedule — the sequence of chosen thread indexes — fully
+// determines a run, which is what makes violations replayable.
+//
+// Exploration is stateless prefix-replay DFS (the CHESS recipe): run a
+// schedule, then for every post-prefix decision enqueue each alternative
+// runnable thread whose preemption cost still fits the bound, as a new
+// forced prefix. The default policy after a prefix never preempts (keep
+// the current thread while runnable, else the lowest runnable), so the
+// bound is respected by construction. A state fingerprint — tables,
+// counters, and per-thread progress — prunes decisions already expanded
+// with at least as much preemption budget remaining: the default suffix
+// from an identical state is identical and costs zero preemptions, so
+// everything reachable from the revisit was already reachable before.
+//
+//===----------------------------------------------------------------------===//
+
+#include "schedcheck/SchedCheck.h"
+
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <ucontext.h>
+#include <unordered_map>
+
+using namespace mcfi;
+using namespace mcfi::schedcheck;
+
+namespace {
+
+constexpr size_t FiberStackSize = 256 * 1024;
+
+uint64_t hashMix(uint64_t H, uint64_t V) {
+  // FNV-1a over 64-bit lanes; collisions only cost pruning precision.
+  return (H ^ V) * 1099511628211ull;
+}
+
+uint64_t packAccess(const SchedAccess &A) {
+  return (uint64_t(A.Op) << 56) ^ (uint64_t(A.Obj) << 48) ^
+         (A.Index << 32) ^ A.Value;
+}
+
+/// One scheduling decision, the unit of DFS expansion.
+struct Decision {
+  uint64_t StateHash = 0;
+  std::vector<int> Enabled;
+  int CurrentThread = -1; ///< thread that was running (-1: none)
+  bool CurrentEnabled = false;
+  int PreemptionsBefore = 0;
+  int Chosen = -1;
+};
+
+struct TraceEvent {
+  int Thread;
+  SchedAccess Access;
+  bool IsYield; ///< yield (pre-access) vs observe (post-access)
+};
+
+struct ThreadState {
+  ucontext_t Ctx;
+  std::vector<char> Stack;
+  bool Alive = false;
+  size_t OpCursor = 0;     ///< index of the script op in progress
+  uint64_t ObsHash = 0;    ///< hash of values observed since last reset
+  uint64_t RetriesThisOp = 0;
+  SchedAccess Pending{};   ///< the access the thread is parked before
+  // Oracle inputs latched at check-op start (kept here, not on the
+  // fiber stack, so the state fingerprint can include them).
+  size_t CurWindowLo = 0;
+  size_t CurFrontier = 0;
+};
+
+class Harness {
+public:
+  Harness(const Scenario &S, const ExploreOptions &Opts)
+      : S(S), Opts(Opts) {
+    Threads.resize(1 + S.Checkers.size());
+    for (auto &T : Threads)
+      T.Stack.resize(FiberStackSize);
+    // Precompute the linearization sequence: the initial snapshot plus
+    // the snapshot after each update that is expected to take effect.
+    Lin.push_back(&S.Initial);
+    for (const SpecPolicy &P : S.Updates)
+      if (!P.ExpectExhausted)
+        Lin.push_back(&P);
+    // A checker may retry once per overlapping update plus slack; one
+    // spinning past that while the seqlock is odd is merely re-running
+    // an identical loop iteration and is parked (made non-runnable)
+    // until the update finishes, so every schedule terminates.
+    RetryAllowance = S.Updates.size() + 2;
+    HardRetryBound = 4 * (S.Updates.size() + 2) + 8;
+  }
+
+  RunRecord execute(const std::vector<int> &Prefix, RNG *Rand);
+
+  const std::vector<Decision> &decisions() const { return Decisions; }
+  const std::vector<int> &chosen() const { return Chosen; }
+
+private:
+  // Fiber bodies and hook handlers (run on fiber stacks).
+  void fiberMain(int Index);
+  void runUpdater();
+  void runChecker(int Index);
+  void onYield(const SchedAccess &A);
+  void onObserve(const SchedAccess &A);
+  void assignLinearization(OpRecord &R);
+  /// Records the violation and ends the run. Called from a fiber it
+  /// jumps back to execute() and never returns; called from the main
+  /// context (a bad forced first step) it returns and the caller checks
+  /// Aborted.
+  void abortRun(ViolationKind Kind, const std::string &Msg);
+
+  int decide();
+  bool isEnabled(int I) const;
+  bool anyAlive() const;
+  uint64_t fingerprint() const;
+  std::string formatTrace() const;
+  std::string describeOp(const OpRecord &R) const;
+
+  static void yieldHook(void *Ctx, const SchedAccess &A) {
+    static_cast<Harness *>(Ctx)->onYield(A);
+  }
+  static void observeHook(void *Ctx, const SchedAccess &A) {
+    static_cast<Harness *>(Ctx)->onObserve(A);
+  }
+  static void fiberEntry(int Index);
+
+  const Scenario &S;
+  ExploreOptions Opts;
+  std::vector<const SpecPolicy *> Lin;
+  uint64_t RetryAllowance;
+  uint64_t HardRetryBound;
+
+  std::unique_ptr<IDTables> Tables;
+  std::vector<ThreadState> Threads;
+  ucontext_t MainCtx;
+  int Current = -1;
+  bool Aborted = false;
+  bool InRun = false;
+
+  std::vector<int> ForcedPrefix;
+  size_t ForcedPos = 0;
+  RNG *Rand = nullptr;
+  std::vector<int> Chosen;
+  std::vector<Decision> Decisions;
+  int Preemptions = 0;
+  std::vector<TraceEvent> Trace;
+
+  // Oracle state.
+  size_t StartedUpdates = 0;   ///< effective updates whose call began
+  size_t CompletedUpdates = 0; ///< effective updates whose call returned
+  size_t Frontier = 0; ///< max linearization point of any completed op
+  RunRecord Run;
+};
+
+/// The harness whose fibers are currently executing. The whole subsystem
+/// is single-OS-threaded by design, so a plain global suffices and lets
+/// makecontext entry points reach their harness without pointer
+/// splitting through int arguments.
+Harness *GActiveHarness = nullptr;
+
+void Harness::fiberEntry(int Index) { GActiveHarness->fiberMain(Index); }
+
+bool Harness::anyAlive() const {
+  for (const auto &T : Threads)
+    if (T.Alive)
+      return true;
+  return false;
+}
+
+bool Harness::isEnabled(int I) const {
+  const ThreadState &T = Threads[I];
+  if (!T.Alive)
+    return false;
+  // Park a checker that has exhausted its retry allowance while an
+  // update transaction is still in flight: running it again only
+  // repeats an identical seqlock iteration. It wakes up as soon as the
+  // updater brings the generation back to even.
+  if (I != 0 && T.RetriesThisOp > RetryAllowance &&
+      (Tables->peekUpdateSeq() & 1) != 0)
+    return false;
+  return true;
+}
+
+uint64_t Harness::fingerprint() const {
+  uint64_t H = 1469598103934665603ull;
+  for (uint64_t W = 0; W < S.CodeCapacity / 4; ++W)
+    H = hashMix(H, Tables->peekTaryWord(W));
+  for (uint32_t B = 0; B < S.BaryCapacity; ++B)
+    H = hashMix(H, Tables->peekBaryEntry(B));
+  H = hashMix(H, Tables->currentVersion());
+  H = hashMix(H, Tables->peekUpdateSeq());
+  H = hashMix(H, Tables->updateCount());
+  H = hashMix(H, Tables->versionedUpdateCount());
+  H = hashMix(H, Tables->peekEpochBase());
+  H = hashMix(H, Tables->installedTaryLimitBytes());
+  H = hashMix(H, Tables->installedBaryCount());
+  H = hashMix(H, uint64_t(Current + 1));
+  H = hashMix(H, StartedUpdates);
+  H = hashMix(H, CompletedUpdates);
+  H = hashMix(H, Frontier);
+  for (size_t I = 0; I < Threads.size(); ++I) {
+    const ThreadState &T = Threads[I];
+    H = hashMix(H, (uint64_t(T.Alive) << 1) | uint64_t(isEnabled(int(I))));
+    H = hashMix(H, T.OpCursor);
+    H = hashMix(H, T.ObsHash);
+    H = hashMix(H, packAccess(T.Pending));
+    H = hashMix(H, T.CurWindowLo);
+    H = hashMix(H, T.CurFrontier);
+  }
+  return H;
+}
+
+int Harness::decide() {
+  std::vector<int> Enabled;
+  for (int I = 0; I < int(Threads.size()); ++I)
+    if (isEnabled(I))
+      Enabled.push_back(I);
+  if (Enabled.empty()) {
+    if (anyAlive())
+      abortRun(ViolationKind::Harness,
+               "no runnable logical thread (scheduler deadlock)");
+    return -1; // run complete (or aborted from the main context)
+  }
+  bool CurEnabled = Current >= 0 && isEnabled(Current);
+  int Choice;
+  if (ForcedPos < ForcedPrefix.size()) {
+    int F = ForcedPrefix[ForcedPos++];
+    if (F < 0 || F >= int(Threads.size()) || !isEnabled(F)) {
+      abortRun(ViolationKind::Harness,
+               formatString("schedule step %zu chooses thread %d, which is "
+                            "not runnable at that point",
+                            ForcedPos - 1, F));
+      return -1; // only reached when aborting from the main context
+    }
+    Choice = F;
+  } else if (Rand) {
+    Choice = Enabled[Rand->below(Enabled.size())];
+  } else {
+    Choice = CurEnabled ? Current : Enabled.front();
+  }
+
+  Decision D;
+  D.StateHash = fingerprint();
+  D.Enabled = Enabled;
+  D.CurrentThread = Current;
+  D.CurrentEnabled = CurEnabled;
+  D.PreemptionsBefore = Preemptions;
+  D.Chosen = Choice;
+  Decisions.push_back(std::move(D));
+  Chosen.push_back(Choice);
+  if (CurEnabled && Choice != Current)
+    ++Preemptions;
+  return Choice;
+}
+
+void Harness::onYield(const SchedAccess &A) {
+  ThreadState &T = Threads[Current];
+  // The slow-path loop top (its only acquire load of UpdateSeq) carries
+  // no local state across iterations, so observations from the previous
+  // iteration are dead: resetting the hash here makes identical spin
+  // iterations fingerprint-equal, which is what lets pruning collapse
+  // unbounded spinning into one explored state.
+  if (A.Op == SchedOp::LoadAcquire && A.Obj == SchedObject::UpdateSeq) {
+    T.ObsHash = 0;
+    if (T.RetriesThisOp > HardRetryBound)
+      abortRun(ViolationKind::SeqlockBound,
+               formatString("thread %d exceeded the seqlock retry bound "
+                            "(%llu retries, bound %llu) in txCheckSlow",
+                            Current,
+                            static_cast<unsigned long long>(T.RetriesThisOp),
+                            static_cast<unsigned long long>(HardRetryBound)));
+  }
+  T.Pending = A;
+  Trace.push_back({Current, A, true});
+  int Next = decide();
+  if (Next != Current && Next >= 0) {
+    int Prev = Current;
+    Current = Next;
+    swapcontext(&Threads[Prev].Ctx, &Threads[Next].Ctx);
+    // Resumed: whoever switched back already restored Current == Prev.
+  }
+}
+
+void Harness::onObserve(const SchedAccess &A) {
+  ThreadState &T = Threads[Current];
+  Trace.push_back({Current, A, false});
+  T.ObsHash = hashMix(T.ObsHash, packAccess(A));
+  if (A.Obj == SchedObject::SlowRetries && A.Op == SchedOp::RMWRelaxed)
+    ++T.RetriesThisOp;
+  // Every word either table ever holds is zero or a well-formed ID; a
+  // nonzero word with wrong reserved bits is torn at the byte level.
+  if ((A.Obj == SchedObject::Tary || A.Obj == SchedObject::Bary) &&
+      A.Value != 0 && !isValidID(static_cast<uint32_t>(A.Value)))
+    abortRun(ViolationKind::ReservedBits,
+             formatString("thread %d observed %s[%llu] = 0x%08llx, which has "
+                          "a corrupt reserved-bit pattern",
+                          Current, schedObjectName(A.Obj),
+                          static_cast<unsigned long long>(A.Index),
+                          static_cast<unsigned long long>(A.Value)));
+}
+
+void Harness::abortRun(ViolationKind Kind, const std::string &Msg) {
+  Run.Violated = true;
+  Run.Fault.Kind = Kind;
+  Run.Fault.Message = Msg;
+  Run.Fault.Schedule = formatSchedule(Chosen);
+  Run.Fault.Trace = formatTrace();
+  Aborted = true;
+  if (Current >= 0) {
+    // Jump straight back to execute(); this fiber is never resumed, so
+    // destructors on its stack do not run. Only the violation path pays
+    // that (bounded) leak.
+    int Prev = Current;
+    Current = -1;
+    swapcontext(&Threads[Prev].Ctx, &MainCtx);
+  }
+  // Only the main context (a bad forced step at the very first
+  // decision) reaches here; execute() checks Aborted.
+}
+
+std::string Harness::describeOp(const OpRecord &R) const {
+  return formatString("txCheck(site=%u, target=%llu) on thread %d -> %s "
+                      "(retries %llu, window [%zu, %zu])",
+                      R.Site, static_cast<unsigned long long>(R.Target),
+                      R.Thread, checkResultName(R.Result),
+                      static_cast<unsigned long long>(R.Retries), R.WindowLo,
+                      R.WindowHi);
+}
+
+void Harness::assignLinearization(OpRecord &R) {
+  size_t Lo = std::max(R.WindowLo, Threads[R.Thread].CurFrontier);
+  size_t Hi = std::min(R.WindowHi, Lin.size() - 1);
+  for (size_t P = Lo; P <= Hi; ++P) {
+    if (evalCheck(*Lin[P], R.Site, R.Target) == R.Result) {
+      // Greedy minimal assignment keeps the frontier as low as possible,
+      // which is maximally permissive for every later operation — checks
+      // interact only through real-time order, so this is exact.
+      R.AssignedPolicy = P;
+      // Only Pass results advance the real-time frontier. A violation
+      // verdict halts the guest in the real system — nothing observes
+      // anything after it, so it cannot impose ordering obligations on
+      // later script ops (the protocol's fail-closed paths deliberately
+      // report invalid targets without seqlock confirmation, which is
+      // security-safe but not orderable). A Pass lets execution
+      // continue, so later completed ops must linearize at or after it.
+      if (R.Result == CheckResult::Pass)
+        Frontier = std::max(Frontier, P);
+      return;
+    }
+  }
+  std::ostringstream OS;
+  OS << "torn observation: " << describeOp(R)
+     << " matches no linearization point in [" << Lo << ", " << Hi << "]:";
+  for (size_t P = Lo; P <= Hi; ++P)
+    OS << " policy" << P << "->"
+       << checkResultName(evalCheck(*Lin[P], R.Site, R.Target));
+  abortRun(ViolationKind::TornObservation, OS.str());
+}
+
+void Harness::runUpdater() {
+  ThreadState &T = Threads[0];
+  for (size_t U = 0; U < S.Updates.size(); ++U) {
+    const SpecPolicy &P = S.Updates[U];
+    T.OpCursor = U;
+    T.ObsHash = 0;
+    if (P.QuiesceBefore)
+      Tables->resetVersionEpoch();
+    bool ExpectOk = !P.ExpectExhausted;
+    // Linearizability bookkeeping: the update's invocation event. Any
+    // check whose interval overlaps from here on may order after it.
+    if (ExpectOk)
+      ++StartedUpdates;
+    auto GetTary = [&P](uint64_t Off) -> int64_t {
+      auto It = P.TaryECN.find(Off);
+      return It == P.TaryECN.end() ? -1 : int64_t(It->second);
+    };
+    auto GetBary = [&P](uint32_t Site) -> int64_t {
+      auto It = P.BaryECN.find(Site);
+      return It == P.BaryECN.end() ? -1 : int64_t(It->second);
+    };
+    TxUpdateStatus St =
+        P.Incremental
+            ? Tables->txUpdateIncremental(P.TaryLimitBytes, P.TaryDirty,
+                                          GetTary, P.BaryCount, P.BaryDirty,
+                                          GetBary)
+            : Tables->txUpdate(P.TaryLimitBytes, GetTary, P.BaryCount,
+                               GetBary);
+    Run.UpdateStatuses.push_back(St);
+    TxUpdateStatus Want = P.ExpectExhausted ? TxUpdateStatus::VersionExhausted
+                                            : TxUpdateStatus::Ok;
+    if (St != Want)
+      abortRun(ViolationKind::UpdateStatus,
+               formatString("update %zu returned %s but the scenario expects "
+                            "%s",
+                            U, St == TxUpdateStatus::Ok ? "Ok"
+                                                        : "VersionExhausted",
+                            Want == TxUpdateStatus::Ok ? "Ok"
+                                                       : "VersionExhausted"));
+    if (ExpectOk)
+      ++CompletedUpdates;
+  }
+}
+
+void Harness::runChecker(int Index) {
+  ThreadState &T = Threads[Index];
+  const std::vector<CheckOp> &Script = S.Checkers[Index - 1];
+  for (size_t K = 0; K < Script.size(); ++K) {
+    T.OpCursor = K;
+    T.ObsHash = 0;
+    T.RetriesThisOp = 0;
+    T.CurWindowLo = CompletedUpdates;
+    T.CurFrontier = Frontier;
+    OpRecord R;
+    R.Thread = Index;
+    R.Site = Script[K].Site;
+    R.Target = Script[K].Target;
+    R.Result = Tables->txCheck(R.Site, R.Target);
+    R.WindowLo = T.CurWindowLo;
+    R.WindowHi = StartedUpdates;
+    R.Retries = T.RetriesThisOp;
+    assignLinearization(R);
+    Run.Checks.push_back(R);
+  }
+}
+
+void Harness::fiberMain(int Index) {
+  if (Index == 0)
+    runUpdater();
+  else
+    runChecker(Index);
+  Threads[Index].Alive = false;
+  Current = -1; // thread exit: the next decision preempts nobody
+  int Next = decide();
+  if (Next >= 0) {
+    Current = Next;
+    swapcontext(&Threads[Index].Ctx, &Threads[Next].Ctx);
+  } else {
+    swapcontext(&Threads[Index].Ctx, &MainCtx);
+  }
+  // Never resumed past this point.
+}
+
+RunRecord Harness::execute(const std::vector<int> &Prefix, RNG *Rng) {
+  // Fresh tables and oracle state; stacks are reused across runs.
+  Tables = std::make_unique<IDTables>(S.CodeCapacity, S.BaryCapacity);
+  Run = RunRecord();
+  Chosen.clear();
+  Decisions.clear();
+  Trace.clear();
+  Preemptions = 0;
+  Aborted = false;
+  ForcedPrefix = Prefix;
+  ForcedPos = 0;
+  Rand = Rng;
+  StartedUpdates = CompletedUpdates = Frontier = 0;
+
+  // Pre-race setup runs uninstrumented: the hooks attach only once the
+  // logical threads exist, so the initial install is not part of any
+  // schedule and every run starts from the same installed state.
+  if (S.ForceVersionedUpdates)
+    Tables->testForceVersionedUpdates(S.ForceVersionedUpdates);
+  {
+    const SpecPolicy &P = S.Initial;
+    auto GetTary = [&P](uint64_t Off) -> int64_t {
+      auto It = P.TaryECN.find(Off);
+      return It == P.TaryECN.end() ? -1 : int64_t(It->second);
+    };
+    auto GetBary = [&P](uint32_t Site) -> int64_t {
+      auto It = P.BaryECN.find(Site);
+      return It == P.BaryECN.end() ? -1 : int64_t(It->second);
+    };
+    TxUpdateStatus St =
+        Tables->txUpdate(P.TaryLimitBytes, GetTary, P.BaryCount, GetBary);
+    if (St != TxUpdateStatus::Ok) {
+      Run.Violated = true;
+      Run.Fault = {ViolationKind::Harness,
+                   "initial policy install failed (VersionExhausted)", "",
+                   ""};
+      return Run;
+    }
+  }
+
+  for (size_t I = 0; I < Threads.size(); ++I) {
+    ThreadState &T = Threads[I];
+    T.Alive = true;
+    T.OpCursor = 0;
+    T.ObsHash = 0;
+    T.RetriesThisOp = 0;
+    T.Pending = SchedAccess{};
+    T.CurWindowLo = T.CurFrontier = 0;
+    getcontext(&T.Ctx);
+    T.Ctx.uc_stack.ss_sp = T.Stack.data();
+    T.Ctx.uc_stack.ss_size = T.Stack.size();
+    T.Ctx.uc_link = &MainCtx;
+    makecontext(&T.Ctx, reinterpret_cast<void (*)()>(&Harness::fiberEntry), 1,
+                int(I));
+  }
+
+  GActiveHarness = this;
+  GSchedHooks = {&Harness::yieldHook, &Harness::observeHook, this};
+  GSchedMutantReorderPhases = Opts.MutantReorderPhases;
+  InRun = true;
+
+  Current = -1;
+  int First = decide(); // the run's first decision (preempts nobody)
+  if (!Aborted && First >= 0) {
+    Current = First;
+    swapcontext(&MainCtx, &Threads[First].Ctx);
+  }
+
+  InRun = false;
+  GSchedHooks = {};
+  GSchedMutantReorderPhases = false;
+  GActiveHarness = nullptr;
+
+  Run.Schedule = formatSchedule(Chosen);
+  Run.Decisions = Decisions.size();
+  return Run;
+}
+
+std::string Harness::formatTrace() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Trace.size(); ++I) {
+    const TraceEvent &E = Trace[I];
+    OS << formatString("%5zu t%d %-5s %-9s %s", I, E.Thread,
+                       E.IsYield ? "yield" : "obs", schedOpName(E.Access.Op),
+                       schedObjectName(E.Access.Obj));
+    if (E.Access.Obj == SchedObject::Tary || E.Access.Obj == SchedObject::Bary)
+      OS << "[" << E.Access.Index << "]";
+    if (!E.IsYield && E.Access.Op != SchedOp::FenceAcquire &&
+        E.Access.Op != SchedOp::FenceSeqCst)
+      OS << formatString(" = 0x%llx",
+                         static_cast<unsigned long long>(E.Access.Value));
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+std::string schedcheck::formatSchedule(const std::vector<int> &Choices) {
+  std::string Out;
+  for (size_t I = 0; I < Choices.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(Choices[I]);
+  }
+  return Out;
+}
+
+std::vector<int> schedcheck::parseSchedule(const std::string &Schedule) {
+  std::vector<int> Out;
+  std::string Tok;
+  std::istringstream IS(Schedule);
+  while (std::getline(IS, Tok, ',')) {
+    size_t Begin = Tok.find_first_not_of(" \t\n");
+    if (Begin == std::string::npos)
+      continue;
+    size_t End = Tok.find_last_not_of(" \t\n");
+    Tok = Tok.substr(Begin, End - Begin + 1);
+    char *EndPtr = nullptr;
+    long V = std::strtol(Tok.c_str(), &EndPtr, 10);
+    // Junk parses to -1, which decide() rejects with a clear message.
+    Out.push_back(EndPtr && *EndPtr == '\0' ? int(V) : -1);
+  }
+  return Out;
+}
+
+ExploreReport schedcheck::exploreExhaustive(const Scenario &S,
+                                            const ExploreOptions &Opts) {
+  ExploreReport Report;
+  Harness H(S, Opts);
+  // Fingerprint -> best (largest) preemption budget it was expanded
+  // with. Revisits with no more budget cannot reach anything new.
+  std::unordered_map<uint64_t, int> Expanded;
+  std::vector<std::vector<int>> Stack;
+  Stack.push_back({});
+  while (!Stack.empty()) {
+    if (Report.Schedules >= Opts.MaxSchedules) {
+      Report.Truncated = true;
+      break;
+    }
+    std::vector<int> Prefix = std::move(Stack.back());
+    Stack.pop_back();
+    RunRecord Run = H.execute(Prefix, nullptr);
+    ++Report.Schedules;
+    Report.Decisions += Run.Decisions;
+    if (Run.Violated) {
+      Report.Violations.push_back(Run.Fault);
+      if (Opts.StopAtFirstViolation)
+        break;
+      continue; // do not branch below a violating prefix
+    }
+    const std::vector<Decision> &Ds = H.decisions();
+    const std::vector<int> &Chosen = H.chosen();
+    for (size_t I = Prefix.size(); I < Ds.size(); ++I) {
+      const Decision &D = Ds[I];
+      int Remaining = Opts.PreemptionBound - D.PreemptionsBefore;
+      if (Opts.StateHashPruning) {
+        auto It = Expanded.find(D.StateHash);
+        if (It != Expanded.end() && It->second >= Remaining) {
+          // The default suffix is preemption-free, so every later
+          // decision of this run repeats a state already expanded with
+          // at least this much budget: stop branching entirely.
+          ++Report.PrunedStates;
+          break;
+        }
+        int &Best = Expanded[D.StateHash];
+        Best = std::max(Best, Remaining);
+      }
+      for (int Alt : D.Enabled) {
+        if (Alt == D.Chosen)
+          continue;
+        int Cost = (D.CurrentEnabled && Alt != D.CurrentThread) ? 1 : 0;
+        if (D.PreemptionsBefore + Cost > Opts.PreemptionBound)
+          continue;
+        std::vector<int> Next(Chosen.begin(), Chosen.begin() + I);
+        Next.push_back(Alt);
+        Stack.push_back(std::move(Next));
+      }
+    }
+  }
+  return Report;
+}
+
+ExploreReport schedcheck::exploreRandom(const Scenario &S, uint64_t Walks,
+                                        uint64_t Seed,
+                                        const ExploreOptions &Opts) {
+  ExploreReport Report;
+  Harness H(S, Opts);
+  for (uint64_t W = 0; W < Walks; ++W) {
+    RNG Rng(Seed + W);
+    RunRecord Run = H.execute({}, &Rng);
+    ++Report.Schedules;
+    Report.Decisions += Run.Decisions;
+    if (Run.Violated) {
+      Report.Violations.push_back(Run.Fault);
+      if (Opts.StopAtFirstViolation)
+        break;
+    }
+  }
+  return Report;
+}
+
+RunRecord schedcheck::runSchedule(const Scenario &S,
+                                  const std::string &Schedule,
+                                  const ExploreOptions &Opts) {
+  Harness H(S, Opts);
+  return H.execute(parseSchedule(Schedule), nullptr);
+}
+
+std::string schedcheck::minimizeSchedule(const Scenario &S,
+                                         const std::string &Schedule,
+                                         const ExploreOptions &Opts) {
+  std::vector<int> Full = parseSchedule(Schedule);
+  Harness H(S, Opts);
+  for (size_t Len = 0; Len <= Full.size(); ++Len) {
+    std::vector<int> Prefix(Full.begin(), Full.begin() + Len);
+    RunRecord Run = H.execute(Prefix, nullptr);
+    if (Run.Violated)
+      return formatSchedule(Prefix);
+  }
+  return Schedule;
+}

@@ -4,6 +4,14 @@
 // (Niu & Tan, PLDI 2014). Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Every atomic access in the transaction paths is bracketed by the
+// SchedPoint seam (schedYield before, schedObserve after) so the
+// deterministic schedule checker can interleave logical threads at
+// exactly these points. In production builds both calls inline to
+// nothing; see tables/SchedPoint.h.
+//
+//===----------------------------------------------------------------------===//
 
 #include "tables/IDTables.h"
 
@@ -23,7 +31,9 @@ uint32_t IDTables::taryRead(uint64_t CodeOffset) const {
   uint64_t Index = CodeOffset >> 2;
   if (Index >= TaryEntries.size())
     return 0;
+  schedYield(SchedOp::LoadRelaxed, SchedObject::Tary, Index);
   uint32_t Lo = TaryEntries[Index].load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::Tary, Index, Lo);
   unsigned Misalign = CodeOffset & 3;
   if (Misalign == 0)
     return Lo;
@@ -31,9 +41,12 @@ uint32_t IDTables::taryRead(uint64_t CodeOffset) const {
   // the two adjacent aligned entries. The reserved-bit pattern makes the
   // result invalid (its low byte is a non-low byte of a real ID, whose
   // LSB is 0), exactly as in the paper's byte-addressed table.
-  uint32_t Hi = Index + 1 < TaryEntries.size()
-                    ? TaryEntries[Index + 1].load(std::memory_order_relaxed)
-                    : 0;
+  uint32_t Hi = 0;
+  if (Index + 1 < TaryEntries.size()) {
+    schedYield(SchedOp::LoadRelaxed, SchedObject::Tary, Index + 1);
+    Hi = TaryEntries[Index + 1].load(std::memory_order_relaxed);
+    schedObserve(SchedOp::LoadRelaxed, SchedObject::Tary, Index + 1, Hi);
+  }
   unsigned Shift = 8 * Misalign;
   return (Lo >> Shift) | (Hi << (32 - Shift));
 }
@@ -41,7 +54,10 @@ uint32_t IDTables::taryRead(uint64_t CodeOffset) const {
 uint32_t IDTables::baryRead(uint32_t Index) const {
   if (Index >= BaryEntries.size())
     return 0;
-  return BaryEntries[Index].load(std::memory_order_relaxed);
+  schedYield(SchedOp::LoadRelaxed, SchedObject::Bary, Index);
+  uint32_t ID = BaryEntries[Index].load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::Bary, Index, ID);
+  return ID;
 }
 
 CheckResult IDTables::txCheck(uint32_t BaryIndex,
@@ -53,9 +69,12 @@ CheckResult IDTables::txCheck(uint32_t BaryIndex,
   if (__builtin_expect((TargetOffset & 3) == 0 && Index < TaryEntries.size() &&
                            BaryIndex < BaryEntries.size(),
                        1)) {
+    schedYield(SchedOp::LoadRelaxed, SchedObject::Bary, BaryIndex);
     uint32_t BranchID = BaryEntries[BaryIndex].load(std::memory_order_relaxed);
-    uint32_t TargetID =
-        TaryEntries[Index].load(std::memory_order_acquire);
+    schedObserve(SchedOp::LoadRelaxed, SchedObject::Bary, BaryIndex, BranchID);
+    schedYield(SchedOp::LoadAcquire, SchedObject::Tary, Index);
+    uint32_t TargetID = TaryEntries[Index].load(std::memory_order_acquire);
+    schedObserve(SchedOp::LoadAcquire, SchedObject::Tary, Index, TargetID);
     if (__builtin_expect(BranchID == TargetID, 1))
       // A correctly patched module always loads a valid branch ID (the
       // loader embeds the right Bary indexes); an invalid equal pair
@@ -74,8 +93,15 @@ CheckResult IDTables::txCheckSlow(uint32_t BaryIndex,
     // pair is genuinely stale (e.g. the target outlived a shrinking
     // update) and must be reported as a violation rather than retried
     // forever.
+    //
+    // This LoadAcquire of UpdateSeq is the loop-top scheduling point:
+    // the retry loop carries no local state across iterations, which the
+    // schedule checker exploits to fingerprint spin states.
+    schedYield(SchedOp::LoadAcquire, SchedObject::UpdateSeq, 0);
     uint64_t Seq = UpdateSeq.load(std::memory_order_acquire);
+    schedObserve(SchedOp::LoadAcquire, SchedObject::UpdateSeq, 0, Seq);
     uint32_t BranchID = baryRead(BaryIndex);
+    schedYield(SchedOp::FenceAcquire, SchedObject::None, 0);
     std::atomic_thread_fence(std::memory_order_acquire);
     uint32_t TargetID = taryRead(TargetOffset);
     if (BranchID == TargetID) {
@@ -89,15 +115,22 @@ CheckResult IDTables::txCheckSlow(uint32_t BaryIndex,
       return CheckResult::ViolationInvalid;
     if (sameVersionHalf(BranchID, TargetID))
       return CheckResult::ViolationECN;
+    schedYield(SchedOp::FenceAcquire, SchedObject::None, 0);
     std::atomic_thread_fence(std::memory_order_acquire);
-    if ((Seq & 1) == 0 && UpdateSeq.load(std::memory_order_relaxed) == Seq)
+    schedYield(SchedOp::LoadRelaxed, SchedObject::UpdateSeq, 0);
+    uint64_t CurSeq = UpdateSeq.load(std::memory_order_relaxed);
+    schedObserve(SchedOp::LoadRelaxed, SchedObject::UpdateSeq, 0, CurSeq);
+    if ((Seq & 1) == 0 && CurSeq == Seq)
       // Version mismatch with no update in flight: one side is stale.
       // An invalid *branch* ID means the site was never (re)installed;
       // otherwise the edge crosses versions and is not in any single
       // installed CFG.
       return isValidID(BranchID) ? CheckResult::ViolationECN
                                  : CheckResult::ViolationInvalid;
-    SlowRetries.fetch_add(1, std::memory_order_relaxed);
+    schedYield(SchedOp::RMWRelaxed, SchedObject::SlowRetries, 0);
+    uint64_t Retries = SlowRetries.fetch_add(1, std::memory_order_relaxed);
+    schedObserve(SchedOp::RMWRelaxed, SchedObject::SlowRetries, 0,
+                 Retries + 1);
     // An update transaction is in flight; retry.
   }
 }
@@ -120,14 +153,29 @@ IDTables::txUpdate(uint64_t TaryLimitBytes,
   // stalled check transaction may still hold. Refuse instead of
   // silently wrapping; the runtime must quiesce (every thread observed
   // at a syscall boundary) and resetVersionEpoch() first.
-  if (updatesSinceEpoch() >= MaxVersion)
+  schedYield(SchedOp::LoadRelaxed, SchedObject::VersionedUpdateCount, 0);
+  uint64_t VU = VersionedUpdates.load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::VersionedUpdateCount, 0, VU);
+  schedYield(SchedOp::LoadRelaxed, SchedObject::EpochBase, 0);
+  uint64_t EB = EpochBase.load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::EpochBase, 0, EB);
+  if (VU - EB >= MaxVersion)
     return TxUpdateStatus::VersionExhausted;
 
-  uint32_t NewVersion =
-      (Version.load(std::memory_order_relaxed) + 1) & MaxVersion;
+  schedYield(SchedOp::LoadRelaxed, SchedObject::Version, 0);
+  uint32_t OldVersion = Version.load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::Version, 0, OldVersion);
+  uint32_t NewVersion = (OldVersion + 1) & MaxVersion;
+  schedYield(SchedOp::StoreRelaxed, SchedObject::Version, 0);
   Version.store(NewVersion, std::memory_order_relaxed);
-  Updates.fetch_add(1, std::memory_order_relaxed);
-  VersionedUpdates.fetch_add(1, std::memory_order_relaxed);
+  schedObserve(SchedOp::StoreRelaxed, SchedObject::Version, 0, NewVersion);
+  schedYield(SchedOp::RMWRelaxed, SchedObject::UpdateCount, 0);
+  uint64_t Upd = Updates.fetch_add(1, std::memory_order_relaxed);
+  schedObserve(SchedOp::RMWRelaxed, SchedObject::UpdateCount, 0, Upd + 1);
+  schedYield(SchedOp::RMWRelaxed, SchedObject::VersionedUpdateCount, 0);
+  uint64_t VUpd = VersionedUpdates.fetch_add(1, std::memory_order_relaxed);
+  schedObserve(SchedOp::RMWRelaxed, SchedObject::VersionedUpdateCount, 0,
+               VUpd + 1);
 
   assert(TaryLimitBytes <= taryCapacityBytes() && "code past table capacity");
   assert(BaryCount <= BaryEntries.size() && "too many branch sites");
@@ -136,68 +184,118 @@ IDTables::txUpdate(uint64_t TaryLimitBytes,
   Local.Version = NewVersion;
 
   // Mark the update in flight (odd seq) before the first table store.
-  UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedYield(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0);
+  uint64_t Seq = UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedObserve(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0, Seq + 1);
 
-  // Step 1: construct the new Tary table locally, then copy it in with
+  uint64_t Limit = (TaryLimitBytes + 3) / 4;
+
+  // Phase 1: construct the new Tary table locally, then copy it in with
   // relaxed (movnti-style, weakly ordered) stores. Each 4-byte store is
   // individually atomic, which is the only requirement (Fig. 3's
-  // copyTaryTable).
-  uint64_t Limit = (TaryLimitBytes + 3) / 4;
-  std::vector<uint32_t> NewTary(Limit, 0);
-  for (uint64_t I = 0; I != Limit; ++I) {
-    int64_t ECN = GetTaryECN(I * 4);
-    if (ECN >= 0) {
-      assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
-      NewTary[I] = encodeID(static_cast<uint32_t>(ECN), NewVersion);
+  // copyTaryTable). If the code region shrank, zero the tail of the
+  // previous install in the same phase: stale old-version target IDs
+  // there would otherwise read as "update in flight" forever.
+  auto InstallTary = [&] {
+    std::vector<uint32_t> NewTary(Limit, 0);
+    for (uint64_t I = 0; I != Limit; ++I) {
+      int64_t ECN = GetTaryECN(I * 4);
+      if (ECN >= 0) {
+        assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+        NewTary[I] = encodeID(static_cast<uint32_t>(ECN), NewVersion);
+      }
     }
-  }
-  for (uint64_t I = 0; I != Limit; ++I)
-    TaryEntries[I].store(NewTary[I], std::memory_order_relaxed);
-  Local.TaryWritten = Limit;
+    for (uint64_t I = 0; I != Limit; ++I) {
+      schedYield(SchedOp::StoreRelaxed, SchedObject::Tary, I);
+      TaryEntries[I].store(NewTary[I], std::memory_order_relaxed);
+      schedObserve(SchedOp::StoreRelaxed, SchedObject::Tary, I, NewTary[I]);
+    }
+    Local.TaryWritten = Limit;
+    schedYield(SchedOp::LoadRelaxed, SchedObject::InstalledTary, 0);
+    uint64_t PrevTaryWords =
+        InstalledTaryWords.load(std::memory_order_relaxed);
+    schedObserve(SchedOp::LoadRelaxed, SchedObject::InstalledTary, 0,
+                 PrevTaryWords);
+    for (uint64_t I = Limit; I < PrevTaryWords; ++I) {
+      schedYield(SchedOp::StoreRelaxed, SchedObject::Tary, I);
+      TaryEntries[I].store(0, std::memory_order_relaxed);
+      schedObserve(SchedOp::StoreRelaxed, SchedObject::Tary, I, 0);
+      ++Local.TaryCleared;
+    }
+    schedYield(SchedOp::StoreRelaxed, SchedObject::InstalledTary, 0);
+    InstalledTaryWords.store(Limit, std::memory_order_relaxed);
+    schedObserve(SchedOp::StoreRelaxed, SchedObject::InstalledTary, 0, Limit);
+  };
 
-  // If the code region shrank, zero the tail of the previous install in
-  // the same phase: stale old-version target IDs there would otherwise
-  // read as "update in flight" forever.
-  uint64_t PrevTaryWords = InstalledTaryWords.load(std::memory_order_relaxed);
-  for (uint64_t I = Limit; I < PrevTaryWords; ++I) {
-    TaryEntries[I].store(0, std::memory_order_relaxed);
-    ++Local.TaryCleared;
-  }
-  InstalledTaryWords.store(Limit, std::memory_order_relaxed);
-
-  // Memory write barrier: all Tary stores complete before any Bary store
-  // (Fig. 3 line 5). This is the linearization point of the update.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-
-  // GOT entry updates are inserted between the two table updates and
-  // serialized by another barrier (paper, PLT/GOT discussion).
-  if (BetweenTablesHook) {
-    BetweenTablesHook();
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-  }
-
-  // Step 2: update the Bary table, zeroing any tail left over from a
+  // Phase 2: update the Bary table, zeroing any tail left over from a
   // larger previous install.
-  for (uint32_t I = 0; I != BaryCount; ++I) {
-    int64_t ECN = GetBaryECN(I);
-    uint32_t ID = 0;
-    if (ECN >= 0) {
-      assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
-      ID = encodeID(static_cast<uint32_t>(ECN), NewVersion);
+  auto InstallBary = [&] {
+    for (uint32_t I = 0; I != BaryCount; ++I) {
+      int64_t ECN = GetBaryECN(I);
+      uint32_t ID = 0;
+      if (ECN >= 0) {
+        assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+        ID = encodeID(static_cast<uint32_t>(ECN), NewVersion);
+      }
+      schedYield(SchedOp::StoreRelaxed, SchedObject::Bary, I);
+      BaryEntries[I].store(ID, std::memory_order_relaxed);
+      schedObserve(SchedOp::StoreRelaxed, SchedObject::Bary, I, ID);
     }
-    BaryEntries[I].store(ID, std::memory_order_relaxed);
+    Local.BaryWritten = BaryCount;
+    schedYield(SchedOp::LoadRelaxed, SchedObject::InstalledBary, 0);
+    uint32_t PrevBaryCount =
+        InstalledBaryCount.load(std::memory_order_relaxed);
+    schedObserve(SchedOp::LoadRelaxed, SchedObject::InstalledBary, 0,
+                 PrevBaryCount);
+    for (uint32_t I = BaryCount; I < PrevBaryCount; ++I) {
+      schedYield(SchedOp::StoreRelaxed, SchedObject::Bary, I);
+      BaryEntries[I].store(0, std::memory_order_relaxed);
+      schedObserve(SchedOp::StoreRelaxed, SchedObject::Bary, I, 0);
+      ++Local.BaryCleared;
+    }
+    schedYield(SchedOp::StoreRelaxed, SchedObject::InstalledBary, 0);
+    InstalledBaryCount.store(BaryCount, std::memory_order_relaxed);
+    schedObserve(SchedOp::StoreRelaxed, SchedObject::InstalledBary, 0,
+                 BaryCount);
+  };
+
+  // Memory write barrier between the phases: all Tary stores complete
+  // before any Bary store (Fig. 3 line 5) — the linearization point of
+  // the update. GOT entry updates are inserted between the two table
+  // updates and serialized by another barrier (paper, PLT/GOT
+  // discussion).
+  auto PhaseBarrierAndHook = [&] {
+    schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (BetweenTablesHook) {
+      BetweenTablesHook();
+      schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+  };
+
+#if MCFI_SCHED_HOOKS
+  if (GSchedMutantReorderPhases) {
+    // TEST-ONLY MUTANT: Bary before Tary — the store order Fig. 3
+    // forbids. Kept only in the instrumented build so the schedule
+    // checker can demonstrate it detects the resulting torn reads.
+    InstallBary();
+    PhaseBarrierAndHook();
+    InstallTary();
+  } else
+#endif
+  {
+    InstallTary();
+    PhaseBarrierAndHook();
+    InstallBary();
   }
-  Local.BaryWritten = BaryCount;
-  uint32_t PrevBaryCount = InstalledBaryCount.load(std::memory_order_relaxed);
-  for (uint32_t I = BaryCount; I < PrevBaryCount; ++I) {
-    BaryEntries[I].store(0, std::memory_order_relaxed);
-    ++Local.BaryCleared;
-  }
-  InstalledBaryCount.store(BaryCount, std::memory_order_relaxed);
+  schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
   // Update complete (seq back to even).
-  UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedYield(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0);
+  uint64_t EndSeq = UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedObserve(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0, EndSeq + 1);
 
   if (Stats) {
     Local.Incremental = false;
@@ -219,8 +317,14 @@ TxUpdateStatus IDTables::txUpdateIncremental(
   assert(BaryCount <= BaryEntries.size() && "too many branch sites");
   // Grow-only: a delta install may never shrink either table — shrinks
   // retire entries and must go through the full, version-bumping path.
+  schedYield(SchedOp::LoadRelaxed, SchedObject::InstalledTary, 0);
   uint64_t PrevTaryWords = InstalledTaryWords.load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::InstalledTary, 0,
+               PrevTaryWords);
+  schedYield(SchedOp::LoadRelaxed, SchedObject::InstalledBary, 0);
   uint32_t PrevBaryCount = InstalledBaryCount.load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::InstalledBary, 0,
+               PrevBaryCount);
   assert((TaryLimitBytes + 3) / 4 >= PrevTaryWords &&
          "incremental update may not shrink the Tary table");
   assert(BaryCount >= PrevBaryCount &&
@@ -230,72 +334,114 @@ TxUpdateStatus IDTables::txUpdateIncremental(
   // installed, so each individual atomic store is its own linearization
   // point — a reader sees the edge absent or present, never a torn
   // cross-version pair. This is what makes the O(delta) cost safe.
+  schedYield(SchedOp::LoadRelaxed, SchedObject::Version, 0);
   uint32_t CurVersion = Version.load(std::memory_order_relaxed);
-  Updates.fetch_add(1, std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::Version, 0, CurVersion);
+  schedYield(SchedOp::RMWRelaxed, SchedObject::UpdateCount, 0);
+  uint64_t Upd = Updates.fetch_add(1, std::memory_order_relaxed);
+  schedObserve(SchedOp::RMWRelaxed, SchedObject::UpdateCount, 0, Upd + 1);
 
   TxUpdateStats Local;
   Local.Incremental = true;
   Local.Version = CurVersion;
 
-  UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedYield(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0);
+  uint64_t Seq = UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedObserve(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0, Seq + 1);
 
-  // Step 1: (re-)encode only the dirty Tary ranges. Re-encoding an
+  uint64_t Limit = (TaryLimitBytes + 3) / 4;
+
+  // Phase 1: (re-)encode only the dirty Tary ranges. Re-encoding an
   // unchanged entry at the same version is idempotent, so ranges may be
   // coalesced generously by the caller.
-  uint64_t Limit = (TaryLimitBytes + 3) / 4;
-  for (const TaryRange &R : TaryDirty) {
-    uint64_t Begin = R.BeginBytes / 4;
-    uint64_t End = (R.EndBytes + 3) / 4;
-    assert(End <= Limit && "dirty range past the new Tary limit");
-    for (uint64_t I = Begin; I < End; ++I) {
-      int64_t ECN = GetTaryECN(I * 4);
+  auto InstallTaryDelta = [&] {
+    for (const TaryRange &R : TaryDirty) {
+      uint64_t Begin = R.BeginBytes / 4;
+      uint64_t End = (R.EndBytes + 3) / 4;
+      assert(End <= Limit && "dirty range past the new Tary limit");
+      for (uint64_t I = Begin; I < End; ++I) {
+        int64_t ECN = GetTaryECN(I * 4);
+        uint32_t ID = 0;
+        if (ECN >= 0) {
+          assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
+          ID = encodeID(static_cast<uint32_t>(ECN), CurVersion);
+        }
+        // Eligibility cross-check: an already-installed entry may only
+        // be rewritten with the value it already holds.
+        schedYield(SchedOp::LoadRelaxed, SchedObject::Tary, I);
+        uint32_t Old = TaryEntries[I].load(std::memory_order_relaxed);
+        schedObserve(SchedOp::LoadRelaxed, SchedObject::Tary, I, Old);
+        assert((I >= PrevTaryWords || Old == 0 || Old == ID) &&
+               "incremental update would change an installed Tary entry");
+        (void)Old;
+        schedYield(SchedOp::StoreRelaxed, SchedObject::Tary, I);
+        TaryEntries[I].store(ID, std::memory_order_relaxed);
+        schedObserve(SchedOp::StoreRelaxed, SchedObject::Tary, I, ID);
+        ++Local.TaryWritten;
+      }
+    }
+    schedYield(SchedOp::StoreRelaxed, SchedObject::InstalledTary, 0);
+    InstalledTaryWords.store(Limit, std::memory_order_relaxed);
+    schedObserve(SchedOp::StoreRelaxed, SchedObject::InstalledTary, 0, Limit);
+  };
+
+  // Phase 2: install the new Bary sites. Only indexes >= the previous
+  // count are eligible — an existing site's window between the GOT hook
+  // and its bary store would otherwise spuriously halt guests.
+  auto InstallBaryDelta = [&] {
+    for (uint32_t I : BaryDirty) {
+      assert(I < BaryCount && "dirty site past the new Bary count");
+      assert(I >= PrevBaryCount &&
+             "incremental update would rewrite an installed Bary site");
+      int64_t ECN = GetBaryECN(I);
       uint32_t ID = 0;
       if (ECN >= 0) {
         assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
         ID = encodeID(static_cast<uint32_t>(ECN), CurVersion);
       }
-#ifndef NDEBUG
-      // Eligibility cross-check: an already-installed entry may only be
-      // rewritten with the value it already holds.
-      uint32_t Old = TaryEntries[I].load(std::memory_order_relaxed);
-      assert((I >= PrevTaryWords || Old == 0 || Old == ID) &&
-             "incremental update would change an installed Tary entry");
-#endif
-      TaryEntries[I].store(ID, std::memory_order_relaxed);
-      ++Local.TaryWritten;
+      schedYield(SchedOp::StoreRelaxed, SchedObject::Bary, I);
+      BaryEntries[I].store(ID, std::memory_order_relaxed);
+      schedObserve(SchedOp::StoreRelaxed, SchedObject::Bary, I, ID);
+      ++Local.BaryWritten;
     }
-  }
-  InstalledTaryWords.store(Limit, std::memory_order_relaxed);
+    schedYield(SchedOp::StoreRelaxed, SchedObject::InstalledBary, 0);
+    InstalledBaryCount.store(BaryCount, std::memory_order_relaxed);
+    schedObserve(SchedOp::StoreRelaxed, SchedObject::InstalledBary, 0,
+                 BaryCount);
+  };
 
   // Same barrier discipline as the full transaction: new targets become
   // visible before the hook runs and before any new site can read them.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-
-  if (BetweenTablesHook) {
-    BetweenTablesHook();
+  auto PhaseBarrierAndHook = [&] {
+    schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-  }
-
-  // Step 2: install the new Bary sites. Only indexes >= the previous
-  // count are eligible — an existing site's window between the GOT hook
-  // and its bary store would otherwise spuriously halt guests.
-  for (uint32_t I : BaryDirty) {
-    assert(I < BaryCount && "dirty site past the new Bary count");
-    assert(I >= PrevBaryCount &&
-           "incremental update would rewrite an installed Bary site");
-    int64_t ECN = GetBaryECN(I);
-    uint32_t ID = 0;
-    if (ECN >= 0) {
-      assert(ECN <= static_cast<int64_t>(MaxECN) && "ECN space exhausted");
-      ID = encodeID(static_cast<uint32_t>(ECN), CurVersion);
+    if (BetweenTablesHook) {
+      BetweenTablesHook();
+      schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
     }
-    BaryEntries[I].store(ID, std::memory_order_relaxed);
-    ++Local.BaryWritten;
+  };
+
+#if MCFI_SCHED_HOOKS
+  if (GSchedMutantReorderPhases) {
+    // TEST-ONLY MUTANT: new sites become visible before their targets
+    // exist. See txUpdate above.
+    InstallBaryDelta();
+    PhaseBarrierAndHook();
+    InstallTaryDelta();
+  } else
+#endif
+  {
+    InstallTaryDelta();
+    PhaseBarrierAndHook();
+    InstallBaryDelta();
   }
-  InstalledBaryCount.store(BaryCount, std::memory_order_relaxed);
+  schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
   std::atomic_thread_fence(std::memory_order_seq_cst);
 
-  UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedYield(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0);
+  uint64_t EndSeq = UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedObserve(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0, EndSeq + 1);
 
   if (Stats) {
     Local.Micros = Stats->Micros;

@@ -24,6 +24,7 @@
 #define MCFI_TABLES_IDTABLES_H
 
 #include "tables/ID.h"
+#include "tables/SchedPoint.h"
 
 #include <atomic>
 #include <cstdint>
@@ -176,6 +177,15 @@ public:
     return SlowRetries.load(std::memory_order_relaxed);
   }
 
+  /// True while an update transaction is between its first and last
+  /// table store (the seqlock generation is odd). The acquire load pairs
+  /// with the release increments in the update paths, so harnesses that
+  /// sample the in-flight window (UpdateMetrics, schedcheck, TSan runs)
+  /// observe it with defined ordering instead of racing a plain load.
+  bool updateInFlight() const {
+    return (UpdateSeq.load(std::memory_order_acquire) & 1) != 0;
+  }
+
   /// Extents covered by the most recent update transaction (what a
   /// shrinking update must zero down from).
   uint64_t installedTaryLimitBytes() const {
@@ -210,14 +220,54 @@ public:
   /// any in-flight check transaction, so old-version IDs can no longer
   /// be compared and the ABA counter restarts.
   void resetVersionEpoch() {
-    EpochBase.store(VersionedUpdates.load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
+    schedYield(SchedOp::LoadRelaxed, SchedObject::VersionedUpdateCount, 0);
+    uint64_t VU = VersionedUpdates.load(std::memory_order_relaxed);
+    schedObserve(SchedOp::LoadRelaxed, SchedObject::VersionedUpdateCount, 0,
+                 VU);
+    schedYield(SchedOp::StoreRelaxed, SchedObject::EpochBase, 0);
+    EpochBase.store(VU, std::memory_order_relaxed);
+    schedObserve(SchedOp::StoreRelaxed, SchedObject::EpochBase, 0, VU);
   }
 
   uint64_t taryCapacityBytes() const { return TaryEntries.size() * 4; }
   uint32_t baryCapacity() const {
     return static_cast<uint32_t>(BaryEntries.size());
   }
+
+#if MCFI_SCHED_HOOKS
+  //===--------------------------------------------------------------------===//
+  // Test-only surface for the deterministic schedule checker. These
+  // bypass the SchedPoint seam (the harness must not re-enter its own
+  // scheduler while fingerprinting state between decisions) and exist
+  // only in the instrumented mcfi_tables_sched build.
+  //===--------------------------------------------------------------------===//
+
+  uint32_t peekTaryWord(uint64_t WordIndex) const {
+    return WordIndex < TaryEntries.size()
+               ? TaryEntries[WordIndex].load(std::memory_order_relaxed)
+               : 0;
+  }
+  uint32_t peekBaryEntry(uint32_t Index) const {
+    return Index < BaryEntries.size()
+               ? BaryEntries[Index].load(std::memory_order_relaxed)
+               : 0;
+  }
+  uint64_t peekUpdateSeq() const {
+    return UpdateSeq.load(std::memory_order_relaxed);
+  }
+  uint64_t peekEpochBase() const {
+    return EpochBase.load(std::memory_order_relaxed);
+  }
+
+  /// Jumps the ABA counters as if \p N version-bumping updates had run
+  /// since construction, so the version-wrap scenario reaches the
+  /// MaxVersion boundary without replaying 2^14 installs per schedule.
+  void testForceVersionedUpdates(uint64_t N) {
+    VersionedUpdates.store(N, std::memory_order_relaxed);
+    Version.store(static_cast<uint32_t>(N) & MaxVersion,
+                  std::memory_order_relaxed);
+  }
+#endif // MCFI_SCHED_HOOKS
 
 private:
   CheckResult txCheckSlow(uint32_t BaryIndex, uint64_t TargetOffset) const;

@@ -7,6 +7,7 @@
 
 #include "metrics/Harness.h"
 #include "metrics/Metrics.h"
+#include "metrics/UpdateMetrics.h"
 #include "tables/HashTary.h"
 #include "tables/ID.h"
 #include "visa/Assembler.h"
@@ -152,6 +153,37 @@ TEST(HashTary, CollisionsResolveByProbing) {
       64, [](uint64_t) -> int64_t { return 1; }, 1);
   for (uint64_t Off = 0; Off < 64; Off += 4)
     EXPECT_TRUE(isValidID(T.read(Off))) << Off;
+}
+
+//===----------------------------------------------------------------------===//
+// Update-transaction summary
+//===----------------------------------------------------------------------===//
+
+TEST(UpdateSummaryMetrics, JSONCarriesInFlightFlag) {
+  UpdateSummary S;
+  S.Installs = 3;
+  S.SlowRetries = 7;
+  std::string Idle = updateSummaryJSON(S, "full");
+  EXPECT_NE(Idle.find("\"slow_retries\":7"), std::string::npos) << Idle;
+  EXPECT_NE(Idle.find("\"update_in_flight\":false"), std::string::npos)
+      << Idle;
+  S.UpdateInFlight = true;
+  std::string Busy = updateSummaryJSON(S, "full");
+  EXPECT_NE(Busy.find("\"update_in_flight\":true"), std::string::npos) << Busy;
+}
+
+TEST(UpdateSummaryMetrics, InFlightSamplesSeqlockParity) {
+  // The flag is a point sample of the update seqlock: false at rest,
+  // true when read from inside an update's between-tables window.
+  IDTables T(64, 4);
+  EXPECT_FALSE(T.updateInFlight());
+  bool Mid = false;
+  T.txUpdate(
+      16, [](uint64_t O) -> int64_t { return O % 4 ? -1 : 1; }, 1,
+      [](uint32_t) -> int64_t { return 1; },
+      [&] { Mid = T.updateInFlight(); });
+  EXPECT_TRUE(Mid);
+  EXPECT_FALSE(T.updateInFlight());
 }
 
 } // namespace

@@ -276,6 +276,38 @@ TEST(Syscalls, DlsymUnknownReturnsNull) {
 // Instruction accounting
 //===----------------------------------------------------------------------===//
 
+TEST(Quiescence, EpochHookFiresWhenAllThreadsCrossSyscall) {
+  Machine M;
+  // Age the version space with empty updates until it reads low.
+  auto Age = [&] {
+    M.tables().txUpdate(0, [](uint64_t) -> int64_t { return -1; }, 0,
+                        [](uint32_t) -> int64_t { return -1; });
+  };
+  while (!M.tables().versionSpaceLow())
+    Age();
+
+  std::vector<uint64_t> Generations;
+  M.QuiesceEpochHook = [&](uint64_t Gen) { Generations.push_back(Gen); };
+
+  // No guest thread is inside the interpreter (RunningThreads == 0), so
+  // a single thread crossing a syscall boundary completes the
+  // generation: the epoch resets and the hook fires with generation 1.
+  Thread T;
+  M.noteSyscallBoundary(T);
+  ASSERT_EQ(Generations.size(), 1u);
+  EXPECT_EQ(Generations[0], 1u);
+  EXPECT_FALSE(M.tables().versionSpaceLow());
+  EXPECT_EQ(M.tables().updatesSinceEpoch(), 0u);
+
+  // Every completed generation advances the counter by exactly one, and
+  // the hook sees them in order with no gaps or repeats.
+  M.noteSyscallBoundary(T);
+  M.noteSyscallBoundary(T);
+  ASSERT_EQ(Generations.size(), 3u);
+  for (size_t I = 0; I < Generations.size(); ++I)
+    EXPECT_EQ(Generations[I], I + 1) << "generations must be consecutive";
+}
+
 TEST(VM, InstructionCountsAreDeterministic) {
   const char *Source = R"(
     long f(long n) {

@@ -556,4 +556,70 @@ TEST(ABA, EpochCounterDetectsExhaustion) {
   EXPECT_EQ(T.updatesSinceEpoch(), 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// txUpdateIncremental preconditions (debug asserts)
+//===----------------------------------------------------------------------===//
+
+/// Delta installation is only sound for grow-only, already-installed-
+/// entries-unchanged updates; everything else must take the full
+/// rebuild path. The preconditions are asserted, so misuse dies in
+/// debug builds instead of silently producing torn tables.
+class IncrementalDeathTest : public ::testing::Test {
+protected:
+  IncrementalDeathTest() : T(256, 8) {
+    T.txUpdate(
+        32, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1; }, 2,
+        [](uint32_t) -> int64_t { return 1; });
+  }
+
+  static int64_t taryEven8(uint64_t O) { return O % 8 ? -1 : 1; }
+  static int64_t baryOne(uint32_t) { return 1; }
+
+  IDTables T;
+};
+
+TEST_F(IncrementalDeathTest, RefusesToShrinkTary) {
+  EXPECT_DEATH(T.txUpdateIncremental(16, {}, taryEven8, 2, {}, baryOne),
+               "incremental update may not shrink the Tary table");
+}
+
+TEST_F(IncrementalDeathTest, RefusesToShrinkBary) {
+  EXPECT_DEATH(T.txUpdateIncremental(32, {}, taryEven8, 1, {}, baryOne),
+               "incremental update may not shrink the Bary table");
+}
+
+TEST_F(IncrementalDeathTest, RefusesDirtyRangePastTaryLimit) {
+  EXPECT_DEATH(
+      T.txUpdateIncremental(40, {{40, 48}}, taryEven8, 2, {}, baryOne),
+      "dirty range past the new Tary limit");
+}
+
+TEST_F(IncrementalDeathTest, RefusesToChangeInstalledTaryEntry) {
+  // Offset 8 is installed as class 1; a delta re-encoding it as class 2
+  // would flip an entry readers already rely on, mid-flight.
+  EXPECT_DEATH(T.txUpdateIncremental(
+                   32, {{8, 16}},
+                   [](uint64_t O) -> int64_t { return O % 8 ? -1 : 2; }, 2, {},
+                   baryOne),
+               "incremental update would change an installed Tary entry");
+}
+
+TEST_F(IncrementalDeathTest, RefusesDirtySitePastBaryCount) {
+  EXPECT_DEATH(T.txUpdateIncremental(32, {}, taryEven8, 3, {3}, baryOne),
+               "dirty site past the new Bary count");
+}
+
+TEST_F(IncrementalDeathTest, RefusesToRewriteInstalledBarySite) {
+  EXPECT_DEATH(T.txUpdateIncremental(32, {}, taryEven8, 3, {1}, baryOne),
+               "incremental update would rewrite an installed Bary site");
+}
+
+TEST_F(IncrementalDeathTest, AcceptsGrowOnlyDelta) {
+  // Sanity guard for the fixture itself: a legal grow-only delta (new
+  // Tary range, new Bary site) goes through without dying.
+  EXPECT_EQ(T.txUpdateIncremental(40, {{32, 40}}, taryEven8, 3, {2}, baryOne),
+            TxUpdateStatus::Ok);
+  EXPECT_EQ(T.txCheck(2, 32), CheckResult::Pass);
+}
+
 } // namespace

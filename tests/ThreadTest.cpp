@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Harness.h"
+#include "tables/ID.h"
 
 #include <gtest/gtest.h>
 
@@ -221,6 +222,83 @@ TEST(Linearizability, IncrementalAndShrinkingUpdates) {
   }
   EXPECT_EQ(T.slowRetryCount(), Retries)
       << "slow path kept spinning at quiescence";
+}
+
+/// Torn-read canary: under a storm of full and incremental updates,
+/// every Tary word and Bary entry a reader observes must be either zero
+/// (uninstalled/retired) or a well-formed ID carrying the reserved-bit
+/// pattern — bit 0 of every byte set, bits 1..7 of byte 0 and the
+/// reserved positions clear (the 0,0,0,1 low-bit signature that lets
+/// guest code distinguish IDs from code addresses). A torn store, a
+/// half-zeroed shrink, or a phase reorder would surface here as a word
+/// that is neither.
+TEST(Linearizability, ReservedBitsHoldUnderUpdateStorm) {
+  IDTables T(256, 16);
+
+  // Alternate three shapes: a wide CFG, a grown delta, and a narrow
+  // shrink, so installs, deltas, and stale-range zeroing all run.
+  auto InstallWide = [&] {
+    T.txUpdate(
+        192, [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1 + (O / 64) % 3; },
+        12, [](uint32_t I) -> int64_t { return 1 + I % 3; });
+  };
+  auto GrowDelta = [&] {
+    T.txUpdateIncremental(
+        256, {{192, 256}},
+        [](uint64_t O) -> int64_t { return O % 8 ? -1 : 1 + (O / 64) % 3; },
+        16, {12, 13, 14, 15},
+        [](uint32_t I) -> int64_t { return 1 + I % 3; });
+  };
+  auto InstallNarrow = [&] {
+    T.txUpdate(64, [](uint64_t O) -> int64_t { return O % 4 ? -1 : 2; }, 4,
+               [](uint32_t) -> int64_t { return 2; });
+  };
+  InstallWide();
+
+  std::atomic<int> Running{3};
+  std::atomic<bool> CanariesDone{false};
+  std::atomic<uint64_t> TornWords{0};
+  std::atomic<uint64_t> WordsSeen{0};
+  auto Canary = [&] {
+    uint64_t Seen = 0;
+    for (int Sweep = 0; Sweep != 2000; ++Sweep) {
+      for (uint64_t Off = 0; Off < T.taryCapacityBytes(); Off += 4) {
+        uint32_t W = T.taryRead(Off);
+        ++Seen;
+        if (W != 0 && !isValidID(W))
+          TornWords.fetch_add(1);
+      }
+      for (uint32_t I = 0; I < T.baryCapacity(); ++I) {
+        uint32_t W = T.baryRead(I);
+        ++Seen;
+        if (W != 0 && !isValidID(W))
+          TornWords.fetch_add(1);
+      }
+    }
+    WordsSeen.fetch_add(Seen);
+    if (Running.fetch_sub(1) == 1)
+      CanariesDone.store(true);
+  };
+  std::vector<std::thread> Canaries;
+  for (int I = 0; I != 3; ++I)
+    Canaries.emplace_back(Canary);
+
+  // Keep the storm going for as long as the canaries sweep.
+  uint64_t Cycles = 0;
+  while (!CanariesDone.load(std::memory_order_relaxed)) {
+    if (T.versionSpaceLow())
+      T.resetVersionEpoch();
+    InstallWide();
+    GrowDelta();
+    InstallNarrow();
+    ++Cycles;
+  }
+  for (std::thread &Th : Canaries)
+    Th.join();
+  EXPECT_GT(Cycles, 0u);
+  EXPECT_EQ(TornWords.load(), 0u)
+      << "observed a word violating the reserved-bit ID signature";
+  EXPECT_GT(WordsSeen.load(), 10000u);
 }
 
 TEST(GuestThreads, StacksAreDisjoint) {
