@@ -18,15 +18,84 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 using namespace mcfi;
 
+namespace {
+
+/// Best-of-5 generateCFG wall time at \p Workers, with the resulting
+/// policy stored to \p Out (generation is deterministic per the
+/// generateCFG contract, so which run's policy we keep is immaterial).
+double bestGenMs(const std::vector<LoadedModuleView> &Views, unsigned Workers,
+                 CFGPolicy &Out) {
+  double BestMs = 1e99;
+  for (int I = 0; I != 5; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    Out = generateCFG(Views, nullptr, Workers);
+    auto T1 = std::chrono::steady_clock::now();
+    BestMs = std::min(
+        BestMs, std::chrono::duration<double, std::milli>(T1 - T0).count());
+  }
+  return BestMs;
+}
+
+/// Synthetic dlopen-heavy workload for the parallel merge: 32 modules,
+/// each with 150 address-taken functions and 60 variadic-pointer sites.
+/// Every site's fixed-prefix scan walks all 4800 address-taken functions
+/// (rejecting most on the first pointer compare), so the per-site
+/// matching stage — the parallelized one — dominates generation, unlike
+/// the SPEC profiles where the serial collection/partition bookkeeping
+/// does. generateCFG only reads Aux and CodeBase, so no code is needed.
+std::vector<MCFIObject> makeMergeStressModules() {
+  std::vector<MCFIObject> Out;
+  for (int Mi = 0; Mi != 32; ++Mi) {
+    MCFIObject O;
+    O.Name = "stress" + std::to_string(Mi);
+    for (int F = 0; F != 150; ++F) {
+      FunctionInfo FI;
+      FI.Name = O.Name + "_f" + std::to_string(F);
+      // 1-in-50 functions match the sites' (i64, ...) prefix; the rest
+      // are scanned and rejected, keeping target sets (and the serial
+      // union-find over them) small.
+      FI.TypeSig = F % 50 == 0 ? "(i64,i64)->i64" : "(f64,i64)->i64";
+      FI.CodeOffset = static_cast<uint64_t>(F) * 16;
+      FI.AddressTaken = true;
+      O.Aux.Functions.push_back(std::move(FI));
+    }
+    for (int S = 0; S != 60; ++S) {
+      BranchSite BS;
+      BS.Kind = BranchKind::IndirectCall;
+      BS.BranchOffset = 150 * 16 + static_cast<uint64_t>(S) * 8;
+      BS.Function = O.Name + "_f0";
+      BS.TypeSig = "(i64,)->i64";
+      BS.VariadicPointer = true;
+      O.Aux.BranchSites.push_back(std::move(BS));
+    }
+    Out.push_back(std::move(O));
+  }
+  return Out;
+}
+
+bool policiesEqual(const CFGPolicy &A, const CFGPolicy &B) {
+  return A.TargetECN == B.TargetECN && A.BranchECN == B.BranchECN &&
+         A.BranchClassSize == B.BranchClassSize &&
+         A.SiteIndexBase == B.SiteIndexBase &&
+         A.SetjmpRetSites == B.SetjmpRetSites && A.NumIBs == B.NumIBs &&
+         A.NumIBTs == B.NumIBTs && A.NumEQCs == B.NumEQCs;
+}
+
+} // namespace
+
 int main() {
-  benchHeader("Type-matching CFG generation speed", "Sec. 7's 150ms-for-gcc");
+  benchHeader("Type-matching CFG generation speed, serial vs parallel merge",
+              "Sec. 7's 150ms-for-gcc");
 
   TablePrinter Table;
-  Table.addRow({"benchmark", "code bytes", "IBs", "IBTs", "gen time"});
+  Table.addRow({"benchmark", "code bytes", "IBs", "IBTs", "serial",
+                "8 workers", "speedup"});
 
+  double SumSerial = 0, SumPar = 0;
   for (const BenchProfile &P : specProfiles()) {
     std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
     BuiltProgram BP = buildProgram({Source});
@@ -39,24 +108,69 @@ int main() {
     for (const MappedModule &Mod : BP.M->modules())
       Views.push_back({Mod.Obj.get(), Mod.CodeBase});
 
-    // Best of 5 runs (generation is deterministic).
-    double BestMs = 1e99;
-    CFGPolicy Policy;
-    for (int I = 0; I != 5; ++I) {
-      auto T0 = std::chrono::steady_clock::now();
-      Policy = generateCFG(Views);
-      auto T1 = std::chrono::steady_clock::now();
-      BestMs = std::min(
-          BestMs, std::chrono::duration<double, std::milli>(T1 - T0).count());
+    CFGPolicy Serial, Parallel;
+    double SerialMs = bestGenMs(Views, 1, Serial);
+    double ParMs = bestGenMs(Views, 8, Parallel);
+    if (!policiesEqual(Serial, Parallel)) {
+      std::fprintf(stderr,
+                   "FAIL: %s parallel merge diverged from serial policy\n",
+                   P.Name.c_str());
+      return 1;
     }
+    SumSerial += SerialMs;
+    SumPar += ParMs;
     Table.addRow({P.Name, std::to_string(BP.CodeBytes),
-                  std::to_string(Policy.NumIBs),
-                  std::to_string(Policy.NumIBTs),
-                  formatString("%.2f ms", BestMs)});
+                  std::to_string(Serial.NumIBs),
+                  std::to_string(Serial.NumIBTs),
+                  formatString("%.2f ms", SerialMs),
+                  formatString("%.2f ms", ParMs),
+                  formatString("%.2fx", SerialMs / ParMs)});
   }
+  Table.addRow({"total", "", "", "", formatString("%.2f ms", SumSerial),
+                formatString("%.2f ms", SumPar),
+                formatString("%.2fx", SumSerial / SumPar)});
+
+  // The 32-module merge-stress case: type matching dominates, so this is
+  // the row where worker scaling must show.
+  std::vector<MCFIObject> Stress = makeMergeStressModules();
+  std::vector<LoadedModuleView> StressViews;
+  uint64_t CodeBytes = 0;
+  for (size_t Mi = 0; Mi != Stress.size(); ++Mi) {
+    StressViews.push_back({&Stress[Mi], 0x10000 + Mi * 0x10000});
+    CodeBytes += 150 * 16 + 60 * 8;
+  }
+  CFGPolicy StressSerial, StressPar;
+  double StressSerialMs = bestGenMs(StressViews, 1, StressSerial);
+  double StressParMs = bestGenMs(StressViews, 8, StressPar);
+  if (!policiesEqual(StressSerial, StressPar)) {
+    std::fprintf(stderr,
+                 "FAIL: merge-stress parallel merge diverged from serial "
+                 "policy\n");
+    return 1;
+  }
+  double StressSpeedup = StressSerialMs / StressParMs;
+  Table.addRow({"merge-stress", std::to_string(CodeBytes),
+                std::to_string(StressSerial.NumIBs),
+                std::to_string(StressSerial.NumIBTs),
+                formatString("%.2f ms", StressSerialMs),
+                formatString("%.2f ms", StressParMs),
+                formatString("%.2fx", StressSpeedup)});
   Table.print();
+
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::printf("\n%u hardware threads detected\n", Cores);
   std::printf("\npaper: ~150 ms for gcc's 2.7 MB; at our ~10x smaller scale\n"
               "generation must stay well under that, fast enough to run\n"
-              "inside dlopen\n");
+              "inside dlopen; the 8-worker column is byte-identical to the\n"
+              "serial column by the deterministic-reduction contract\n");
+  // Wall-clock scaling needs actual cores; on a starved machine the
+  // deterministic-identity check above is the meaningful gate.
+  if (Cores >= 4 && StressSpeedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: merge-stress speedup %.2fx < 2x at 8 workers on %u "
+                 "cores\n",
+                 StressSpeedup, Cores);
+    return 1;
+  }
   return 0;
 }

@@ -7,8 +7,9 @@
 
 #include "cfg/CFGGen.h"
 
-#include "cfg/SigMatch.h"
+#include "cfg/SigCache.h"
 #include "support/Assert.h"
+#include "support/ThreadPool.h"
 #include "support/UnionFind.h"
 #include "tables/ID.h"
 
@@ -24,8 +25,8 @@ namespace {
 /// A function gathered from some module's aux info.
 struct FuncEntry {
   std::string Name;
-  std::string TypeSig;
-  uint64_t Addr = 0; ///< absolute entry address
+  const InternedSig *Sig = nullptr; ///< interned type signature
+  uint64_t Addr = 0;                ///< absolute entry address
   bool AddressTaken = false;
   bool Variadic = false;
 };
@@ -40,10 +41,16 @@ struct CallSiteEntry {
 class CFGBuilder {
 public:
   CFGBuilder(const std::vector<LoadedModuleView> &Modules,
-             const CFGRefinement *Refine)
-      : Modules(Modules), Refine(Refine) {}
+             const CFGRefinement *Refine, unsigned Workers)
+      : Modules(Modules), Refine(Refine), Workers(Workers) {}
 
   CFGPolicy build() {
+    // One content-hash lookup per module; re-merges over already-loaded
+    // modules reuse the interned views without touching the sig strings.
+    Sigs.reserve(Modules.size());
+    for (const LoadedModuleView &M : Modules)
+      Sigs.push_back(getModuleSigs(*M.Obj));
+
     collectFunctions();
     indexBranchSites();
     resolveCallSites();
@@ -59,11 +66,14 @@ private:
   //===--------------------------------------------------------------------===//
 
   void collectFunctions() {
-    for (const LoadedModuleView &M : Modules) {
-      for (const FunctionInfo &F : M.Obj->Aux.Functions) {
+    for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
+      const LoadedModuleView &M = Modules[Mi];
+      const SigList &FuncSigs = Sigs[Mi]->FuncSigs;
+      for (size_t Fi = 0; Fi != M.Obj->Aux.Functions.size(); ++Fi) {
+        const FunctionInfo &F = M.Obj->Aux.Functions[Fi];
         FuncEntry E;
         E.Name = F.Name;
-        E.TypeSig = F.TypeSig;
+        E.Sig = FuncSigs[Fi];
         E.Addr = M.CodeBase + F.CodeOffset;
         E.AddressTaken = F.AddressTaken;
         E.Variadic = F.Variadic;
@@ -82,8 +92,10 @@ private:
         if (auto It = FuncByName.find(Name); It != FuncByName.end())
           Funcs[It->second].AddressTaken = true;
     for (uint32_t Idx = 0; Idx != Funcs.size(); ++Idx)
-      if (Funcs[Idx].AddressTaken)
-        BySig[Funcs[Idx].TypeSig].push_back(Idx);
+      if (Funcs[Idx].AddressTaken) {
+        BySig[Funcs[Idx].Sig].push_back(Idx);
+        AddressTaken.push_back(Idx);
+      }
   }
 
   void indexBranchSites() {
@@ -97,17 +109,22 @@ private:
     Policy.NumIBs = Next;
   }
 
-  /// All address-taken functions matching a pointer signature.
-  std::vector<uint32_t> matchTargets(const std::string &Sig, bool Variadic) {
+  /// All address-taken functions matching a pointer signature. Interned
+  /// signatures make the non-variadic case one hash lookup on a pointer
+  /// key and the variadic case a pointer-compare scan over address-taken
+  /// functions. Read-only after collectFunctions, so safe to call from
+  /// merge workers.
+  std::vector<uint32_t> matchTargets(const InternedSig *Sig, bool Variadic) {
     if (!Variadic) {
       auto It = BySig.find(Sig);
       return It == BySig.end() ? std::vector<uint32_t>() : It->second;
     }
     // Variadic pointers: exact matches plus fixed-prefix matches.
+    // AddressTaken is in ascending function-index order, so the result
+    // order matches the serial full-scan of earlier revisions.
     std::vector<uint32_t> Out;
-    for (uint32_t I = 0; I != Funcs.size(); ++I)
-      if (Funcs[I].AddressTaken &&
-          calleeSigMatches(Sig, /*PointerVariadic=*/true, Funcs[I].TypeSig))
+    for (uint32_t I : AddressTaken)
+      if (internedCalleeMatches(Sig, /*PointerVariadic=*/true, Funcs[I].Sig))
         Out.push_back(I);
     return Out;
   }
@@ -117,11 +134,11 @@ private:
   /// without a key keep the full type-matched set: the analysis saw no
   /// such site (foreign module, incomplete flow), so narrowing would be
   /// unsound. Intersection-only: this can never add a callee.
-  void refineCallees(std::vector<uint32_t> &Callees,
-                     const std::string &Owner, const std::string &Sig) {
+  void refineCallees(std::vector<uint32_t> &Callees, const std::string &Owner,
+                     const InternedSig *Sig) {
     if (!Refine)
       return;
-    auto It = Refine->Allowed.find({Owner, Sig});
+    auto It = Refine->Allowed.find({Owner, Sig ? Sig->Sig : std::string()});
     if (It == Refine->Allowed.end())
       return;
     const std::set<std::string> &Names = It->second;
@@ -129,26 +146,66 @@ private:
                   [&](uint32_t F) { return !Names.count(Funcs[F].Name); });
   }
 
-  void resolveCallSites() {
+  /// Builds the flat global-index → owning-module map for one aux array
+  /// (size per module given by \p SizeOf), filling \p Base and \p Owner.
+  size_t flattenIndex(std::vector<uint32_t> &Base, std::vector<uint32_t> &Owner,
+                      size_t (*SizeOf)(const MCFIObject &)) {
+    size_t Total = 0;
     for (const LoadedModuleView &M : Modules) {
-      for (const CallSiteInfo &CS : M.Obj->Aux.CallSites) {
-        CallSiteEntry E;
-        E.RetSiteAddr = M.CodeBase + CS.RetSiteOffset;
-        E.IsSetjmp = CS.IsSetjmp;
-        if (CS.IsSetjmp) {
-          Policy.SetjmpRetSites.push_back(E.RetSiteAddr);
-        } else if (CS.Direct) {
-          auto It = FuncByName.find(CS.Callee);
-          if (It != FuncByName.end())
-            E.Callees.push_back(It->second);
-        } else {
-          E.Callees = matchTargets(CS.TypeSig, CS.VariadicPointer);
-          refineCallees(E.Callees, CS.Caller, CS.TypeSig);
-        }
-        CallSites.push_back(std::move(E));
-      }
-      ModuleCallEnd.push_back(static_cast<uint32_t>(CallSites.size()));
+      Base.push_back(static_cast<uint32_t>(Total));
+      Total += SizeOf(*M.Obj);
     }
+    Owner.resize(Total);
+    for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
+      size_t End = Mi + 1 < Modules.size() ? Base[Mi + 1] : Total;
+      for (size_t I = Base[Mi]; I != End; ++I)
+        Owner[I] = static_cast<uint32_t>(Mi);
+    }
+    return Total;
+  }
+
+  void resolveCallSites() {
+    std::vector<uint32_t> CallBase, CallOwner;
+    size_t Total = flattenIndex(CallBase, CallOwner, [](const MCFIObject &O) {
+      return O.Aux.CallSites.size();
+    });
+    for (size_t Mi = 0; Mi != Modules.size(); ++Mi)
+      ModuleCallEnd.push_back(Mi + 1 < Modules.size()
+                                  ? CallBase[Mi + 1]
+                                  : static_cast<uint32_t>(Total));
+
+    // Each worker writes only CallSites[GI] for its own global indexes;
+    // FuncByName / BySig / Funcs are read-only by now.
+    CallSites.assign(Total, {});
+    ThreadPool::shared().parallelFor(
+        Workers, Total, /*Grain=*/32, [&](size_t Begin, size_t End) {
+          for (size_t GI = Begin; GI != End; ++GI) {
+            uint32_t Mi = CallOwner[GI];
+            const LoadedModuleView &M = Modules[Mi];
+            size_t Local = GI - CallBase[Mi];
+            const CallSiteInfo &CS = M.Obj->Aux.CallSites[Local];
+            CallSiteEntry &E = CallSites[GI];
+            E.RetSiteAddr = M.CodeBase + CS.RetSiteOffset;
+            E.IsSetjmp = CS.IsSetjmp;
+            if (CS.IsSetjmp)
+              continue;
+            if (CS.Direct) {
+              auto It = FuncByName.find(CS.Callee);
+              if (It != FuncByName.end())
+                E.Callees.push_back(It->second);
+            } else {
+              const InternedSig *Sig = Sigs[Mi]->CallSigs[Local];
+              E.Callees = matchTargets(Sig, CS.VariadicPointer);
+              refineCallees(E.Callees, CS.Caller, Sig);
+            }
+          }
+        });
+
+    // Setjmp return sites are order-sensitive (the runtime's longjmp
+    // validation list); collect them serially in global site order.
+    for (const CallSiteEntry &E : CallSites)
+      if (E.IsSetjmp)
+        Policy.SetjmpRetSites.push_back(E.RetSiteAddr);
   }
 
   /// Tail-call closure: if g may tail-call h, then h returns wherever g
@@ -165,8 +222,10 @@ private:
 
     // Tail-call edges: caller -> callee set.
     std::vector<std::vector<uint32_t>> TailEdges(Funcs.size());
-    for (const LoadedModuleView &M : Modules) {
-      for (const TailCallInfo &TC : M.Obj->Aux.TailCalls) {
+    for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
+      const LoadedModuleView &M = Modules[Mi];
+      for (size_t Ti = 0; Ti != M.Obj->Aux.TailCalls.size(); ++Ti) {
+        const TailCallInfo &TC = M.Obj->Aux.TailCalls[Ti];
         auto CallerIt = FuncByName.find(TC.Caller);
         if (CallerIt == FuncByName.end())
           continue;
@@ -176,8 +235,9 @@ private:
           if (It != FuncByName.end())
             Callees.push_back(It->second);
         } else {
-          Callees = matchTargets(TC.TypeSig, TC.VariadicPointer);
-          refineCallees(Callees, TC.Caller, TC.TypeSig);
+          const InternedSig *Sig = Sigs[Mi]->TailSigs[Ti];
+          Callees = matchTargets(Sig, TC.VariadicPointer);
+          refineCallees(Callees, TC.Caller, Sig);
         }
         for (uint32_t C : Callees)
           TailEdges[CallerIt->second].push_back(C);
@@ -216,46 +276,58 @@ private:
   void computeTargetSets() {
     // Signal handlers may return to the sigreturn trampoline.
     uint64_t SigTrampoline = 0;
+    const InternedSig *HandlerSig =
+        SigInterner::global().intern(SignalHandlerSig);
     if (auto It = FuncByName.find("sig$return"); It != FuncByName.end())
       SigTrampoline = Funcs[It->second].Addr;
 
-    BranchTargets.assign(Policy.BranchECN.size(), {});
-    size_t ModIdx = 0;
-    for (const LoadedModuleView &M : Modules) {
-      uint32_t Base = Policy.SiteIndexBase[ModIdx++];
-      for (size_t S = 0; S != M.Obj->Aux.BranchSites.size(); ++S) {
-        const BranchSite &BS = M.Obj->Aux.BranchSites[S];
-        std::vector<uint64_t> &Targets = BranchTargets[Base + S];
-        switch (BS.Kind) {
-        case BranchKind::Return: {
-          auto It = FuncByName.find(BS.Function);
-          if (It != FuncByName.end()) {
-            Targets = RetTargets[It->second];
-            const FuncEntry &F = Funcs[It->second];
-            if (SigTrampoline && F.AddressTaken &&
-                F.TypeSig == SignalHandlerSig)
-              Targets.push_back(SigTrampoline);
+    std::vector<uint32_t> SiteBase, SiteOwner;
+    size_t Total = flattenIndex(SiteBase, SiteOwner, [](const MCFIObject &O) {
+      return O.Aux.BranchSites.size();
+    });
+    assert(Total == Policy.BranchECN.size());
+
+    // Each worker writes only BranchTargets[GI] for its own indexes; all
+    // inputs (RetTargets, Funcs, BySig, FuncByName) are read-only here.
+    BranchTargets.assign(Total, {});
+    ThreadPool::shared().parallelFor(
+        Workers, Total, /*Grain=*/16, [&](size_t Begin, size_t End) {
+          for (size_t GI = Begin; GI != End; ++GI) {
+            uint32_t Mi = SiteOwner[GI];
+            const LoadedModuleView &M = Modules[Mi];
+            size_t Local = GI - SiteBase[Mi];
+            const BranchSite &BS = M.Obj->Aux.BranchSites[Local];
+            std::vector<uint64_t> &Targets = BranchTargets[GI];
+            switch (BS.Kind) {
+            case BranchKind::Return: {
+              auto It = FuncByName.find(BS.Function);
+              if (It != FuncByName.end()) {
+                Targets = RetTargets[It->second];
+                const FuncEntry &F = Funcs[It->second];
+                if (SigTrampoline && F.AddressTaken && F.Sig == HandlerSig)
+                  Targets.push_back(SigTrampoline);
+              }
+              break;
+            }
+            case BranchKind::IndirectCall:
+            case BranchKind::IndirectJump: {
+              const InternedSig *Sig = Sigs[Mi]->BranchSigs[Local];
+              std::vector<uint32_t> Matched =
+                  matchTargets(Sig, BS.VariadicPointer);
+              refineCallees(Matched, BS.Function, Sig);
+              for (uint32_t FI : Matched)
+                Targets.push_back(Funcs[FI].Addr);
+              break;
+            }
+            case BranchKind::PltJump: {
+              auto It = FuncByName.find(BS.PltSymbol);
+              if (It != FuncByName.end())
+                Targets.push_back(Funcs[It->second].Addr);
+              break;
+            }
+            }
           }
-          break;
-        }
-        case BranchKind::IndirectCall:
-        case BranchKind::IndirectJump: {
-          std::vector<uint32_t> Matched =
-              matchTargets(BS.TypeSig, BS.VariadicPointer);
-          refineCallees(Matched, BS.Function, BS.TypeSig);
-          for (uint32_t FI : Matched)
-            Targets.push_back(Funcs[FI].Addr);
-          break;
-        }
-        case BranchKind::PltJump: {
-          auto It = FuncByName.find(BS.PltSymbol);
-          if (It != FuncByName.end())
-            Targets.push_back(Funcs[It->second].Addr);
-          break;
-        }
-        }
-      }
-    }
+        });
   }
 
   //===--------------------------------------------------------------------===//
@@ -365,13 +437,16 @@ private:
 
   const std::vector<LoadedModuleView> &Modules;
   const CFGRefinement *Refine;
+  unsigned Workers;
   CFGPolicy Policy;
 
+  std::vector<std::shared_ptr<const ModuleSigs>> Sigs; ///< per module
   std::vector<FuncEntry> Funcs;
   std::vector<uint32_t> ModuleFuncEnd; ///< Funcs end index per module
   std::vector<uint32_t> ModuleCallEnd; ///< CallSites end index per module
   std::unordered_map<std::string, uint32_t> FuncByName;
-  std::unordered_map<std::string, std::vector<uint32_t>> BySig;
+  std::unordered_map<const InternedSig *, std::vector<uint32_t>> BySig;
+  std::vector<uint32_t> AddressTaken; ///< ascending func indexes
   std::vector<CallSiteEntry> CallSites;
   std::vector<std::vector<uint64_t>> RetTargets; ///< per function
   std::vector<std::vector<uint64_t>> BranchTargets; ///< per global site
@@ -382,7 +457,8 @@ private:
 } // namespace
 
 CFGPolicy mcfi::generateCFG(const std::vector<LoadedModuleView> &Modules,
-                            const CFGRefinement *Refinement) {
-  CFGBuilder B(Modules, Refinement);
+                            const CFGRefinement *Refinement,
+                            unsigned Workers) {
+  CFGBuilder B(Modules, Refinement, Workers);
   return B.build();
 }

@@ -129,8 +129,17 @@ struct CFGRefinement {
 /// Generates the combined CFG policy for \p Modules (in load order).
 /// With \p Refinement, target sets are intersected as described above;
 /// passing nullptr yields the paper's plain type-matching policy.
+///
+/// \p Workers > 1 runs the embarrassingly parallel merge phases (call-site
+/// resolution and per-branch target-set computation) on a worker pool.
+/// The result is *identical* to the serial result for any worker count:
+/// parallel phases only ever write index-addressed slots, and every
+/// order-sensitive step (equivalence-class numbering, setjmp site
+/// collection, tail-call closure) runs serially over those slots in
+/// global index order.
 CFGPolicy generateCFG(const std::vector<LoadedModuleView> &Modules,
-                      const CFGRefinement *Refinement = nullptr);
+                      const CFGRefinement *Refinement = nullptr,
+                      unsigned Workers = 1);
 
 } // namespace mcfi
 

@@ -1,0 +1,90 @@
+//===- cfg/SigCache.cpp - Per-module interned signature cache -------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/SigCache.h"
+
+#include "module/MCFIObject.h"
+
+using namespace mcfi;
+
+namespace {
+
+uint64_t hashString(uint64_t H, const std::string &S) {
+  // Length-prefix every field so concatenation ambiguity ("a"+"bc" vs
+  // "ab"+"c") cannot collide two different modules.
+  uint64_t Len = S.size();
+  H = fnv1aHash(&Len, sizeof(Len), H);
+  return fnv1aHash(S.data(), S.size(), H);
+}
+
+uint64_t hashFlag(uint64_t H, bool B) {
+  uint8_t Byte = B ? 1 : 0;
+  return fnv1aHash(&Byte, 1, H);
+}
+
+const InternedSig *internOrNull(const std::string &Sig) {
+  if (Sig.empty())
+    return nullptr;
+  return SigInterner::global().intern(Sig);
+}
+
+} // namespace
+
+uint64_t mcfi::hashModuleContent(const MCFIObject &Obj) {
+  uint64_t H = hashString(0xcbf29ce484222325ull, Obj.Name);
+  H = fnv1aHash(Obj.Code.data(), Obj.Code.size(), H);
+  for (const FunctionInfo &F : Obj.Aux.Functions) {
+    H = hashString(H, F.Name);
+    H = hashString(H, F.TypeSig);
+    H = hashFlag(H, F.AddressTaken);
+    H = hashFlag(H, F.Variadic);
+  }
+  for (const BranchSite &B : Obj.Aux.BranchSites) {
+    H = hashString(H, B.TypeSig);
+    H = hashString(H, B.PltSymbol);
+    H = hashFlag(H, B.VariadicPointer);
+  }
+  for (const CallSiteInfo &C : Obj.Aux.CallSites) {
+    H = hashString(H, C.Callee);
+    H = hashString(H, C.TypeSig);
+    H = hashFlag(H, C.VariadicPointer);
+    H = hashFlag(H, C.IsSetjmp);
+  }
+  for (const TailCallInfo &T : Obj.Aux.TailCalls) {
+    H = hashString(H, T.Callee);
+    H = hashString(H, T.TypeSig);
+    H = hashFlag(H, T.VariadicPointer);
+  }
+  for (const std::string &Name : Obj.Aux.AddressTakenImports)
+    H = hashString(H, Name);
+  return H;
+}
+
+std::shared_ptr<const ModuleSigs> mcfi::getModuleSigs(const MCFIObject &Obj) {
+  uint64_t Hash = hashModuleContent(Obj);
+  if (std::shared_ptr<const void> Hit = SigSetCache::global().lookup(Hash))
+    return std::static_pointer_cast<const ModuleSigs>(Hit);
+
+  auto Sigs = std::make_shared<ModuleSigs>();
+  Sigs->ContentHash = Hash;
+  Sigs->FuncSigs.reserve(Obj.Aux.Functions.size());
+  for (const FunctionInfo &F : Obj.Aux.Functions)
+    Sigs->FuncSigs.push_back(internOrNull(F.TypeSig));
+  Sigs->BranchSigs.reserve(Obj.Aux.BranchSites.size());
+  for (const BranchSite &B : Obj.Aux.BranchSites)
+    Sigs->BranchSigs.push_back(internOrNull(B.TypeSig));
+  Sigs->CallSigs.reserve(Obj.Aux.CallSites.size());
+  for (const CallSiteInfo &C : Obj.Aux.CallSites)
+    Sigs->CallSigs.push_back(internOrNull(C.TypeSig));
+  Sigs->TailSigs.reserve(Obj.Aux.TailCalls.size());
+  for (const TailCallInfo &T : Obj.Aux.TailCalls)
+    Sigs->TailSigs.push_back(internOrNull(T.TypeSig));
+
+  std::shared_ptr<const void> Stored =
+      SigSetCache::global().store(Hash, std::move(Sigs));
+  return std::static_pointer_cast<const ModuleSigs>(Stored);
+}

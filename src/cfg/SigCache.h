@@ -1,0 +1,52 @@
+//===- cfg/SigCache.h - Per-module interned signature cache -----*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-module view of the signature interner: the interned
+/// signatures of one MCFIObject's aux-info arrays, computed once per
+/// distinct module content and shared via SigSetCache. The CFG merge
+/// regenerates the combined policy on every dlopen (paper Sec. 4), so
+/// without this cache each merge re-interns every signature string of
+/// every already-loaded module; with it, a re-merge does one content-hash
+/// lookup per module and then works purely with interned pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_CFG_SIGCACHE_H
+#define MCFI_CFG_SIGCACHE_H
+
+#include "ctypes/SigIntern.h"
+
+#include <memory>
+
+namespace mcfi {
+
+struct MCFIObject;
+
+/// The interned signatures of one module, index-parallel to the aux
+/// arrays. Entries for records without a type signature (direct calls,
+/// returns, PLT jumps) are null.
+struct ModuleSigs {
+  uint64_t ContentHash = 0;
+  SigList FuncSigs;   ///< parallel to Aux.Functions
+  SigList BranchSigs; ///< parallel to Aux.BranchSites
+  SigList CallSigs;   ///< parallel to Aux.CallSites
+  SigList TailSigs;   ///< parallel to Aux.TailCalls
+};
+
+/// FNV-1a over the module fields that determine its interned signatures
+/// (name, code bytes, aux names and signatures). Two modules with equal
+/// content hashes share one cached ModuleSigs.
+uint64_t hashModuleContent(const MCFIObject &Obj);
+
+/// Returns the (possibly cached) interned-signature view of \p Obj.
+/// Thread-safe; never null.
+std::shared_ptr<const ModuleSigs> getModuleSigs(const MCFIObject &Obj);
+
+} // namespace mcfi
+
+#endif // MCFI_CFG_SIGCACHE_H

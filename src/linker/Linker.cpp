@@ -230,7 +230,7 @@ void Linker::updateGotEntries() {
   }
 }
 
-bool Linker::installPolicy(CFGPolicy &&NewPolicy) {
+bool Linker::installPolicy(CFGPolicy &&NewPolicy, uint32_t BatchModules) {
   // Flatten the policy to table coordinates so the shadow can diff it
   // against what the tables currently hold.
   PolicyImage Image;
@@ -276,6 +276,7 @@ bool Linker::installPolicy(CFGPolicy &&NewPolicy) {
   Policy = std::move(NewPolicy);
 
   TxUpdateStats Stats;
+  Stats.BatchModules = BatchModules;
   auto Start = std::chrono::steady_clock::now();
   TxUpdateStatus Status;
   if (!Delta.FullRebuild) {
@@ -346,7 +347,8 @@ bool Linker::linkProgram(std::vector<MCFIObject> Objects,
     Views.push_back({Mod.Obj.get(), Mod.CodeBase});
 
   if (Opts.InstallPolicy) {
-    CFGPolicy NewPolicy = generateCFG(Views, Opts.Refinement);
+    CFGPolicy NewPolicy =
+        generateCFG(Views, Opts.Refinement, Opts.MergeWorkers);
     patchBaryIndexes(NewPolicy);
 
     if (Opts.Verify) {
@@ -391,52 +393,147 @@ int Linker::registerLibrary(MCFIObject Obj) {
 }
 
 //===----------------------------------------------------------------------===//
-// Dynamic linking (the paper's three steps)
+// Dynamic linking (the paper's three steps, batched)
 //===----------------------------------------------------------------------===//
 
 int64_t Linker::dlopen(int64_t RegistryId) {
+  return dlopenOne(RegistryId).Handle;
+}
+
+DlopenResult Linker::dlopenOne(int64_t RegistryId) {
+  PendingDlopen Req;
+  Req.Id = RegistryId;
+
+  std::unique_lock<std::mutex> Lk(BatchLock);
+  BatchQueue.push_back(&Req);
+  if (LeaderActive) {
+    // Another loader is mid-install; it (or its successor leader) will
+    // drain the queue — this request included — as one batch. Follower
+    // threads just wait for their slot's result.
+    BatchCv.wait(Lk, [&] { return Req.Done; });
+    return Req.Result;
+  }
+
+  // Leader: drain the queue in rounds. Requests arriving while a round
+  // installs are coalesced into the next round's batch.
+  LeaderActive = true;
+  while (!BatchQueue.empty()) {
+    std::vector<PendingDlopen *> Batch(BatchQueue.begin(), BatchQueue.end());
+    BatchQueue.clear();
+    Lk.unlock();
+    {
+      std::lock_guard<std::mutex> Guard(DlopenLock);
+      processBatch(Batch);
+    }
+    Lk.lock();
+    for (PendingDlopen *P : Batch)
+      P->Done = true;
+    BatchCv.notify_all();
+  }
+  LeaderActive = false;
+  return Req.Result;
+}
+
+std::vector<DlopenResult>
+Linker::dlopenBatch(const std::vector<int64_t> &RegistryIds) {
+  std::vector<PendingDlopen> Reqs(RegistryIds.size());
+  std::vector<PendingDlopen *> Batch;
+  Batch.reserve(Reqs.size());
+  for (size_t I = 0; I != RegistryIds.size(); ++I) {
+    Reqs[I].Id = RegistryIds[I];
+    Batch.push_back(&Reqs[I]);
+  }
+  // Bypasses the combiner queue so the batch shape is exactly the input
+  // (benchmarks and tests depend on exact install counts); DlopenLock
+  // still serializes against combiner-driven installs.
   std::lock_guard<std::mutex> Guard(DlopenLock);
-  if (RegistryId < 0 ||
-      static_cast<size_t>(RegistryId) >= Registry.size()) {
-    LastError = "dlopen: unknown library id";
-    return -1;
+  processBatch(Batch);
+  std::vector<DlopenResult> Out;
+  Out.reserve(Reqs.size());
+  for (const PendingDlopen &R : Reqs)
+    Out.push_back(R.Result);
+  return Out;
+}
+
+void Linker::processBatch(std::vector<PendingDlopen *> &Batch) {
+  DlopenBatchStats BS;
+  BS.Requested = static_cast<uint32_t>(Batch.size());
+
+  // Step 1 per request: validate, map writable/not-executable, relocate.
+  // A request failing here fails alone; the rest of the batch proceeds.
+  std::vector<std::pair<PendingDlopen *, int>> Loaded;
+  for (PendingDlopen *P : Batch) {
+    if (P->Id < 0 || static_cast<size_t>(P->Id) >= Registry.size()) {
+      LastError = "dlopen: unknown library id";
+      continue;
+    }
+    int Idx = M.mapModule(Registry[static_cast<size_t>(P->Id)]);
+    if (Idx < 0) {
+      LastError = "dlopen: machine region exhausted";
+      continue;
+    }
+    std::string Error;
+    if (!resolveModule(Idx, Error)) {
+      LastError = "dlopen: " + Error;
+      continue;
+    }
+    Loaded.push_back({P, Idx});
+  }
+  BS.Loaded = static_cast<uint32_t>(Loaded.size());
+  if (Loaded.empty()) {
+    BatchHistory.push_back(BS);
+    return;
   }
 
-  // Step 1: module preparation — map writable/not-executable, relocate.
-  int Idx = M.mapModule(Registry[static_cast<size_t>(RegistryId)]);
-  if (Idx < 0) {
-    LastError = "dlopen: machine region exhausted";
-    return -1;
-  }
-  std::string Error;
-  if (!resolveModule(Idx, Error)) {
-    LastError = "dlopen: " + Error;
-    return -1;
-  }
-
-  // Step 2: new CFG generation; patch the library's Bary indexes while
-  // its pages are still writable, verify, then seal RX.
+  // Step 2, once for the whole batch: regenerate the combined CFG, patch
+  // every new module's Bary indexes while its pages are still writable,
+  // verify, seal RX.
   std::vector<LoadedModuleView> Views;
   for (const MappedModule &Mod : M.modules())
     Views.push_back({Mod.Obj.get(), Mod.CodeBase});
-  CFGPolicy NewPolicy = generateCFG(Views, Opts.Refinement);
+  auto MergeStart = std::chrono::steady_clock::now();
+  CFGPolicy NewPolicy = generateCFG(Views, Opts.Refinement, Opts.MergeWorkers);
+  BS.MergeMicros = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - MergeStart)
+                       .count();
   patchBaryIndexes(NewPolicy);
 
-  const MappedModule &Mod = M.modules()[static_cast<size_t>(Idx)];
   if (Opts.Verify) {
-    const uint8_t *Code = M.codePtr(Mod.CodeBase, Mod.Obj->Code.size());
-    VerifyResult VR = verifyModule(Code, Mod.Obj->Code.size(), *Mod.Obj);
-    if (!VR.Ok) {
-      LastError = "dlopen: verification failed: " + VR.Errors.front();
-      return -1;
+    for (const auto &[P, Idx] : Loaded) {
+      const MappedModule &Mod = M.modules()[static_cast<size_t>(Idx)];
+      const uint8_t *Code = M.codePtr(Mod.CodeBase, Mod.Obj->Code.size());
+      VerifyResult VR = verifyModule(Code, Mod.Obj->Code.size(), *Mod.Obj);
+      if (!VR.Ok) {
+        // Fail the whole batch closed: the policy was generated against
+        // every mapped module, so installing it with one member
+        // unverified would admit edges into unvetted code. Nothing
+        // seals, nothing installs, every request reports failure.
+        LastError = "dlopen: verification failed for module '" +
+                    Mod.Obj->Name + "': " + VR.Errors.front();
+        BatchHistory.push_back(BS);
+        return;
+      }
     }
   }
-  M.sealModule(Idx);
+  for (const auto &[P, Idx] : Loaded)
+    M.sealModule(Idx);
 
-  // Step 3: ID-table updates (GOT updates run inside the transaction).
-  if (!installPolicy(std::move(NewPolicy))) {
+  // Step 3, once for the whole batch: ONE update transaction — one
+  // version bump, one Tary→GOT→Bary pass — installs every new module's
+  // IDs (GOT updates run inside the transaction, between the phases).
+  if (!installPolicy(std::move(NewPolicy), BS.Loaded)) {
     LastError = "dlopen: " + LastError;
-    return -1;
+    BatchHistory.push_back(BS);
+    return;
   }
-  return Idx;
+  const TxUpdateStats &Install = UpdateHistory.back();
+  BS.Installed = true;
+  BS.Incremental = Install.Incremental;
+  BS.InstallMicros = Install.Micros;
+  for (const auto &[P, Idx] : Loaded) {
+    P->Result.Handle = Idx;
+    P->Result.SiteIndexBase = Policy.SiteIndexBase[static_cast<size_t>(Idx)];
+    P->Result.CodeBase = M.modules()[static_cast<size_t>(Idx)].CodeBase;
+  }
+  BatchHistory.push_back(BS);
 }

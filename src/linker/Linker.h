@@ -33,6 +33,8 @@
 #include "runtime/Machine.h"
 #include "tables/Shadow.h"
 
+#include <condition_variable>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,29 @@ struct LinkOptions {
   /// across loads). The caller keeps the object alive for the linker's
   /// lifetime. Null: plain type-matching CFG.
   const CFGRefinement *Refinement = nullptr;
+  /// Worker threads for the parallel CFG-merge phases (passed through to
+  /// generateCFG). 1 = serial; any value yields an identical policy.
+  unsigned MergeWorkers = 1;
+};
+
+/// What one coalesced dlopen request resolves to. Returned by value so a
+/// loader thread never has to re-read Machine state (the module list may
+/// be growing under other loaders by the time it looks).
+struct DlopenResult {
+  int64_t Handle = -1;        ///< machine module index, or negative
+  uint32_t SiteIndexBase = 0; ///< the module's global branch-site base
+  uint64_t CodeBase = 0;      ///< the module's mapped code base
+};
+
+/// Per-batch accounting for coalesced dynamic loads: one entry per
+/// processed batch, whether it installed or failed.
+struct DlopenBatchStats {
+  uint32_t Requested = 0;   ///< dlopen requests coalesced into the batch
+  uint32_t Loaded = 0;      ///< modules that mapped + resolved
+  bool Installed = false;   ///< the single policy install succeeded
+  bool Incremental = false; ///< that install took the delta path
+  double MergeMicros = 0;   ///< one combined-CFG regeneration
+  double InstallMicros = 0; ///< the single TxUpdate transaction
 };
 
 /// Drives loading, relocation, CFG generation, verification, and table
@@ -77,8 +102,21 @@ public:
 
   /// The paper's three-step dynamic linking. Returns the module handle
   /// (machine module index), or a negative value on failure. Installed
-  /// as the machine's DlopenHook by linkProgram.
+  /// as the machine's DlopenHook by linkProgram. Concurrent callers are
+  /// coalesced (see dlopenOne).
   int64_t dlopen(int64_t RegistryId);
+
+  /// Coalescing dlopen: requests that arrive while another thread is
+  /// mid-install are queued, and the installing thread (the combiner
+  /// leader) drains the queue as ONE batch — one CFG regeneration, one
+  /// version bump, one Tary→GOT→Bary update transaction — before waking
+  /// the waiters with their per-request results.
+  DlopenResult dlopenOne(int64_t RegistryId);
+
+  /// Explicitly loads \p RegistryIds as one batch (one combined install),
+  /// bypassing the combiner queue. Results are index-parallel to the
+  /// input. Used by benchmarks/tests that need exact batch shapes.
+  std::vector<DlopenResult> dlopenBatch(const std::vector<int64_t> &RegistryIds);
 
   /// The policy currently installed (valid after linkProgram).
   const CFGPolicy &policy() const { return Policy; }
@@ -89,6 +127,11 @@ public:
     return UpdateHistory;
   }
 
+  /// Per-batch accounting for coalesced dynamic loads, in install order.
+  const std::vector<DlopenBatchStats> &batchHistory() const {
+    return BatchHistory;
+  }
+
   /// The shadow of the installed policy (delta source; exposed for
   /// metrics and tests).
   const PolicyShadow &shadow() const { return Shadow; }
@@ -96,11 +139,19 @@ public:
   const std::string &lastError() const { return LastError; }
 
 private:
+  /// One queued request in the dlopen combiner.
+  struct PendingDlopen {
+    int64_t Id = -1;
+    DlopenResult Result;
+    bool Done = false;
+  };
+
   bool loadAndRelocate(MCFIObject Obj, std::string &Error);
   bool resolveModule(int Index, std::string &Error);
   void patchBaryIndexes(const CFGPolicy &Policy);
   void updateGotEntries();
-  bool installPolicy(CFGPolicy &&NewPolicy);
+  bool installPolicy(CFGPolicy &&NewPolicy, uint32_t BatchModules = 1);
+  void processBatch(std::vector<PendingDlopen *> &Batch);
   MCFIObject makeBootstrap();
 
   Machine &M;
@@ -108,10 +159,18 @@ private:
   CFGPolicy Policy;
   PolicyShadow Shadow;
   std::vector<TxUpdateStats> UpdateHistory;
+  std::vector<DlopenBatchStats> BatchHistory;
   std::vector<MCFIObject> Registry;
   std::vector<bool> BaryPatched; ///< per machine module index
   std::string LastError;
   std::mutex DlopenLock; ///< serializes dynamic link operations
+
+  /// Combiner state: loaders enqueue under BatchLock; the leader drains
+  /// the queue in rounds while holding DlopenLock for the install work.
+  std::mutex BatchLock;
+  std::condition_variable BatchCv;
+  std::deque<PendingDlopen *> BatchQueue;
+  bool LeaderActive = false;
 };
 
 } // namespace mcfi

@@ -28,6 +28,12 @@ UpdateSummary mcfi::summarizeUpdates(const Linker &L, const IDTables &Tables) {
       S.FullMicros += U.Micros;
     }
   }
+  for (const DlopenBatchStats &B : L.batchHistory()) {
+    ++S.Batches;
+    S.BatchedDlopens += B.Requested;
+    if (B.Requested > S.MaxBatch)
+      S.MaxBatch = B.Requested;
+  }
   S.SlowRetries = Tables.slowRetryCount();
   S.UpdateInFlight = Tables.updateInFlight();
   return S;
@@ -40,7 +46,8 @@ std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
       "\"incremental_installs\":%llu,\"entries_touched\":%llu,"
       "\"full_entries_touched\":%llu,\"incremental_entries_touched\":%llu,"
       "\"micros\":%.1f,\"full_micros\":%.1f,\"incremental_micros\":%.1f,"
-      "\"slow_retries\":%llu,\"update_in_flight\":%s}",
+      "\"slow_retries\":%llu,\"update_in_flight\":%s,"
+      "\"batches\":%llu,\"batched_dlopens\":%llu,\"max_batch\":%llu}",
       Label.c_str(), static_cast<unsigned long long>(S.Installs),
       static_cast<unsigned long long>(S.FullInstalls),
       static_cast<unsigned long long>(S.IncrementalInstalls),
@@ -49,5 +56,8 @@ std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
       static_cast<unsigned long long>(S.IncrementalEntriesTouched),
       S.TotalMicros, S.FullMicros, S.IncrementalMicros,
       static_cast<unsigned long long>(S.SlowRetries),
-      S.UpdateInFlight ? "true" : "false");
+      S.UpdateInFlight ? "true" : "false",
+      static_cast<unsigned long long>(S.Batches),
+      static_cast<unsigned long long>(S.BatchedDlopens),
+      static_cast<unsigned long long>(S.MaxBatch));
 }

@@ -42,6 +42,14 @@ struct UpdateSummary {
   /// steady-state summary means an updater died inside its bracket —
   /// every checker would be pinned to the slow path forever.
   bool UpdateInFlight = false;
+
+  /// Dlopen-coalescing telemetry (Linker::batchHistory): how many batch
+  /// installs ran, how many dlopen requests they absorbed, and the
+  /// largest single batch. BatchedDlopens > Batches means the combiner
+  /// actually amortized version bumps across concurrent loads.
+  uint64_t Batches = 0;
+  uint64_t BatchedDlopens = 0;
+  uint64_t MaxBatch = 0;
 };
 
 /// Aggregates \p L's updateHistory() plus retry telemetry from \p Tables.

@@ -167,6 +167,8 @@ public:
   void noteSyscallBoundary(Thread &T);
 
   /// Installed by the linker: services the guest's dlopen syscall.
+  /// Guest threads that dlopen concurrently are coalesced by the linker's
+  /// combiner into one batched table installation (Linker::dlopenOne).
   std::function<int64_t(Machine &, int64_t)> DlopenHook;
 
   /// Fired after each quiescence-point epoch reset with the generation

@@ -5,7 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The five transaction-layer races ISSUE 3 requires the checker to cover.
+// The six transaction-layer races the checker covers: the five ISSUE 3
+// requires plus the coalesced multi-dlopen batch installation.
 // Scenarios are deliberately tiny (a few Tary words, two checker threads,
 // two or three ops each): exhaustive exploration cost is exponential in
 // the number of scheduling points, and every behavior of the transaction
@@ -174,6 +175,46 @@ std::vector<Scenario> makeScenarios() {
     S.Checkers = {
         {{0, 8}, {0, 16}},
         {{1, 8}, {0, 0}},
+    };
+    Out.push_back(std::move(S));
+  }
+
+  {
+    // Coalesced batch install: the linker merges two concurrent dlopens
+    // (module A at Tary 24 / Bary 2, module B at Tary 32 / Bary 3) into
+    // ONE incremental delta — one SpecPolicy, one linearization point.
+    // Checker 1 is the torn-batch sentinel: a Pass at (3, 0) — module
+    // B's new site against the shared target — is only explicable by the
+    // post-batch policy, advancing the real-time frontier; the following
+    // check of (3, 24) targets module A's entry *within the same batch*,
+    // so it must then Pass too. A torn batch (B's Bary visible before
+    // A's Tary) makes (3, 24) read an empty Tary slot: ViolationInvalid,
+    // which only the pre-batch policy explains — a torn observation.
+    // Checker 2 crosses the batch the other way (module A's site B's
+    // target, plus pre-batch state).
+    Scenario S;
+    S.Name = "batch";
+    S.Summary = "coalesced two-dlopen batch install (one delta) vs checks";
+    S.CodeCapacity = 64;
+    S.BaryCapacity = 8;
+    S.Initial.TaryLimitBytes = 24;
+    S.Initial.TaryECN = {{0, 1}, {16, 2}};
+    S.Initial.BaryCount = 2;
+    S.Initial.BaryECN = {{0, 1}, {1, 2}};
+    SpecPolicy P1 = S.Initial;
+    P1.Incremental = true;
+    P1.TaryLimitBytes = 40;
+    P1.TaryECN[24] = 1; // module A's new target
+    P1.TaryECN[32] = 1; // module B's new target
+    P1.BaryCount = 4;
+    P1.BaryECN[2] = 1; // module A's new site
+    P1.BaryECN[3] = 1; // module B's new site
+    P1.TaryDirty = {{24, 28}, {32, 36}};
+    P1.BaryDirty = {2, 3};
+    S.Updates = {P1};
+    S.Checkers = {
+        {{3, 0}, {3, 24}},
+        {{2, 32}, {0, 0}, {2, 16}},
     };
     Out.push_back(std::move(S));
   }

@@ -189,8 +189,9 @@ std::string minimizeSchedule(const Scenario &S, const std::string &Schedule,
 std::string formatSchedule(const std::vector<int> &Choices);
 std::vector<int> parseSchedule(const std::string &Schedule);
 
-/// The five built-in transaction scenarios (full-update race,
-/// incremental race, shrink race, version wrap, back-to-back updates).
+/// The six built-in transaction scenarios (full-update race,
+/// incremental race, shrink race, version wrap, back-to-back updates,
+/// coalesced multi-dlopen batch install).
 const std::vector<Scenario> &builtinScenarios();
 const Scenario *findScenario(const std::string &Name);
 

@@ -1,0 +1,130 @@
+//===- support/ThreadPool.cpp - Small shared worker pool ------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace mcfi;
+
+namespace {
+
+/// The chunk dispenser of one parallelFor: workers claim [Next, Next +
+/// Grain) slices until the range is exhausted.
+struct Job {
+  std::atomic<size_t> Next{0};
+  size_t N = 0;
+  size_t Grain = 1;
+  const std::function<void(size_t, size_t)> *Body = nullptr;
+
+  void run() {
+    for (;;) {
+      size_t Begin = Next.fetch_add(Grain, std::memory_order_relaxed);
+      if (Begin >= N)
+        return;
+      size_t End = Begin + Grain < N ? Begin + Grain : N;
+      (*Body)(Begin, End);
+    }
+  }
+};
+
+struct PoolState {
+  std::mutex JobLock; ///< one parallelFor at a time
+
+  std::mutex Lock; ///< guards everything below
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::vector<std::thread> Threads;
+  Job *Current = nullptr;
+  uint64_t Generation = 0; ///< bumps per job; wakes sleeping workers
+  unsigned Busy = 0;       ///< workers still inside Current->run()
+
+  void workerLoop() {
+    uint64_t SeenGen = 0;
+    for (;;) {
+      Job *J = nullptr;
+      {
+        std::unique_lock<std::mutex> Guard(Lock);
+        WorkCv.wait(Guard, [&] {
+          return Current != nullptr && Generation != SeenGen;
+        });
+        SeenGen = Generation;
+        J = Current;
+        ++Busy;
+      }
+      J->run();
+      {
+        std::lock_guard<std::mutex> Guard(Lock);
+        if (--Busy == 0)
+          DoneCv.notify_all();
+      }
+    }
+  }
+
+  void ensureThreads(unsigned Want) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    while (Threads.size() < Want)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+};
+
+PoolState &state() {
+  // Deliberately leaked: workers are detached-for-life, and destroying
+  // the state they block on at static-destruction time would be a
+  // use-after-free race with process exit.
+  static PoolState *S = new PoolState;
+  return *S;
+}
+
+} // namespace
+
+ThreadPool &ThreadPool::shared() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+void ThreadPool::parallelFor(unsigned Workers, size_t N, size_t Grain,
+                             const std::function<void(size_t, size_t)> &Body) {
+  if (Grain == 0)
+    Grain = 1;
+  // Below ~2 chunks per worker the dispatch overhead outweighs the
+  // parallelism; run inline (identical output: chunks are disjoint).
+  if (Workers <= 1 || N <= Grain * 2) {
+    for (size_t Begin = 0; Begin < N; Begin += Grain)
+      Body(Begin, Begin + Grain < N ? Begin + Grain : N);
+    return;
+  }
+
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW && Workers > HW)
+    Workers = HW;
+
+  PoolState &S = state();
+  std::lock_guard<std::mutex> JobGuard(S.JobLock);
+  S.ensureThreads(Workers - 1); // the caller is the last worker
+
+  Job J;
+  J.N = N;
+  J.Grain = Grain;
+  J.Body = &Body;
+  {
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    S.Current = &J;
+    ++S.Generation;
+  }
+  S.WorkCv.notify_all();
+  J.run(); // help out
+  {
+    std::unique_lock<std::mutex> Guard(S.Lock);
+    S.DoneCv.wait(Guard, [&] { return S.Busy == 0; });
+    S.Current = nullptr;
+  }
+}

@@ -1,0 +1,52 @@
+//===- support/ThreadPool.h - Small shared worker pool ----------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, lazily grown worker pool with one primitive: parallelFor
+/// over an index range in fixed-size chunks. Built for the parallel
+/// CFG-merge pipeline, whose determinism contract is that workers only
+/// ever write *index-addressed slots* — which worker executes which
+/// chunk never influences the output, so the pool needs no ordering
+/// guarantees beyond completion.
+///
+/// The pool is process-global and persistent (threads are reused across
+/// merges; spawning per merge would eat the speedup on millisecond-scale
+/// generations). One parallelFor runs at a time; concurrent callers
+/// serialize on the job lock, which matches the linker's update
+/// serialization anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_SUPPORT_THREADPOOL_H
+#define MCFI_SUPPORT_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace mcfi {
+
+class ThreadPool {
+public:
+  /// The shared pool. Threads are created on demand, up to the hardware
+  /// concurrency, and live for the process lifetime.
+  static ThreadPool &shared();
+
+  /// Runs \p Body(Begin, End) over [0, N) split into chunks of \p Grain
+  /// indexes, on up to \p Workers threads (the calling thread included).
+  /// Workers <= 1, a small N, or an unavailable pool all degrade to an
+  /// inline loop — same result by construction, since chunks are
+  /// disjoint and Body must only write slots addressed by index.
+  void parallelFor(unsigned Workers, size_t N, size_t Grain,
+                   const std::function<void(size_t, size_t)> &Body);
+
+private:
+  ThreadPool() = default;
+};
+
+} // namespace mcfi
+
+#endif // MCFI_SUPPORT_THREADPOOL_H

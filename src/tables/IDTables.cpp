@@ -300,6 +300,7 @@ IDTables::txUpdate(uint64_t TaryLimitBytes,
   if (Stats) {
     Local.Incremental = false;
     Local.Micros = Stats->Micros; // caller-owned timing, keep it
+    Local.BatchModules = Stats->BatchModules; // caller-owned, likewise
     *Stats = Local;
   }
   return TxUpdateStatus::Ok;
@@ -445,6 +446,7 @@ TxUpdateStatus IDTables::txUpdateIncremental(
 
   if (Stats) {
     Local.Micros = Stats->Micros;
+    Local.BatchModules = Stats->BatchModules; // caller-owned, likewise
     *Stats = Local;
   }
   return TxUpdateStatus::Ok;

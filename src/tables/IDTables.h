@@ -70,6 +70,10 @@ struct TxUpdateStats {
   bool Incremental = false; ///< delta installation vs full rebuild
   uint32_t Version = 0;     ///< version the written IDs carry
   double Micros = 0;        ///< wall-clock latency, filled by the caller
+  /// Modules whose load this transaction installed. 1 for an ordinary
+  /// dlopen or static link; >1 when the linker coalesced concurrent
+  /// dlopen requests into one batched delta installation.
+  uint32_t BatchModules = 1;
 
   uint64_t entriesTouched() const {
     return TaryWritten + BaryWritten + TaryCleared + BaryCleared;

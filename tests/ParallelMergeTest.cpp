@@ -1,0 +1,350 @@
+//===- tests/ParallelMergeTest.cpp - Parallel CFG-merge determinism -------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The parallel CFG-merge pipeline's contract is *byte identity*: for any
+/// worker count and any module order, generateCFG must produce exactly
+/// the policy the serial merge produces — same ECN assignment, same
+/// branch classes, same installed Tary/Bary images. These tests pin that
+/// contract, plus the hash-consing layer underneath it (interner pointer
+/// identity, the variadic prefix rule over interned parts, per-module
+/// signature-cache hits) and the dlopen batch coalescing on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFGGen.h"
+#include "cfg/SigCache.h"
+#include "cfg/SigMatch.h"
+#include "metrics/Harness.h"
+#include "metrics/UpdateMetrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace mcfi;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Workload: several modules with cross-module indirect control flow
+//===----------------------------------------------------------------------===//
+
+const char *ModuleA = R"(
+long cb_add(long x) { return x + 3; }
+long cb_mul(long x) { return x * 7; }
+long two_args(long x, long y) { return x - y; }
+long (*a_pair)(long, long) = two_args;
+long a_drive(long i, long v) {
+  long (*tab[2])(long);
+  tab[0] = cb_add;
+  tab[1] = cb_mul;
+  return tab[i & 1](v);
+}
+)";
+
+const char *ModuleB = R"(
+long a_drive(long i, long v);
+long cb_neg(long x) { return -x; }
+long (*b_keep)(long) = cb_neg;
+long b_dispatch(long (*f)(long), long v) { return f(v) + a_drive(1, v); }
+long vsum(long n, ...) { return n; }
+long vmax(long n, long m, ...) { return n > m ? n : m; }
+long (*b_var)(long, ...) = vsum;
+long (*b_var2)(long, long, ...) = vmax;
+long b_varcall(long v) { return b_var(v); }
+)";
+
+const char *ModuleMain = R"(
+long b_dispatch(long (*f)(long), long v);
+long cb_add(long x);
+long local_cb(long x) { return x ^ 21; }
+int main() {
+  print_int(b_dispatch(local_cb, 5));
+  print_int(b_dispatch(cb_add, 5));
+  return 0;
+}
+)";
+
+//===----------------------------------------------------------------------===//
+// Exact policy comparison
+//===----------------------------------------------------------------------===//
+
+void expectPolicyEqual(const CFGPolicy &A, const CFGPolicy &B,
+                       const std::string &What) {
+  EXPECT_EQ(A.TargetECN, B.TargetECN) << What;
+  EXPECT_EQ(A.BranchECN, B.BranchECN) << What;
+  EXPECT_EQ(A.BranchClassSize, B.BranchClassSize) << What;
+  EXPECT_EQ(A.SiteIndexBase, B.SiteIndexBase) << What;
+  EXPECT_EQ(A.SetjmpRetSites, B.SetjmpRetSites) << What;
+  EXPECT_EQ(A.NumIBs, B.NumIBs) << What;
+  EXPECT_EQ(A.NumIBTs, B.NumIBTs) << What;
+  EXPECT_EQ(A.NumEQCs, B.NumEQCs) << What;
+}
+
+std::vector<LoadedModuleView> viewsOf(const BuiltProgram &BP) {
+  std::vector<LoadedModuleView> Views;
+  for (const MappedModule &Mod : BP.M->modules())
+    Views.push_back({Mod.Obj.get(), Mod.CodeBase});
+  return Views;
+}
+
+TEST(ParallelMerge, WorkerCountsProduceIdenticalPolicy) {
+  BuiltProgram BP = buildProgram({ModuleMain, ModuleA, ModuleB});
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  std::vector<LoadedModuleView> Views = viewsOf(BP);
+
+  CFGPolicy Serial = generateCFG(Views, nullptr, 1);
+  ASSERT_GT(Serial.NumIBs, 0u);
+  ASSERT_GT(Serial.NumEQCs, 0u);
+  for (unsigned Workers : {2u, 3u, 8u}) {
+    CFGPolicy Parallel = generateCFG(Views, nullptr, Workers);
+    expectPolicyEqual(Serial, Parallel,
+                      "workers=" + std::to_string(Workers));
+  }
+}
+
+TEST(ParallelMerge, ShuffledModuleOrdersAgree) {
+  BuiltProgram BP = buildProgram({ModuleMain, ModuleA, ModuleB});
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  std::vector<LoadedModuleView> Views = viewsOf(BP);
+
+  // For every (seeded) module order, the parallel merge must equal the
+  // serial merge of that same order. Orders themselves may yield
+  // different policies (first-definition-wins, index bases); determinism
+  // is per-order, not across orders.
+  std::mt19937 Rng(0x5eedu);
+  for (int Round = 0; Round != 6; ++Round) {
+    std::shuffle(Views.begin(), Views.end(), Rng);
+    CFGPolicy Serial = generateCFG(Views, nullptr, 1);
+    CFGPolicy Parallel = generateCFG(Views, nullptr, 8);
+    expectPolicyEqual(Serial, Parallel, "round=" + std::to_string(Round));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Installed-table identity under MergeWorkers
+//===----------------------------------------------------------------------===//
+
+struct DynProgram {
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<Linker> L;
+  bool Ok = false;
+  std::string Error;
+};
+
+const char *DynHost = R"(
+long local_cb(long x) { return x + 1; }
+long (*host_keep)(long) = local_cb;
+int main() { return 0; }
+)";
+
+DynProgram buildDynamic(unsigned MergeWorkers) {
+  DynProgram D;
+  CompileOptions HostCO;
+  HostCO.ModuleName = "host";
+  HostCO.EmitPlt = true;
+  CompileResult HostCR = compileModule(DynHost, HostCO);
+  if (!HostCR.Ok) {
+    D.Error = "host compile";
+    return D;
+  }
+  D.M = std::make_unique<Machine>();
+  LinkOptions LO;
+  LO.MergeWorkers = MergeWorkers;
+  D.L = std::make_unique<Linker>(*D.M, LO);
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(HostCR.Obj));
+  if (!D.L->linkProgram(std::move(Objs), D.Error))
+    return D;
+  for (const char *Src : {ModuleA, ModuleB}) {
+    CompileOptions CO;
+    CO.ModuleName = Src == ModuleA ? "libA" : "libB";
+    CO.EmitPlt = true; // libB imports a_drive from libA
+    CompileResult CR = compileModule(Src, CO);
+    if (!CR.Ok) {
+      D.Error = "plugin compile";
+      return D;
+    }
+    D.L->registerLibrary(std::move(CR.Obj));
+  }
+  D.Ok = true;
+  return D;
+}
+
+TEST(ParallelMerge, InstalledTablesByteIdentical) {
+  DynProgram SerialP = buildDynamic(1);
+  DynProgram ParallelP = buildDynamic(8);
+  ASSERT_TRUE(SerialP.Ok) << SerialP.Error;
+  ASSERT_TRUE(ParallelP.Ok) << ParallelP.Error;
+
+  for (DynProgram *D : {&SerialP, &ParallelP}) {
+    EXPECT_GE(D->L->dlopen(0), 0) << D->L->lastError();
+    EXPECT_GE(D->L->dlopen(1), 0) << D->L->lastError();
+  }
+
+  const IDTables &TS = SerialP.M->tables();
+  const IDTables &TP = ParallelP.M->tables();
+  ASSERT_EQ(TS.installedTaryLimitBytes(), TP.installedTaryLimitBytes());
+  ASSERT_EQ(TS.installedBaryCount(), TP.installedBaryCount());
+  for (uint64_t Off = 0; Off != TS.installedTaryLimitBytes(); Off += 4)
+    ASSERT_EQ(TS.taryRead(Off), TP.taryRead(Off)) << "Tary offset " << Off;
+  for (uint32_t I = 0; I != TS.installedBaryCount(); ++I)
+    ASSERT_EQ(TS.baryRead(I), TP.baryRead(I)) << "Bary index " << I;
+
+  // Per-install accounting matches entry for entry: the parallel merge
+  // fed the exact same deltas into the exact same transactions.
+  const auto &HS = SerialP.L->updateHistory();
+  const auto &HP = ParallelP.L->updateHistory();
+  ASSERT_EQ(HS.size(), HP.size());
+  for (size_t I = 0; I != HS.size(); ++I) {
+    EXPECT_EQ(HS[I].TaryWritten, HP[I].TaryWritten) << "install " << I;
+    EXPECT_EQ(HS[I].BaryWritten, HP[I].BaryWritten) << "install " << I;
+    EXPECT_EQ(HS[I].TaryCleared, HP[I].TaryCleared) << "install " << I;
+    EXPECT_EQ(HS[I].BaryCleared, HP[I].BaryCleared) << "install " << I;
+    EXPECT_EQ(HS[I].Incremental, HP[I].Incremental) << "install " << I;
+    EXPECT_EQ(HS[I].Version, HP[I].Version) << "install " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hash-consing layer
+//===----------------------------------------------------------------------===//
+
+TEST(SigIntern, PointerIdentity) {
+  SigInterner &I = SigInterner::global();
+  const InternedSig *A = I.intern("(i64,)->i64");
+  const InternedSig *B = I.intern(std::string("(i64,") + ")->i64");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, I.intern("(i32,)->i64"));
+  ASSERT_TRUE(A->IsFunction);
+  EXPECT_FALSE(A->Variadic);
+  ASSERT_EQ(A->Params.size(), 1u);
+  // Parts are interned through the same table.
+  EXPECT_EQ(A->Params[0], I.intern("i64"));
+  EXPECT_EQ(A->Ret, I.intern("i64"));
+
+  const InternedSig *V = I.intern("(i64,...)->i64");
+  ASSERT_TRUE(V->IsFunction);
+  EXPECT_TRUE(V->Variadic);
+  ASSERT_EQ(V->Params.size(), 1u);
+  EXPECT_EQ(V->Params[0], A->Params[0]);
+}
+
+TEST(SigIntern, MatchesStringOracle) {
+  // The interned matcher must agree with the string matcher on every
+  // (pointer, callee, variadic) combination — including non-function and
+  // malformed signatures, which must simply never match non-identical.
+  const char *Sigs[] = {
+      "(i64,)->i64",       "(i64,i64,)->i64", "(i64,...)->i64",
+      "(i64,i64,...)->i64", "(i32,)->i64",    "(i64,)->v",
+      "()->v",             "(*(i32,)->v,i32,)->v", "i64", "*{i64,i64}",
+  };
+  SigInterner &I = SigInterner::global();
+  for (const char *P : Sigs) {
+    for (const char *C : Sigs) {
+      for (bool Variadic : {false, true}) {
+        bool Expected = Variadic ? calleeSigMatches(P, true, C)
+                                 : std::string(P) == C;
+        EXPECT_EQ(internedCalleeMatches(I.intern(P), Variadic, I.intern(C)),
+                  Expected)
+            << P << " vs " << C << " variadic=" << Variadic;
+      }
+    }
+  }
+}
+
+TEST(SigCache, ModuleSigsAreCachedByContent) {
+  CompileOptions CO;
+  CO.ModuleName = "cachemod";
+  CompileResult CR = compileModule(ModuleB, CO);
+  ASSERT_TRUE(CR.Ok);
+
+  std::shared_ptr<const ModuleSigs> First = getModuleSigs(CR.Obj);
+  std::shared_ptr<const ModuleSigs> Second = getModuleSigs(CR.Obj);
+  ASSERT_TRUE(First);
+  EXPECT_EQ(First.get(), Second.get()); // content hash hit, no re-intern
+  EXPECT_EQ(First->FuncSigs.size(), CR.Obj.Aux.Functions.size());
+  EXPECT_EQ(First->BranchSigs.size(), CR.Obj.Aux.BranchSites.size());
+  EXPECT_EQ(First->CallSigs.size(), CR.Obj.Aux.CallSites.size());
+  EXPECT_EQ(First->TailSigs.size(), CR.Obj.Aux.TailCalls.size());
+
+  // Each non-empty entry is the interned pointer of the aux string.
+  for (size_t F = 0; F != CR.Obj.Aux.Functions.size(); ++F) {
+    const std::string &Sig = CR.Obj.Aux.Functions[F].TypeSig;
+    if (Sig.empty())
+      EXPECT_EQ(First->FuncSigs[F], nullptr);
+    else
+      EXPECT_EQ(First->FuncSigs[F], SigInterner::global().intern(Sig));
+  }
+
+  // Different content (renamed module) -> different cache slot.
+  MCFIObject Renamed = CR.Obj;
+  Renamed.Name = "cachemod2";
+  std::shared_ptr<const ModuleSigs> Other = getModuleSigs(Renamed);
+  EXPECT_NE(First.get(), Other.get());
+  EXPECT_NE(First->ContentHash, Other->ContentHash);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched dlopen
+//===----------------------------------------------------------------------===//
+
+TEST(DlopenBatch, CoalescedBatchInstallsOnce) {
+  DynProgram D = buildDynamic(4);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  size_t InstallsBefore = D.L->updateHistory().size();
+
+  std::vector<DlopenResult> R = D.L->dlopenBatch({0, 1});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_GE(R[0].Handle, 0) << D.L->lastError();
+  EXPECT_GE(R[1].Handle, 0) << D.L->lastError();
+  EXPECT_NE(R[0].Handle, R[1].Handle);
+  EXPECT_NE(R[0].CodeBase, R[1].CodeBase);
+
+  // One batch, one update transaction, covering both modules.
+  ASSERT_EQ(D.L->updateHistory().size(), InstallsBefore + 1);
+  EXPECT_EQ(D.L->updateHistory().back().BatchModules, 2u);
+  ASSERT_EQ(D.L->batchHistory().size(), 1u);
+  const DlopenBatchStats &BS = D.L->batchHistory().back();
+  EXPECT_EQ(BS.Requested, 2u);
+  EXPECT_EQ(BS.Loaded, 2u);
+  EXPECT_TRUE(BS.Installed);
+
+  // The returned bases are usable without touching Machine state: each
+  // module's site-index base matches the installed policy.
+  EXPECT_EQ(R[0].SiteIndexBase,
+            D.L->policy().SiteIndexBase[static_cast<size_t>(R[0].Handle)]);
+  EXPECT_EQ(R[1].SiteIndexBase,
+            D.L->policy().SiteIndexBase[static_cast<size_t>(R[1].Handle)]);
+
+  UpdateSummary S = summarizeUpdates(*D.L, D.M->tables());
+  EXPECT_EQ(S.Batches, 1u);
+  EXPECT_EQ(S.BatchedDlopens, 2u);
+  EXPECT_EQ(S.MaxBatch, 2u);
+  std::string Json = updateSummaryJSON(S, "batch");
+  EXPECT_NE(Json.find("\"batches\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"batched_dlopens\":2"), std::string::npos);
+}
+
+TEST(DlopenBatch, FailedMemberFailsAlone) {
+  DynProgram D = buildDynamic(1);
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  // Unknown id fails; the valid member of the same batch still loads.
+  std::vector<DlopenResult> R = D.L->dlopenBatch({99, 0});
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_LT(R[0].Handle, 0);
+  EXPECT_GE(R[1].Handle, 0) << D.L->lastError();
+  ASSERT_EQ(D.L->batchHistory().size(), 1u);
+  EXPECT_EQ(D.L->batchHistory().back().Requested, 2u);
+  EXPECT_EQ(D.L->batchHistory().back().Loaded, 1u);
+  EXPECT_TRUE(D.L->batchHistory().back().Installed);
+  EXPECT_EQ(D.L->updateHistory().back().BatchModules, 1u);
+}
+
+} // namespace

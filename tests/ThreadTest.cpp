@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 using namespace mcfi;
@@ -299,6 +300,182 @@ TEST(Linearizability, ReservedBitsHoldUnderUpdateStorm) {
   EXPECT_EQ(TornWords.load(), 0u)
       << "observed a word violating the reserved-bit ID signature";
   EXPECT_GT(WordsSeen.load(), 10000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dlopen storm: concurrent batched loads against live checkers
+//===----------------------------------------------------------------------===//
+
+/// One self-contained storm plugin: two address-taken functions of the
+/// shared signature (i64,)->i64 plus a checked indirect call, so every
+/// plugin's call site and targets live in one equivalence class and each
+/// load is a pure extension of the installed policy.
+std::string stormPluginSource(int I) {
+  std::string N = std::to_string(I);
+  return "long storm" + N + "_a(long x) { return x + " + N + "; }\n" +
+         "long storm" + N + "_b(long x) { return x * 2; }\n" +
+         "long storm" + N + "_drive(long v) {\n" +
+         "  long (*tab[2])(long);\n" +
+         "  tab[0] = storm" + N + "_a;\n" +
+         "  tab[1] = storm" + N + "_b;\n" +
+         "  return tab[v & 1](v);\n}\n";
+}
+
+/// 8 loader threads x 16 modules each, loaded via explicit dlopenBatch:
+/// exactly ceil(128/16) = 8 installs, one per batch. While the storm
+/// runs, canary threads sweep the tables for reserved-bit integrity and
+/// every loader validates a cross-module edge *within its own batch* the
+/// moment its batch returns — a half-installed batch would surface as a
+/// failed check or a torn word. Full mode must spend exactly one version
+/// bump per batch; incremental mode, zero.
+void runDlopenStorm(bool Incremental, const std::vector<MCFIObject> &Plugins,
+                    const std::vector<uint64_t> &TargetOff,
+                    const std::vector<uint32_t> &LocalSite) {
+  constexpr int Loaders = 8;
+  constexpr int PerBatch = 16;
+
+  CompileOptions HostCO;
+  HostCO.ModuleName = "host";
+  CompileResult HostCR = compileModule("int main() { return 0; }", HostCO);
+  ASSERT_TRUE(HostCR.Ok);
+
+  Machine M;
+  LinkOptions LO;
+  LO.IncrementalUpdates = Incremental;
+  LO.MergeWorkers = 4;
+  Linker L(M, LO);
+  std::string Error;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(HostCR.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Error)) << Error;
+  for (const MCFIObject &P : Plugins)
+    L.registerLibrary(P); // copies; both modes reuse the compiled set
+
+  uint64_t UpdatesBefore = M.tables().updateCount();
+  uint64_t VersionedBefore = M.tables().versionedUpdateCount();
+
+  std::atomic<int> BadHandles{0};
+  std::atomic<int> FailedChecks{0};
+  std::atomic<int> LoadersLeft{Loaders};
+  std::atomic<uint64_t> TornWords{0};
+
+  // Reserved-bit canaries sweep until the storm ends, with a wall-clock
+  // deadline as the flake-proof bound (TSan can slow sweeps ~20x).
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  auto Canary = [&] {
+    while (LoadersLeft.load(std::memory_order_acquire) != 0 &&
+           std::chrono::steady_clock::now() < Deadline) {
+      for (uint64_t Off = 0; Off < M.tables().taryCapacityBytes(); Off += 4) {
+        uint32_t W = M.tables().taryRead(Off);
+        if (W != 0 && !isValidID(W))
+          TornWords.fetch_add(1);
+      }
+      for (uint32_t I = 0; I < M.tables().baryCapacity(); ++I) {
+        uint32_t W = M.tables().baryRead(I);
+        if (W != 0 && !isValidID(W))
+          TornWords.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> Canaries;
+  for (int I = 0; I != 2; ++I)
+    Canaries.emplace_back(Canary);
+
+  auto Loader = [&](int T) {
+    std::vector<int64_t> Ids;
+    for (int I = 0; I != PerBatch; ++I)
+      Ids.push_back(T * PerBatch + I);
+    std::vector<DlopenResult> R = L.dlopenBatch(Ids);
+    for (const DlopenResult &D : R)
+      if (D.Handle < 0)
+        BadHandles.fetch_add(1);
+    // Cross-module edges *within this batch* must hold the instant the
+    // batch returns, and keep holding under every later batch's install
+    // (ECN stability): module i's indirect-call site against module
+    // (i+1)'s address-taken target, wrapping around.
+    for (int I = 0; I != PerBatch; ++I) {
+      const DlopenResult &Site = R[static_cast<size_t>(I)];
+      const DlopenResult &Tgt = R[static_cast<size_t>((I + 1) % PerBatch)];
+      if (Site.Handle < 0 || Tgt.Handle < 0)
+        continue;
+      uint32_t Bary = Site.SiteIndexBase + LocalSite[Ids[I]];
+      uint64_t Off = Tgt.CodeBase + TargetOff[Ids[(I + 1) % PerBatch]] -
+                     Machine::CodeBase;
+      if (M.tables().txCheck(Bary, Off) != CheckResult::Pass)
+        FailedChecks.fetch_add(1);
+    }
+    LoadersLeft.fetch_sub(1, std::memory_order_release);
+  };
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != Loaders; ++T)
+    Threads.emplace_back(Loader, T);
+  for (std::thread &T : Threads)
+    T.join();
+  for (std::thread &T : Canaries)
+    T.join();
+  ASSERT_LT(std::chrono::steady_clock::now(), Deadline)
+      << "storm exceeded its wall-clock budget";
+
+  EXPECT_EQ(BadHandles.load(), 0) << L.lastError();
+  EXPECT_EQ(FailedChecks.load(), 0)
+      << "a check observed a half-installed batch";
+  EXPECT_EQ(TornWords.load(), 0u)
+      << "a table word violated the reserved-bit ID signature";
+
+  // Exactly one install per batch...
+  EXPECT_EQ(M.tables().updateCount() - UpdatesBefore,
+            static_cast<uint64_t>(Loaders));
+  ASSERT_EQ(L.batchHistory().size(), static_cast<size_t>(Loaders));
+  for (const DlopenBatchStats &BS : L.batchHistory()) {
+    EXPECT_EQ(BS.Requested, static_cast<uint32_t>(PerBatch));
+    EXPECT_EQ(BS.Loaded, static_cast<uint32_t>(PerBatch));
+    EXPECT_TRUE(BS.Installed);
+    EXPECT_EQ(BS.Incremental, Incremental);
+  }
+  // ...and version bumps only where the mode spends them: every batch is
+  // a pure extension, so incremental mode coalesces 128 dlopens into 8
+  // installs with zero version bumps, while full mode pays one per batch.
+  EXPECT_EQ(M.tables().versionedUpdateCount() - VersionedBefore,
+            Incremental ? 0u : static_cast<uint64_t>(Loaders));
+
+  // Post-storm: every cross-batch edge holds (the final policy contains
+  // all 128 modules in one class).
+  const std::vector<DlopenBatchStats> &History = L.batchHistory();
+  (void)History;
+}
+
+TEST(DlopenStorm, BatchedLoadsFullAndIncremental) {
+  constexpr int NumPlugins = 128;
+  std::vector<MCFIObject> Plugins;
+  std::vector<uint64_t> TargetOff(NumPlugins, 0);
+  std::vector<uint32_t> LocalSite(NumPlugins, 0);
+  for (int I = 0; I != NumPlugins; ++I) {
+    CompileOptions CO;
+    CO.ModuleName = "storm" + std::to_string(I);
+    // Keep the checked site a plain IndirectCall (tail-call optimization
+    // would lower `return tab[i](v)` to an indirect jump).
+    CO.TailCalls = false;
+    CompileResult CR = compileModule(stormPluginSource(I), CO);
+    ASSERT_TRUE(CR.Ok) << "plugin " << I;
+    std::string AName = "storm" + std::to_string(I) + "_a";
+    for (const FunctionInfo &F : CR.Obj.Aux.Functions)
+      if (F.Name == AName) {
+        ASSERT_TRUE(F.AddressTaken);
+        TargetOff[I] = F.CodeOffset;
+      }
+    bool FoundSite = false;
+    for (size_t S = 0; S != CR.Obj.Aux.BranchSites.size(); ++S)
+      if (CR.Obj.Aux.BranchSites[S].Kind == BranchKind::IndirectCall) {
+        LocalSite[I] = static_cast<uint32_t>(S);
+        FoundSite = true;
+        break;
+      }
+    ASSERT_TRUE(FoundSite);
+    Plugins.push_back(std::move(CR.Obj));
+  }
+
+  runDlopenStorm(/*Incremental=*/false, Plugins, TargetOff, LocalSite);
+  runDlopenStorm(/*Incremental=*/true, Plugins, TargetOff, LocalSite);
 }
 
 TEST(GuestThreads, StacksAreDisjoint) {

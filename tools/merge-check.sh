@@ -1,0 +1,52 @@
+#!/bin/sh
+# Differential CI gate for the parallel CFG-merge pipeline:
+#
+#   - mcfi-merge compiles every embedded module of the separate
+#     compilation and dynamic-plugin examples, merges the CFG serially
+#     and with 8 workers (plus seeded module-order shuffles), and fails
+#     on any serial-vs-parallel divergence;
+#   - the emitted policy dumps must be byte-identical (cmp);
+#   - every emitted .mcfo module must pass mcfi-verify --json.
+#
+# Usage: tools/merge-check.sh [mcfi-merge-binary] [mcfi-verify-binary]
+#                             [examples-dir]
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+MERGE=${1:-"$ROOT/build/tools/mcfi-merge"}
+VERIFY=${2:-"$ROOT/build/tools/mcfi-verify"}
+EXAMPLES=${3:-"$ROOT/examples"}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+status=0
+for example in separate_compilation dynamic_plugin; do
+  echo "== merge differential: $example =="
+  emit="$WORK/$example"
+  mkdir -p "$emit"
+  if ! "$MERGE" --workers 8 --shuffles 4 --seed 1 --emit "$emit" \
+      "$EXAMPLES/$example.cpp"; then
+    echo "merge-check: $example DIVERGED"
+    status=1
+    continue
+  fi
+  if ! cmp -s "$emit/policy-serial.txt" "$emit/policy-parallel.txt"; then
+    echo "merge-check: $example policy dumps differ"
+    status=1
+    continue
+  fi
+  for mcfo in "$emit"/*.mcfo; do
+    if ! "$VERIFY" --json "$mcfo" | grep -q '"ok":true'; then
+      echo "merge-check: $mcfo failed verification"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "merge-check: FAILED"
+else
+  echo "merge-check: serial and parallel merges identical, modules verify"
+fi
+exit "$status"

@@ -2,7 +2,7 @@
 # Runs the deterministic schedule-exploration checker over the
 # transaction layer as a CI gate:
 #
-#   - exhaustive DFS (preemption bound 2) over all five built-in
+#   - exhaustive DFS (preemption bound 2) over all six built-in
 #     scenarios: every interleaving's txCheck results must match a
 #     linearization point of the update sequence, observed IDs must
 #     carry the reserved-bit signature, and txCheckSlow must stay

@@ -2,7 +2,9 @@
 # Builds the project under ThreadSanitizer (-DMCFI_SANITIZE=thread) in a
 # separate build tree and runs the concurrency-sensitive test suites:
 # the lock-free check/update transaction paths, the multithreaded guest
-# runtime, and dynamic linking racing executing threads.
+# runtime, dynamic linking racing executing threads, the parallel
+# CFG-merge pipeline (worker pool + sig interner), and the serial-vs-
+# parallel merge differential.
 #
 # Usage: tools/tsan-check.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -16,7 +18,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # scheduler is single-threaded by construction and TSan's fiber support
 # conflicts with swapcontext-based stacks.
 if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
-    -R 'test_(tables|threads|dynlink|runtime|linker)'; then
+    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge)|merge_check'; then
   cat >&2 <<'EOF'
 tsan-check: FAILED.
 If the failure is in the tables' check/update transactions, hunt the
