@@ -1,0 +1,264 @@
+//===- absint/AbsDomain.h - Abstract domains for semantic CFI ---*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract domains of the semantic verifier (docs/INTERNALS.md §14).
+/// Each register (and each tracked stack slot) holds an AbsVal: a point in
+/// a small provenance lattice that records *how* the value was produced,
+/// because for MCFI the dangerous facts are relational — "this register is
+/// the xor of a Bary ID and the Tary ID of *that* value" — not numeric.
+///
+/// Values are named by tokens (a lightweight value numbering): two
+/// locations with the same token hold the same runtime value, so when a
+/// check-transaction's pass edge proves the value with token t safe, every
+/// location still holding t becomes Checked at once, and a clobber of t's
+/// defining register leaves stale copies behind with their facts killed.
+/// Tokens are minted deterministically from (block, def-index) so the
+/// fixpoint engine can compare states with plain equality.
+///
+/// The lattice is shallow by design: a value that cannot be proven
+/// anything specific is Top, and joins degrade specific facts to Masked
+/// (when both sides are provably < 2^32) or Top in at most two steps, so
+/// the fixpoint terminates without a widening in the common case; the
+/// engine still widens at loop heads after a visit budget as a backstop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_ABSINT_ABSDOMAIN_H
+#define MCFI_ABSINT_ABSDOMAIN_H
+
+#include "visa/ISA.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mcfi {
+namespace absint {
+
+/// Abstract value kinds. "Masked-ish" kinds (see maskedIsh) are those
+/// whose concrete value is provably < 2^32, i.e. inside the sandbox.
+enum class VK : uint8_t {
+  Top,        ///< unknown 64-bit value
+  Const,      ///< compile-time constant (Aux = value)
+  Masked,     ///< value < 2^32 (result of a sandbox mask or narrow load)
+  Checked,    ///< passed a complete TxCheck for branch site Site
+  BranchID,   ///< Bary read for site Site (via the BaryIndex32 reloc)
+  TargetID,   ///< Tary ID of the value named by Ref
+  DiffFull,   ///< BranchID(Site) ^ TargetID(Ref): zero iff IDs match
+  ValidBit,   ///< TargetID(Ref) & 1: zero iff the target is invalid
+  DiffVer,    ///< (BranchID(Site) ^ TargetID(Ref)) & 0xffff: version diff
+  BoundsFlag, ///< (value(Ref) <u Aux): nonzero iff index in bounds
+  BoundedIdx, ///< value in [0, Aux) — refined on a BoundsFlag edge
+  ScaledIdx,  ///< 8 * BoundedIdx: value in [0, 8*Aux)
+  TableBase,  ///< address of the jump table at module offset Aux
+  TableSlot,  ///< TableBase(Aux) + ScaledIdx: Site holds the bound
+  JTTarget,   ///< loaded from TableSlot(Aux); Site holds the bound
+};
+
+/// Sentinel for "no / conflicting branch site".
+inline constexpr uint32_t NoSite = ~0u;
+/// Joined Checked values whose sites disagree.
+inline constexpr uint32_t MultiSite = ~0u - 1;
+
+/// One abstract value. Tok names the value itself; Ref names the value a
+/// relational fact is *about* (TargetID/DiffFull/ValidBit/DiffVer/
+/// BoundsFlag). Aux carries the constant / bound / table offset.
+struct AbsVal {
+  VK K = VK::Top;
+  uint64_t Tok = 0;
+  uint64_t Ref = 0;
+  uint64_t Aux = 0;
+  uint32_t Site = NoSite;
+
+  bool operator==(const AbsVal &O) const {
+    return K == O.K && Tok == O.Tok && Ref == O.Ref && Aux == O.Aux &&
+           Site == O.Site;
+  }
+  bool operator!=(const AbsVal &O) const { return !(*this == O); }
+
+  static AbsVal top(uint64_t Tok) { return {VK::Top, Tok, 0, 0, NoSite}; }
+  static AbsVal constant(uint64_t Tok, uint64_t V) {
+    return {VK::Const, Tok, 0, V, NoSite};
+  }
+  static AbsVal masked(uint64_t Tok) {
+    return {VK::Masked, Tok, 0, 0, NoSite};
+  }
+};
+
+/// True if the value is provably < 2^32 (safe as a sandboxed store
+/// address, and a legal operand of a Tary read).
+inline bool maskedIsh(const AbsVal &V) {
+  switch (V.K) {
+  case VK::Masked:
+  case VK::Checked:
+  case VK::BoundedIdx:
+  case VK::ScaledIdx:
+    return true;
+  case VK::Const:
+    return V.Aux <= 0xffffffffull;
+  default:
+    return false;
+  }
+}
+
+/// Token-correspondence accumulated across one state join. Two states are
+/// joined location-by-location in a fixed order; tokens unify when the
+/// mapping stays bijective, so renamed-but-isomorphic states join without
+/// information loss.
+struct JoinCtx {
+  std::unordered_map<uint64_t, uint64_t> AtoB, BtoA;
+
+  bool unify(uint64_t A, uint64_t B) {
+    auto ItA = AtoB.find(A);
+    if (ItA != AtoB.end())
+      return ItA->second == B;
+    auto ItB = BtoA.find(B);
+    if (ItB != BtoA.end())
+      return ItB->second == A;
+    AtoB.emplace(A, B);
+    BtoA.emplace(B, A);
+    return true;
+  }
+};
+
+/// Joins two abstract values. \p MintTok is the deterministic token to
+/// assign when the sides disagree and the result still carries a value
+/// identity (Masked); \p Minted is set when it was used, so the caller can
+/// kill stale facts referring to a re-minted token. The kind order is
+/// specific-fact -> Masked -> Top and every disagreement moves strictly
+/// down it, which bounds every location's chain at a join point.
+inline AbsVal joinVal(const AbsVal &A, const AbsVal &B, JoinCtx &Ctx,
+                      uint64_t MintTok, bool &Minted) {
+  Minted = false;
+  if (A.K == B.K && A.Ref == B.Ref && A.Aux == B.Aux && A.Site == B.Site &&
+      Ctx.unify(A.Tok, B.Tok))
+    return A;
+  // Checked values that disagree only in site/token stay Checked: the
+  // dispatch rule separately requires the site to match the declared one.
+  if (A.K == VK::Checked && B.K == VK::Checked) {
+    AbsVal R = A;
+    R.Site = A.Site == B.Site ? A.Site : MultiSite;
+    if (!Ctx.unify(A.Tok, B.Tok)) {
+      R.Tok = MintTok;
+      Minted = true;
+    }
+    return R;
+  }
+  if (maskedIsh(A) && maskedIsh(B)) {
+    AbsVal R = AbsVal::masked(MintTok);
+    Minted = true;
+    return R;
+  }
+  Minted = true;
+  return AbsVal::top(MintTok);
+}
+
+/// Renders an abstract value for traces and the --cfg dump.
+inline std::string printVal(const AbsVal &V) {
+  auto Tok = [&](uint64_t T) { return "#" + std::to_string(T & 0xffffff); };
+  switch (V.K) {
+  case VK::Top:
+    return "top" + Tok(V.Tok);
+  case VK::Const:
+    return "const:" + std::to_string(V.Aux);
+  case VK::Masked:
+    return "masked" + Tok(V.Tok);
+  case VK::Checked:
+    return V.Site == MultiSite ? "checked(site?)"
+                               : "checked(site " + std::to_string(V.Site) +
+                                     ")";
+  case VK::BranchID:
+    return V.Site == NoSite ? "baryid(?)"
+                            : "baryid(site " + std::to_string(V.Site) + ")";
+  case VK::TargetID:
+    return "taryid(of " + Tok(V.Ref) + ")";
+  case VK::DiffFull:
+    return "iddiff(of " + Tok(V.Ref) + ")";
+  case VK::ValidBit:
+    return "validbit(of " + Tok(V.Ref) + ")";
+  case VK::DiffVer:
+    return "verdiff(of " + Tok(V.Ref) + ")";
+  case VK::BoundsFlag:
+    return "inbounds(" + Tok(V.Ref) + "<" + std::to_string(V.Aux) + ")";
+  case VK::BoundedIdx:
+    return "idx<" + std::to_string(V.Aux);
+  case VK::ScaledIdx:
+    return "8*idx<8*" + std::to_string(V.Aux);
+  case VK::TableBase:
+    return "jtbase@" + std::to_string(V.Aux);
+  case VK::TableSlot:
+    return "jtslot@" + std::to_string(V.Aux);
+  case VK::JTTarget:
+    return "jttarget@" + std::to_string(V.Aux);
+  }
+  return "?";
+}
+
+/// The per-program-point abstract state: one AbsVal per register, a
+/// stack-pointer delta relative to the analysis entry, and a small store
+/// buffer of spilled facts keyed by sp-relative slot. The buffer is
+/// havocked by anything that could overwrite the stack from outside the
+/// tracked discipline (calls, syscalls, stores through non-SP registers);
+/// see INTERNALS.md §14 for the trust assumptions.
+struct AbsState {
+  bool Reachable = false;
+  AbsVal Regs[visa::NumRegs];
+  bool SpKnown = true;
+  int64_t SpDelta = 0;
+  /// Sorted by slot key; capped at MaxSlots.
+  std::vector<std::pair<int64_t, AbsVal>> Stack;
+
+  static constexpr size_t MaxSlots = 16;
+
+  bool operator==(const AbsState &O) const {
+    if (Reachable != O.Reachable || SpKnown != O.SpKnown ||
+        SpDelta != O.SpDelta || Stack != O.Stack)
+      return false;
+    for (unsigned R = 0; R != visa::NumRegs; ++R)
+      if (!(Regs[R] == O.Regs[R]))
+        return false;
+    return true;
+  }
+
+  const AbsVal *slot(int64_t Key) const {
+    for (const auto &[K, V] : Stack)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+
+  void setSlot(int64_t Key, const AbsVal &V) {
+    for (auto &[K, Old] : Stack)
+      if (K == Key) {
+        Old = V;
+        return;
+      }
+    if (Stack.size() < MaxSlots) {
+      Stack.emplace_back(Key, V);
+      std::sort(Stack.begin(), Stack.end(),
+                [](const auto &A, const auto &B) { return A.first < B.first; });
+    }
+  }
+
+  void dropSlot(int64_t Key) {
+    for (size_t I = 0; I != Stack.size(); ++I)
+      if (Stack[I].first == Key) {
+        Stack.erase(Stack.begin() + static_cast<long>(I));
+        return;
+      }
+  }
+
+  void havocStack() { Stack.clear(); }
+};
+
+} // namespace absint
+} // namespace mcfi
+
+#endif // MCFI_ABSINT_ABSDOMAIN_H

@@ -21,6 +21,7 @@ BuiltProgram mcfi::buildProgram(const std::vector<std::string> &Sources,
     CO.ModuleName = "tu" + std::to_string(I);
     CO.Instrument = Spec.Instrument;
     CO.TailCalls = Spec.TailCalls;
+    CO.Optimize = Spec.Optimize;
     CompileResult CR = compileModule(Sources[I], CO);
     if (!CR.Ok) {
       BP.Error = CR.Errors.empty() ? "compile failed" : CR.Errors.front();
@@ -33,6 +34,7 @@ BuiltProgram mcfi::buildProgram(const std::vector<std::string> &Sources,
     CO.ModuleName = "rt";
     CO.Instrument = Spec.Instrument;
     CO.TailCalls = Spec.TailCalls;
+    CO.Optimize = Spec.Optimize;
     CompileResult CR = compileModule(runtimeLibrarySource(), CO);
     if (!CR.Ok) {
       BP.Error = "rt library: " +

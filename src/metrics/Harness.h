@@ -40,6 +40,9 @@ struct BuildSpec {
   bool Instrument = true;
   bool TailCalls = true;
   bool LinkRtLibrary = true;
+  /// Rewriter check-scheduling / mask-sharing; output needs the
+  /// semantic verifier tier.
+  bool Optimize = false;
   uint64_t Seed = 0;
 };
 

@@ -38,9 +38,10 @@ CompileResult mcfi::compileModule(const std::string &Source,
   if (Opts.Instrument) {
     RewriteOptions RO;
     RO.AlignTargetsByMasking = Opts.MaskAlignTargets;
+    RO.Optimize = Opts.Optimize;
     instrumentModule(PM, RO);
     if (Opts.EmitPlt)
-      addPltEntries(PM);
+      addPltEntries(PM, RO);
   }
 
   Result.Obj = finalizeObject(std::move(PM));

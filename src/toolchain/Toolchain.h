@@ -51,6 +51,10 @@ struct CompileOptions {
   /// Footnote-1 ablation: align targets with an extra and instead of
   /// relying on reserved-bit validation.
   bool MaskAlignTargets = false;
+  /// Scheduler-friendly instrumentation (shared sandbox masks, reordered
+  /// ID loads). The output does not match the syntactic verifier's byte
+  /// templates and verifies only under the semantic tier.
+  bool Optimize = false;
 };
 
 struct CompileResult {

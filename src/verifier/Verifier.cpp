@@ -7,11 +7,13 @@
 
 #include "verifier/Verifier.h"
 
+#include "absint/AbsInt.h"
 #include "support/StringUtils.h"
 #include "visa/ISA.h"
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -27,16 +29,42 @@ public:
   VerifierImpl(const uint8_t *Code, size_t Size, const MCFIObject &Obj)
       : Code(Code), Size(Size), Obj(Obj) {}
 
-  VerifyResult run() {
+  VerifyResult run(const VerifyOptions &Opts) {
+    if (!Opts.UseSyntactic && !Opts.UseSemantic) {
+      error("no verifier tier enabled");
+      return std::move(Result);
+    }
+    Result.DecidedBy =
+        Opts.UseSyntactic ? VerifyTier::Syntactic : VerifyTier::Semantic;
     indexAux();
     disassemble();
+    if (Result.Ok) {
+      // Structural checks hold for both tiers: they pin down the facts
+      // (complete disassembly, table contents, boundaries, alignment)
+      // that the template matcher and the abstract interpreter both
+      // build on.
+      checkJumpTables();
+      checkBareRets();
+      checkDirectBranchBoundaries();
+      checkAlignment();
+    }
     if (!Result.Ok)
-      return std::move(Result); // undecodable code: stop early
-    checkBranchSequences();
-    checkJumpTables();
-    checkStoresAndStrays();
-    checkDirectBranchTargets();
-    checkAlignment();
+      return std::move(Result);
+    if (Opts.UseSyntactic) {
+      checkBranchSequences();
+      checkStoreMasks();
+      checkStrayIndirects();
+      checkDirectBranchSyntactic();
+      if (Result.Ok || !Opts.UseSemantic)
+        return std::move(Result);
+      // The templates rejected; let the semantic engine decide. Keep the
+      // template findings for diagnostics — if the module proves, they
+      // describe why the fast path missed.
+      Result.SyntacticFindings = std::move(Result.Errors);
+      Result.Errors.clear();
+      Result.Ok = true;
+    }
+    runSemantic();
     return std::move(Result);
   }
 
@@ -51,10 +79,8 @@ private:
   //===--------------------------------------------------------------------===//
 
   void indexAux() {
-    for (const BranchSite &BS : Obj.Aux.BranchSites) {
+    for (const BranchSite &BS : Obj.Aux.BranchSites)
       SiteByBranchOffset.emplace(BS.BranchOffset, &BS);
-      SeqRanges.emplace_back(BS.SeqStart, BS.BranchOffset);
-    }
     for (const JumpTableInfo &JT : Obj.Aux.JumpTables) {
       JTByJmpOffset.emplace(JT.JmpOffset, &JT);
       DataRanges.emplace_back(JT.TableOffset, JT.TableOffset +
@@ -64,11 +90,17 @@ private:
   }
 
   bool inDataRange(uint64_t Off, uint64_t &RangeEnd) const {
-    for (const auto &[B, E] : DataRanges) {
-      if (Off >= B && Off < E) {
-        RangeEnd = E;
-        return true;
-      }
+    // DataRanges is sorted by begin offset: the only candidate is the
+    // last range starting at or before Off.
+    auto It = std::upper_bound(
+        DataRanges.begin(), DataRanges.end(),
+        std::make_pair(Off, std::numeric_limits<uint64_t>::max()));
+    if (It == DataRanges.begin())
+      return false;
+    const auto &[B, E] = *std::prev(It);
+    if (Off >= B && Off < E) {
+      RangeEnd = E;
+      return true;
     }
     return false;
   }
@@ -102,7 +134,7 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
-  // Check-sequence templates (Fig. 4)
+  // Check-sequence templates (Fig. 4) — the syntactic tier
   //===--------------------------------------------------------------------===//
 
   /// Matches one instruction; advances \p Off on success.
@@ -305,7 +337,7 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
-  // Jump tables
+  // Jump tables (structural: contents match the declaration)
   //===--------------------------------------------------------------------===//
 
   void checkJumpTables() {
@@ -343,15 +375,18 @@ private:
           V |= static_cast<uint64_t>(Code[JT.TableOffset + 8 * E + B])
                << (8 * B);
         if (V != Base + JT.Targets[E]) {
-          error(formatString("jump table entry %zu does not match the "
-                             "declared target",
-                             E));
+          error(formatString("jump table entry %zu at 0x%llx does not "
+                             "match the declared target",
+                             E,
+                             static_cast<unsigned long long>(JT.TableOffset +
+                                                             8 * E)));
           break;
         }
         if (JT.Targets[E] >= Size || !instrAt(JT.Targets[E])) {
-          error(formatString("jump table target %zu is not an instruction "
-                             "boundary",
-                             E));
+          error(formatString("jump table target %zu (0x%llx) is not an "
+                             "instruction boundary",
+                             E,
+                             static_cast<unsigned long long>(JT.Targets[E])));
           break;
         }
       }
@@ -359,30 +394,62 @@ private:
   }
 
   //===--------------------------------------------------------------------===//
-  // Stores, strays, direct branches, alignment
+  // Structural sweeps shared by both tiers
   //===--------------------------------------------------------------------===//
 
-  bool insideSeq(uint64_t Off) const {
-    for (const auto &[B, E] : SeqSpans)
-      if (Off > B && Off < E)
-        return true;
-    return false;
-  }
-
-  void checkStoresAndStrays() {
-    uint64_t PrevOff = ~0ull;
-    const Instr *Prev = nullptr;
-    for (const auto &[Off, I] : Instrs) {
-      if (I.Op == Opcode::Ret) {
+  void checkBareRets() {
+    for (const auto &[Off, I] : Instrs)
+      if (I.Op == Opcode::Ret)
         error(formatString("bare ret at 0x%llx (must be rewritten)",
                            static_cast<unsigned long long>(Off)));
-      }
+  }
+
+  void checkDirectBranchBoundaries() {
+    for (const auto &[Off, I] : Instrs) {
+      if (I.Op != Opcode::Jmp && I.Op != Opcode::Jz && I.Op != Opcode::Jnz &&
+          I.Op != Opcode::Call)
+        continue;
+      uint64_t Target = Off + I.Length + static_cast<int64_t>(I.Off);
+      // Direct calls/jumps may leave the module (cross-module direct
+      // calls after relocation); only intra-module targets are checked.
+      if (Target >= Size)
+        continue;
+      if (!instrAt(Target))
+        error(formatString("direct branch at 0x%llx targets a non-boundary",
+                           static_cast<unsigned long long>(Off)));
+    }
+  }
+
+  void checkAlignment() {
+    for (const FunctionInfo &F : Obj.Aux.Functions) {
+      if (F.AddressTaken && (F.CodeOffset & 3))
+        error("address-taken function '" + F.Name + "' is not 4-aligned");
+    }
+    for (const CallSiteInfo &CS : Obj.Aux.CallSites) {
+      if (!CS.IsSetjmp && (CS.RetSiteOffset & 3))
+        error(formatString("return site at 0x%llx is not 4-aligned",
+                           static_cast<unsigned long long>(
+                               CS.RetSiteOffset)));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Syntactic-tier sweeps (template bookkeeping)
+  //===--------------------------------------------------------------------===//
+
+  void checkStrayIndirects() {
+    for (const auto &[Off, I] : Instrs)
       if ((I.Op == Opcode::JmpInd || I.Op == Opcode::CallInd) &&
-          !CheckedBranchOffsets.count(Off)) {
+          !CheckedBranchOffsets.count(Off))
         error(formatString(
             "unchecked indirect branch at 0x%llx",
             static_cast<unsigned long long>(Off)));
-      }
+  }
+
+  void checkStoreMasks() {
+    uint64_t PrevOff = ~0ull;
+    const Instr *Prev = nullptr;
+    for (const auto &[Off, I] : Instrs) {
       if (isStore(I.Op) && I.Rd != RegSP) {
         bool Masked = Prev && Prev->Op == Opcode::AndImm &&
                       Prev->Rd == I.Rd && Prev->Imm == 0xffffffffull &&
@@ -398,21 +465,21 @@ private:
     }
   }
 
-  void checkDirectBranchTargets() {
+  bool insideSeq(uint64_t Off) const {
+    for (const auto &[B, E] : SeqSpans)
+      if (Off > B && Off < E)
+        return true;
+    return false;
+  }
+
+  void checkDirectBranchSyntactic() {
     for (const auto &[Off, I] : Instrs) {
       if (I.Op != Opcode::Jmp && I.Op != Opcode::Jz && I.Op != Opcode::Jnz &&
           I.Op != Opcode::Call)
         continue;
       uint64_t Target = Off + I.Length + static_cast<int64_t>(I.Off);
-      // Direct calls/jumps may leave the module (cross-module direct
-      // calls after relocation); only intra-module targets are checked.
-      if (Target >= Size)
+      if (Target >= Size || !instrAt(Target))
         continue;
-      if (!instrAt(Target)) {
-        error(formatString("direct branch at 0x%llx targets a non-boundary",
-                           static_cast<unsigned long long>(Off)));
-        continue;
-      }
       // A branch may not hop into the middle of a check transaction
       // unless it is itself part of that transaction (the retry path).
       if (insideSeq(Target) && !insideSeq(Off)) {
@@ -430,16 +497,20 @@ private:
     }
   }
 
-  void checkAlignment() {
-    for (const FunctionInfo &F : Obj.Aux.Functions) {
-      if (F.AddressTaken && (F.CodeOffset & 3))
-        error("address-taken function '" + F.Name + "' is not 4-aligned");
-    }
-    for (const CallSiteInfo &CS : Obj.Aux.CallSites) {
-      if (!CS.IsSetjmp && (CS.RetSiteOffset & 3))
-        error(formatString("return site at 0x%llx is not 4-aligned",
-                           static_cast<unsigned long long>(
-                               CS.RetSiteOffset)));
+  //===--------------------------------------------------------------------===//
+  // Semantic tier
+  //===--------------------------------------------------------------------===//
+
+  void runSemantic() {
+    Result.DecidedBy = VerifyTier::Semantic;
+    absint::SemanticResult SR = absint::prove(Code, Size, Obj, Instrs);
+    Result.FixpointIters = SR.FixpointIters;
+    Result.SemanticBlocks = SR.Blocks;
+    Result.SemanticEntries = SR.Entries;
+    if (!SR.Ok) {
+      Result.Ok = false;
+      for (std::string &E : SR.Errors)
+        Result.Errors.push_back(std::move(E));
     }
   }
 
@@ -452,7 +523,6 @@ private:
   std::unordered_map<uint64_t, const BranchSite *> SiteByBranchOffset;
   std::unordered_map<uint64_t, const JumpTableInfo *> JTByJmpOffset;
   std::vector<std::pair<uint64_t, uint64_t>> DataRanges;
-  std::vector<std::pair<uint64_t, uint64_t>> SeqRanges;
   std::vector<std::pair<uint64_t, uint64_t>> SeqSpans;
   std::unordered_set<uint64_t> CheckedBranchOffsets;
   std::unordered_set<uint64_t> MaskedStoreOffsets;
@@ -462,6 +532,7 @@ private:
 } // namespace
 
 VerifyResult mcfi::verifyModule(const uint8_t *Code, size_t Size,
-                                const MCFIObject &Obj) {
-  return VerifierImpl(Code, Size, Obj).run();
+                                const MCFIObject &Obj,
+                                const VerifyOptions &Opts) {
+  return VerifierImpl(Code, Size, Obj).run(Opts);
 }

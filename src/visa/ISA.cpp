@@ -321,6 +321,44 @@ bool mcfi::visa::isStore(Opcode Op) {
          Op == Opcode::Store16 || Op == Opcode::Store32;
 }
 
+bool mcfi::visa::writesRd(Opcode Op) {
+  switch (Op) {
+  case Opcode::MovImm:
+  case Opcode::Mov:
+  case Opcode::Load:
+  case Opcode::Load8:
+  case Opcode::Load32:
+  case Opcode::Load16:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivS:
+  case Opcode::ModS:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::ShrL:
+  case Opcode::ShrA:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLtS:
+  case Opcode::CmpLeS:
+  case Opcode::CmpLtU:
+  case Opcode::CmpLeU:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::AndImm:
+  case Opcode::AddImm:
+  case Opcode::Pop:
+  case Opcode::TableRead:
+  case Opcode::BaryRead:
+    return true;
+  default:
+    return false;
+  }
+}
+
 std::string mcfi::visa::printInstr(const Instr &I) {
   auto R = [](uint8_t N) { return "r" + std::to_string(N); };
   switch (I.Op) {

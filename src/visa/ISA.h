@@ -142,6 +142,11 @@ bool isIndirectBranch(Opcode Op);
 /// Returns true for opcodes that write to memory.
 bool isStore(Opcode Op);
 
+/// Returns true if \p Op writes the register named by its Rd field (loads,
+/// ALU ops, immediates, pop, and the ID-table reads). Stores name their
+/// address register in Rd but do not write it.
+bool writesRd(Opcode Op);
+
 /// Renders \p I as assembly text.
 std::string printInstr(const Instr &I);
 

@@ -127,6 +127,48 @@ TEST(Integration, UninstrumentedBaselineRuns) {
   EXPECT_EQ(E.Output, "42\n");
 }
 
+TEST(Integration, OptimizedInstrumentationVerifiesAndRuns) {
+  // Optimize output escapes the syntactic templates, so this exercises
+  // the loader's two-tier verifier end to end: the module must still be
+  // accepted (semantic proof) and compute the same results.
+  CompileOptions CO;
+  CO.Optimize = true;
+  CompileResult CR = compileModule(R"(
+    long g;
+    long sel(long x) {
+      switch (x) {
+      case 0: return 5;
+      case 1: return 7;
+      case 2: return 9;
+      case 3: return 11;
+      default: return 0;
+      }
+    }
+    long apply(long (*f)(long), long v) { g = g + v; return f(v); }
+    int main() {
+      long s = 0;
+      long i;
+      for (i = 0; i < 5; i = i + 1)
+        s = s + apply(sel, i);
+      print_int(s);
+      print_int(g);
+      return 0;
+    }
+  )",
+                                   CO);
+  ASSERT_TRUE(CR.Ok) << (CR.Errors.empty() ? "?" : CR.Errors.front());
+
+  Machine M;
+  Linker L(M);
+  std::string Err;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(CR.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Err)) << Err;
+  RunResult R = runProgram(M, 50'000'000);
+  EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
+  EXPECT_EQ(M.takeOutput(), "32\n10\n");
+}
+
 TEST(Integration, StructsAndPointers) {
   Executed E = runSource(R"(
     struct Point { long x; long y; };

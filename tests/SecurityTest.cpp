@@ -62,10 +62,11 @@ struct Victim {
   }
 };
 
-Victim prepare(bool Instrument) {
+Victim prepare(bool Instrument, bool Optimize = false) {
   Victim V;
   BuildSpec Spec;
   Spec.Instrument = Instrument;
+  Spec.Optimize = Optimize;
   Spec.LinkRtLibrary = false;
   V.BP = buildProgram({VictimSource}, Spec);
   EXPECT_TRUE(V.BP.Ok) << V.BP.Error;
@@ -95,6 +96,17 @@ TEST(Security, HijackToMidInstructionIsBlocked) {
   ASSERT_TRUE(V.BP.Ok);
   // Target the middle of a legitimate function: under MCFI the Tary
   // entry there is invalid (no IBT), so the check halts.
+  uint64_t Evil = V.funcAddr("benign2") + 3;
+  RunResult R = attackHook(V, Evil);
+  EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
+}
+
+TEST(Security, OptimizedInstrumentationStillBlocksHijack) {
+  // The scheduled/mask-shared rewriting escapes the syntactic templates
+  // but must be exactly as strong at runtime: the linker's two-tier
+  // verifier proves it, and the hijack still hits a hlt.
+  Victim V = prepare(/*Instrument=*/true, /*Optimize=*/true);
+  ASSERT_TRUE(V.BP.Ok);
   uint64_t Evil = V.funcAddr("benign2") + 3;
   RunResult R = attackHook(V, Evil);
   EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;

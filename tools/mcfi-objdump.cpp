@@ -13,9 +13,12 @@
 ///   mcfi-objdump [options] module.mcfo
 ///     --no-disasm   only print the aux-info summary
 ///     --aux         print the full auxiliary info listing
+///     --cfg         print the semantic verifier's recovered CFG with the
+///                   abstract register/stack state at each block entry
 ///
 //===----------------------------------------------------------------------===//
 
+#include "absint/AbsInt.h"
 #include "module/MCFIObject.h"
 #include "tools/ToolCommon.h"
 #include "visa/ISA.h"
@@ -126,17 +129,41 @@ void dumpAux(const MCFIObject &Obj) {
     std::printf("address-taken import: %s\n", S.c_str());
 }
 
+void dumpCfg(const MCFIObject &Obj) {
+  std::map<uint64_t, visa::Instr> Instrs;
+  std::string Err;
+  if (!absint::disassembleAll(Obj.Code.data(), Obj.Code.size(), Obj, Instrs,
+                              Err)) {
+    std::printf("\ncfg: %s\n", Err.c_str());
+    return;
+  }
+  absint::AbsIntOptions AO;
+  AO.CollectBlockDump = true;
+  absint::SemanticResult R =
+      absint::prove(Obj.Code.data(), Obj.Code.size(), Obj, Instrs, AO);
+  std::printf("\ncfg: %zu blocks, %zu entry points, %llu fixpoint "
+              "iterations, %s\n",
+              R.Blocks, R.Entries,
+              static_cast<unsigned long long>(R.FixpointIters),
+              R.Ok ? "proves" : "REJECTED");
+  std::printf("%s", R.BlockDump.c_str());
+  for (const std::string &E : R.Errors)
+    std::printf("  finding: %s\n", E.c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   std::string Input;
-  bool Disasm = true, Aux = false;
+  bool Disasm = true, Aux = false, Cfg = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--no-disasm")
       Disasm = false;
     else if (Arg == "--aux")
       Aux = true;
+    else if (Arg == "--cfg")
+      Cfg = true;
     else if (!Arg.empty() && Arg[0] == '-')
       usage("mcfi-objdump: unknown option");
     else if (Input.empty())
@@ -145,7 +172,7 @@ int main(int argc, char **argv) {
       usage("mcfi-objdump: exactly one input expected");
   }
   if (Input.empty())
-    usage("usage: mcfi-objdump [--no-disasm] [--aux] module.mcfo");
+    usage("usage: mcfi-objdump [--no-disasm] [--aux] [--cfg] module.mcfo");
 
   std::vector<uint8_t> Bytes;
   MCFIObject Obj;
@@ -167,5 +194,7 @@ int main(int argc, char **argv) {
     disassemble(Obj);
   if (Aux)
     dumpAux(Obj);
+  if (Cfg)
+    dumpCfg(Obj);
   return 0;
 }

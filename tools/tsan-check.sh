@@ -3,8 +3,9 @@
 # separate build tree and runs the concurrency-sensitive test suites:
 # the lock-free check/update transaction paths, the multithreaded guest
 # runtime, dynamic linking racing executing threads, the parallel
-# CFG-merge pipeline (worker pool + sig interner), and the serial-vs-
-# parallel merge differential.
+# CFG-merge pipeline (worker pool + sig interner), the serial-vs-
+# parallel merge differential, and the two-tier verifier (whose
+# semantic tier runs at dlopen time while guest threads execute).
 #
 # Usage: tools/tsan-check.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -18,7 +19,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # scheduler is single-threaded by construction and TSan's fiber support
 # conflicts with swapcontext-based stacks.
 if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
-    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge)|merge_check'; then
+    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants)|merge_check|verify_check'; then
   cat >&2 <<'EOF'
 tsan-check: FAILED.
 If the failure is in the tables' check/update transactions, hunt the
