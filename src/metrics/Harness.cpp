@@ -44,7 +44,9 @@ BuiltProgram mcfi::buildProgram(const std::vector<std::string> &Sources,
     Objs.push_back(std::move(CR.Obj));
   }
 
-  BP.M = std::make_unique<Machine>();
+  MachineOptions MO;
+  MO.Tier = Spec.Tier;
+  BP.M = std::make_unique<Machine>(MO);
   LinkOptions LO;
   LO.Verify = Spec.Instrument;
   LO.InstallPolicy = Spec.Instrument;
@@ -70,11 +72,12 @@ Measured mcfi::measureRun(BuiltProgram &BP, uint64_t Fuel) {
 }
 
 Measured mcfi::runProfile(const BenchProfile &Profile, bool Instrument,
-                          std::string *OutputCheck) {
+                          std::string *OutputCheck, ExecTier Tier) {
   std::string Source =
       generateWorkload(Profile, WorkloadVariant::Fixed);
   BuildSpec Spec;
   Spec.Instrument = Instrument;
+  Spec.Tier = Tier;
   BuiltProgram BP = buildProgram({Source}, Spec);
   Measured M;
   if (!BP.Ok) {

@@ -44,6 +44,9 @@ struct BuildSpec {
   /// semantic verifier tier.
   bool Optimize = false;
   uint64_t Seed = 0;
+  /// Execution tier of the built Machine (all tiers RunResult-identical;
+  /// the differential tier harness pins each one explicitly).
+  ExecTier Tier = ExecTier::Trace;
 };
 
 /// Compiles \p Sources (each a translation unit) and links them.
@@ -63,7 +66,8 @@ Measured measureRun(BuiltProgram &BP, uint64_t Fuel = ~0ull);
 /// Runs a profile end-to-end in the given mode; convenience for the
 /// overhead benches. Checks that the run exits cleanly.
 Measured runProfile(const BenchProfile &Profile, bool Instrument,
-                    std::string *OutputCheck = nullptr);
+                    std::string *OutputCheck = nullptr,
+                    ExecTier Tier = ExecTier::Trace);
 
 } // namespace mcfi
 

@@ -28,8 +28,10 @@
 #define MCFI_METRICS_METRICS_H
 
 #include "cfg/CFGGen.h"
+#include "runtime/Machine.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mcfi {
@@ -77,6 +79,12 @@ struct GadgetReport {
 GadgetReport countGadgets(const uint8_t *PlainCode, size_t PlainSize,
                           const uint8_t *HardCode, size_t HardSize,
                           const CFGPolicy &Policy, uint64_t HardBase);
+
+/// One-line JSON rendering of the execution-tier counters
+/// (Machine::vmStats), \p Label under a "tier" key — the
+/// machine-trackable companion of the bench tables, mirroring
+/// updateSummaryJSON.
+std::string vmStatsJSON(const VMTierStats &S, const std::string &Label);
 
 } // namespace mcfi
 

@@ -1,0 +1,271 @@
+//===- runtime/Dispatch.cpp - Predecoded threaded dispatch ----------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Dispatch.h"
+
+#include "runtime/Step.h"
+#include "runtime/Trace.h"
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+//===----------------------------------------------------------------------===//
+// Handler table
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::array<OpFn, 64> makeHandlers() {
+  std::array<OpFn, 64> A{};
+#define MCFI_HANDLER(Name)                                                     \
+  A[static_cast<uint8_t>(Opcode::Name)] = &vmstep::opExec<Opcode::Name>;
+  MCFI_VISA_FOREACH_OPCODE(MCFI_HANDLER)
+#undef MCFI_HANDLER
+  return A;
+}
+
+} // namespace
+
+const std::array<OpFn, 64> mcfi::OpHandlers = makeHandlers();
+
+//===----------------------------------------------------------------------===//
+// Segment construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Number of instructions a fused TxCheck group retires.
+constexpr uint32_t FusedCheckLen = 4;
+
+/// Executions of a block head (taken-branch target) before the trace
+/// tier compiles it.
+constexpr uint32_t HotThreshold = 32;
+
+/// Marks the heads of fusable TxCheck groups: the two ID-table reads of
+/// Fig. 4 (Bary/Tary in either scheduling order — the Optimize rewriter
+/// variant swaps them), the xor of the two IDs, and the jz consuming the
+/// difference. Only the head is marked; a jump *into* the group (the
+/// retry jnz targets the first read) executes the remaining instructions
+/// individually, which is semantically identical.
+void markFusedChecks(DecodedSegment &Seg) {
+  std::vector<DInstr> &S = Seg.Stream;
+  for (size_t K = 0; K + 3 < S.size(); ++K) {
+    if (S[K].Fall != static_cast<int32_t>(K + 1) ||
+        S[K + 1].Fall != static_cast<int32_t>(K + 2) ||
+        S[K + 2].Fall != static_cast<int32_t>(K + 3))
+      continue;
+    const Instr &A = S[K].I;
+    const Instr &B = S[K + 1].I;
+    const Instr &X = S[K + 2].I;
+    const Instr &J = S[K + 3].I;
+    bool OneReadEach = (A.Op == Opcode::BaryRead && B.Op == Opcode::TableRead) ||
+                       (A.Op == Opcode::TableRead && B.Op == Opcode::BaryRead);
+    if (!OneReadEach || A.Rd == B.Rd || X.Op != Opcode::Xor ||
+        J.Op != Opcode::Jz)
+      continue;
+    bool XorOverIDs = (X.Ra == A.Rd && X.Rb == B.Rd) ||
+                      (X.Ra == B.Rd && X.Rb == A.Rd);
+    if (!XorOverIDs || J.Ra != X.Rd)
+      continue;
+    S[K].Fused = FusedKind::TxCheck;
+  }
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedSegment> mcfi::buildSegment(const Machine &M) {
+  uint64_t Limit = M.sealedPrefixBytes();
+  if (!Limit)
+    return nullptr;
+  const uint8_t *Code = M.codePtr(Machine::CodeBase, Limit);
+  if (!Code)
+    return nullptr;
+
+  auto Seg = std::make_shared<DecodedSegment>();
+  Seg->Limit = Limit;
+  Seg->Epoch = M.codeEpoch();
+  DecodedStream DS;
+  decodeLinear(Code, Limit, DS);
+  Seg->IndexByOff = std::move(DS.IndexByOff);
+  Seg->Stream.reserve(DS.Instrs.size());
+  for (size_t K = 0; K != DS.Instrs.size(); ++K) {
+    DInstr D;
+    D.I = DS.Instrs[K];
+    D.PC = Machine::CodeBase + DS.Offsets[K];
+    uint64_t FallOff = DS.Offsets[K] + D.I.Length;
+    D.Fall = FallOff < Limit ? Seg->IndexByOff[FallOff] : -1;
+    Seg->Stream.push_back(D);
+  }
+  markFusedChecks(*Seg);
+  return Seg;
+}
+
+//===----------------------------------------------------------------------===//
+// Fused TxCheck execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Executes the 4-instruction TxCheck group headed at \p D (D[0..3] are
+/// stream-contiguous by construction). The group preserves the Fig. 3/4
+/// protocol: both table reads stay individually atomic and run in
+/// program order, so every interleaving with a concurrent TxUpdate that
+/// was possible between discrete instructions is still possible — and no
+/// new ones appear, because the intervening xor/jz touch no shared
+/// state. None of the four instructions can stop, so the group retires
+/// atomically with respect to fuel accounting (the caller guarantees
+/// Fuel >= FusedCheckLen).
+void execFusedCheck(Machine &M, Thread &T, const DInstr *D) {
+  uint64_t *R = T.Regs;
+  for (int K = 0; K != 2; ++K) {
+    const Instr &I = D[K].I;
+    if (I.Op == Opcode::TableRead) {
+      uint64_t Addr = R[I.Ra];
+      R[I.Rd] = Addr >= Machine::CodeBase &&
+                        Addr < Machine::CodeBase + M.codeCapacity()
+                    ? M.tables().taryRead(Addr - Machine::CodeBase)
+                    : 0;
+    } else {
+      R[I.Rd] = M.tables().baryRead(static_cast<uint32_t>(I.Imm));
+    }
+  }
+  const Instr &X = D[2].I;
+  R[X.Rd] = R[X.Ra] ^ R[X.Rb];
+  const DInstr &J = D[3];
+  uint64_t Next = J.PC + J.I.Length;
+  if (R[J.I.Ra] == 0)
+    Next += static_cast<int64_t>(J.I.Off);
+  T.Instructions += FusedCheckLen;
+  T.PC = Next;
+}
+
+RunResult stopOutOfFuel(const Thread &T) {
+  RunResult R;
+  R.Reason = StopReason::OutOfFuel;
+  R.Instructions = T.Instructions;
+  R.Message = "instruction budget exhausted";
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The predecoded engine (threaded + trace tiers)
+//===----------------------------------------------------------------------===//
+
+RunResult mcfi::runTiered(Machine &M, Thread &T, uint64_t Fuel,
+                          bool UseTraces) {
+  RunResult Out;
+  VMTierStats Local;
+  TraceCache &Cache = M.execCache();
+
+  uint64_t Epoch = M.codeEpoch();
+  std::shared_ptr<const DecodedSegment> Seg = Cache.segment(M);
+  // Per-run hot counters and checked-out traces, by stream index.
+  std::vector<uint32_t> Hot;
+  std::vector<std::shared_ptr<const Trace>> Checked;
+  auto Rebind = [&] {
+    size_t N = Seg ? Seg->Stream.size() : 0;
+    Hot.assign(N, 0);
+    if (UseTraces)
+      Checked.assign(N, nullptr);
+  };
+  Rebind();
+
+  auto Finish = [&](RunResult R) {
+    M.creditTierStats(Local);
+    return R;
+  };
+
+  while (Fuel != 0) {
+    // dlopen/seal bumped the code epoch: re-checkout the (extended)
+    // segment and drop local trace handles so an invalidated predecoding
+    // is never re-entered.
+    if (uint64_t E = M.codeEpoch(); E != Epoch) {
+      Epoch = E;
+      Seg = Cache.segment(M);
+      Rebind();
+    }
+
+    int32_t Idx = Seg ? Seg->indexAt(T.PC) : -1;
+    if (Idx < 0) {
+      // Uncovered PC (sealed out of prefix order, or a jump into the
+      // middle of an instruction): one fully-checked interpreted step.
+      // Credit whatever retired — a pre-retire trap (fetch/decode/W^X)
+      // does not advance T.Instructions and must not be counted.
+      uint64_t Before = T.Instructions;
+      bool Cont = M.interpretStep(T, Out);
+      Local.InterpInstrs += T.Instructions - Before;
+      if (!Cont)
+        return Finish(Out);
+      --Fuel;
+      continue;
+    }
+
+    if (UseTraces) {
+      std::shared_ptr<const Trace> &TP = Checked[Idx];
+      if (!TP && ++Hot[Idx] >= HotThreshold)
+        TP = Cache.lookupOrCompile(M, Seg, Idx);
+      // Enter the trace only when it can retire whole: fuel exhaustion
+      // must land on the exact instruction boundary the interpreter
+      // would stop at.
+      if (TP && Fuel >= TP->Cost) {
+        const Trace &Tr = *TP;
+        size_t N = Tr.Steps.size();
+        for (size_t K = 0; K != N; ++K) {
+          const TraceStep &St = Tr.Steps[K];
+          if (!St.Fn) { // fused TxCheck terminator
+            execFusedCheck(M, T, St.D);
+            ++Local.FusedChecks;
+            break;
+          }
+          ++T.Instructions;
+          uint64_t PC = St.D->PC;
+          uint64_t Next = PC + St.D->I.Length;
+          if (!St.Fn(M, T, St.D->I, PC, Next, Out)) {
+            Local.TraceInstrs += K + 1;
+            return Finish(Out);
+          }
+          if (K + 1 == N)
+            T.PC = Next; // the terminator commits the transfer
+        }
+        Fuel -= Tr.Cost;
+        Local.TraceInstrs += Tr.Cost;
+        ++Local.TraceHits;
+        continue;
+      }
+    }
+
+    // Threaded dispatch through the current block.
+    while (Fuel != 0) {
+      const DInstr &D = Seg->Stream[Idx];
+      if (D.Fused == FusedKind::TxCheck && Fuel >= FusedCheckLen) {
+        execFusedCheck(M, T, &D);
+        Fuel -= FusedCheckLen;
+        Local.ThreadedInstrs += FusedCheckLen;
+        ++Local.FusedChecks;
+        break; // the jz transferred control: re-resolve in the outer loop
+      }
+      ++T.Instructions;
+      uint64_t PC = D.PC;
+      uint64_t Next = PC + D.I.Length;
+      if (!OpHandlers[static_cast<uint8_t>(D.I.Op)](M, T, D.I, PC, Next, Out)) {
+        ++Local.ThreadedInstrs; // the stopping instruction retired too
+        return Finish(Out);
+      }
+      --Fuel;
+      ++Local.ThreadedInstrs;
+      T.PC = Next;
+      if (Next == PC + D.I.Length && D.Fall >= 0) {
+        Idx = D.Fall;
+        continue; // fallthrough stays inside the block
+      }
+      break; // control transfer (or stream edge): outer loop re-resolves
+    }
+  }
+  return Finish(stopOutOfFuel(T));
+}

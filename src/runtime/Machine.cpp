@@ -7,6 +7,7 @@
 
 #include "runtime/Machine.h"
 
+#include "runtime/Trace.h"
 #include "support/Assert.h"
 
 #include <cstring>
@@ -17,7 +18,8 @@ Machine::Machine(const MachineOptions &Opts)
     : CodeCapacity(Opts.CodeCapacity), DataCapacity(Opts.DataCapacity),
       StackSize(Opts.StackSize), CodeBytes(Opts.CodeCapacity, 0),
       DataWords(Opts.DataCapacity / 8, 0),
-      Tables(Opts.CodeCapacity, Opts.BaryCapacity) {
+      Tables(Opts.CodeCapacity, Opts.BaryCapacity), Tier(Opts.Tier),
+      ExecCache(std::make_unique<TraceCache>()) {
   // Heap occupies the middle of the data region: globals grow from the
   // bottom, stacks from the top, heap in between (re-floored as modules
   // load their globals).
@@ -68,7 +70,13 @@ int Machine::mapModule(MCFIObject Obj) {
          !HeapNext.compare_exchange_weak(Cur, HeapFloor,
                                          std::memory_order_relaxed)) {
   }
+  noteCodeChanged();
   return static_cast<int>(Mapped.size() - 1);
+}
+
+void Machine::noteCodeChanged() {
+  CodeEpoch.fetch_add(1, std::memory_order_release);
+  ExecCache->invalidate(*this);
 }
 
 void Machine::sealModule(int Index) {
@@ -83,6 +91,7 @@ void Machine::sealModule(int Index) {
     Prefix = M.CodeBase - CodeBase + ((M.Obj->Code.size() + 7) & ~7ull);
   }
   SealedPrefix.store(Prefix, std::memory_order_release);
+  noteCodeChanged();
 }
 
 void Machine::patchCode64(uint64_t Addr, uint64_t Value) {
@@ -290,10 +299,54 @@ std::string Machine::takeOutput() {
 //===----------------------------------------------------------------------===//
 
 uint64_t Machine::findFunction(const std::string &Name) const {
+  // Guest dlsym resolves symbols while dlopen may be appending to
+  // Mapped from another thread; the walk must hold the module lock.
+  std::lock_guard<std::mutex> Guard(ModuleLock);
   for (const MappedModule &M : Mapped)
     if (const FunctionInfo *F = M.Obj->findFunction(Name))
       return M.CodeBase + F->CodeOffset;
   return 0;
+}
+
+uint64_t Machine::dlsymLookup(int64_t Handle, const std::string &Name) const {
+  {
+    std::lock_guard<std::mutex> Guard(ModuleLock);
+    if (Handle >= 0 && static_cast<size_t>(Handle) < Mapped.size()) {
+      const MappedModule &M = Mapped[static_cast<size_t>(Handle)];
+      if (const FunctionInfo *F = M.Obj->findFunction(Name))
+        return M.CodeBase + F->CodeOffset;
+      return 0;
+    }
+  }
+  return findFunction(Name);
+}
+
+VMTierStats Machine::vmStats() const {
+  VMTierStats S;
+  S.InterpInstrs = StatInterpInstrs.load(std::memory_order_relaxed);
+  S.ThreadedInstrs = StatThreadedInstrs.load(std::memory_order_relaxed);
+  S.TraceInstrs = StatTraceInstrs.load(std::memory_order_relaxed);
+  S.FusedChecks = StatFusedChecks.load(std::memory_order_relaxed);
+  S.TraceHits = StatTraceHits.load(std::memory_order_relaxed);
+  S.TracesCompiled = StatTracesCompiled.load(std::memory_order_relaxed);
+  S.TracesInvalidated = StatTracesInvalidated.load(std::memory_order_relaxed);
+  S.SegmentsBuilt = StatSegmentsBuilt.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Machine::creditTierStats(const VMTierStats &S) {
+  auto Add = [](std::atomic<uint64_t> &C, uint64_t V) {
+    if (V)
+      C.fetch_add(V, std::memory_order_relaxed);
+  };
+  Add(StatInterpInstrs, S.InterpInstrs);
+  Add(StatThreadedInstrs, S.ThreadedInstrs);
+  Add(StatTraceInstrs, S.TraceInstrs);
+  Add(StatFusedChecks, S.FusedChecks);
+  Add(StatTraceHits, S.TraceHits);
+  Add(StatTracesCompiled, S.TracesCompiled);
+  Add(StatTracesInvalidated, S.TracesInvalidated);
+  Add(StatSegmentsBuilt, S.SegmentsBuilt);
 }
 
 bool Machine::makeThread(const std::string &Name, Thread &T) {

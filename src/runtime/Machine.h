@@ -45,6 +45,28 @@
 namespace mcfi {
 
 class Machine;
+class TraceCache;
+
+/// How Machine::run executes VISA bytes. All tiers are RunResult-
+/// identical (enforced by the differential tier harness); they differ
+/// only in speed.
+enum class ExecTier : uint8_t {
+  Interpreter, ///< decode-per-step reference interpreter
+  Threaded,    ///< predecoded stream + function-pointer handler dispatch
+  Trace,       ///< Threaded plus hot-block traces from the trace cache
+};
+
+/// Counters for the execution tiers, reported in the metrics JSON.
+struct VMTierStats {
+  uint64_t InterpInstrs = 0;   ///< retired by decode-per-step fallback
+  uint64_t ThreadedInstrs = 0; ///< retired by predecoded dispatch
+  uint64_t TraceInstrs = 0;    ///< retired inside compiled traces
+  uint64_t FusedChecks = 0;    ///< fused TxCheck superinstruction runs
+  uint64_t TraceHits = 0;      ///< trace executions
+  uint64_t TracesCompiled = 0;
+  uint64_t TracesInvalidated = 0; ///< dropped by dlopen/seal invalidation
+  uint64_t SegmentsBuilt = 0;  ///< predecoded segment constructions
+};
 
 /// Runtime syscall numbers. Values below 100 coincide with
 /// minic::BuiltinKind (the compiler emits them); the rest are emitted
@@ -107,6 +129,7 @@ struct MachineOptions {
   uint64_t DataCapacity = 64ull << 20;
   uint64_t StackSize = 1ull << 20;
   uint32_t BaryCapacity = 1u << 18;
+  ExecTier Tier = ExecTier::Trace;
 };
 
 /// The machine. See file comment for the memory model.
@@ -236,13 +259,53 @@ public:
   /// Resolves a function symbol to its absolute address (0 if unknown).
   uint64_t findFunction(const std::string &Name) const;
 
-  /// Runs \p T until it stops or \p Fuel instructions retire.
+  /// Runs \p T until it stops or \p Fuel instructions retire, on the
+  /// machine's current execution tier.
   RunResult run(Thread &T, uint64_t Fuel = ~0ull);
+
+  ExecTier tier() const { return Tier; }
+  void setTier(ExecTier T) { Tier = T; }
+
+  /// Executes exactly one fully-checked instruction at T.PC (fetch,
+  /// W^X, decode, dispatch). Returns false with \p Out filled when the
+  /// thread stopped. This is both the interpreter tier's step and the
+  /// predecoding tiers' fallback for PCs outside the decoded segment
+  /// (unsealed-by-prefix modules, mid-instruction gadget targets), so
+  /// every tier funnels uncovered PCs through identical checks.
+  bool interpretStep(Thread &T, RunResult &Out);
+
+  /// Dlsym resolution (handle-scoped or global) under ModuleLock; dlopen
+  /// mutates Mapped concurrently with executing guest threads.
+  uint64_t dlsymLookup(int64_t Handle, const std::string &Name) const;
+
+  /// Bytes of contiguously sealed (predecodable) code.
+  uint64_t sealedPrefixBytes() const {
+    return SealedPrefix.load(std::memory_order_acquire);
+  }
+
+  /// Bumped by mapModule/sealModule; the execution engines recheck it
+  /// between blocks and drop stale predecodings/traces when it moves.
+  uint64_t codeEpoch() const {
+    return CodeEpoch.load(std::memory_order_acquire);
+  }
+
+  /// The per-Machine predecoded-segment + trace cache.
+  TraceCache &execCache() { return *ExecCache; }
+
+  /// Tier counters (relaxed; exact only when no thread is running).
+  VMTierStats vmStats() const;
+  void creditTierStats(const VMTierStats &S);
 
   uint64_t codeCapacity() const { return CodeCapacity; }
 
 private:
   friend class Interpreter;
+
+  RunResult runInterpreter(Thread &T, uint64_t Fuel);
+
+  /// Bumps CodeEpoch and drops cached predecodings/traces. Called by
+  /// mapModule/sealModule (dlopen changes the code layout).
+  void noteCodeChanged();
 
   uint64_t CodeCapacity;
   uint64_t DataCapacity;
@@ -280,6 +343,20 @@ private:
 
   std::mutex OutputLock;
   std::string Output;
+
+  ExecTier Tier;
+  /// Generation counter for the code layout (mapped/sealed modules).
+  std::atomic<uint64_t> CodeEpoch{1};
+  std::unique_ptr<TraceCache> ExecCache;
+
+  std::atomic<uint64_t> StatInterpInstrs{0};
+  std::atomic<uint64_t> StatThreadedInstrs{0};
+  std::atomic<uint64_t> StatTraceInstrs{0};
+  std::atomic<uint64_t> StatFusedChecks{0};
+  std::atomic<uint64_t> StatTraceHits{0};
+  std::atomic<uint64_t> StatTracesCompiled{0};
+  std::atomic<uint64_t> StatTracesInvalidated{0};
+  std::atomic<uint64_t> StatSegmentsBuilt{0};
 };
 
 } // namespace mcfi

@@ -1,0 +1,113 @@
+//===- runtime/Trace.cpp - Hot-block trace cache --------------------------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Trace.h"
+
+using namespace mcfi;
+using namespace mcfi::visa;
+
+namespace {
+
+/// Opcodes that end a basic block: anything that can transfer control
+/// away from the fallthrough. Syscalls count — longjmp/raise/exit
+/// redirect Next, and the quiescence point should stay a trace exit.
+bool isBlockTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Jmp:
+  case Opcode::Jz:
+  case Opcode::Jnz:
+  case Opcode::JmpInd:
+  case Opcode::Call:
+  case Opcode::CallInd:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Syscall:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedSegment> TraceCache::segment(Machine &M) {
+  uint64_t Limit = M.sealedPrefixBytes();
+  if (!Limit)
+    return nullptr;
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    if (Seg && Seg->Limit == Limit)
+      return Seg;
+  }
+  std::shared_ptr<const DecodedSegment> Fresh = buildSegment(M);
+  VMTierStats St;
+  St.SegmentsBuilt = 1;
+  M.creditTierStats(St);
+  std::lock_guard<std::mutex> Guard(Mu);
+  // Another thread may have installed a build while we decoded; keep
+  // whichever covers more sealed code.
+  if (!Seg || (Fresh && Fresh->Limit > Seg->Limit))
+    Seg = Fresh;
+  return Seg;
+}
+
+std::shared_ptr<const Trace>
+TraceCache::lookupOrCompile(Machine &M,
+                            const std::shared_ptr<const DecodedSegment> &S,
+                            int32_t Idx) {
+  uint64_t EntryPC = S->Stream[Idx].PC;
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    auto It = Traces.find(EntryPC);
+    if (It != Traces.end())
+      return It->second;
+  }
+
+  auto Tr = std::make_shared<Trace>();
+  Tr->EntryPC = EntryPC;
+  Tr->Seg = S;
+  int32_t K = Idx;
+  while (true) {
+    const DInstr &D = S->Stream[K];
+    if (D.Fused == FusedKind::TxCheck) {
+      // The fused group is conditional (its jz), so it terminates the
+      // straight-line trace. Null Fn marks it for the engine.
+      Tr->Steps.push_back({nullptr, &S->Stream[K]});
+      Tr->Cost += 4;
+      break;
+    }
+    Tr->Steps.push_back({handlerFor(D.I.Op), &S->Stream[K]});
+    ++Tr->Cost;
+    if (isBlockTerminator(D.I.Op) || D.Fall < 0 ||
+        Tr->Steps.size() >= MaxTraceLen)
+      break;
+    K = D.Fall;
+  }
+
+  VMTierStats St;
+  St.TracesCompiled = 1;
+  M.creditTierStats(St);
+  std::lock_guard<std::mutex> Guard(Mu);
+  // First compile wins a race; both compiles of immutable bytes are
+  // identical anyway.
+  return Traces.emplace(EntryPC, std::move(Tr)).first->second;
+}
+
+void TraceCache::invalidate(Machine &M) {
+  uint64_t Dropped;
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Dropped = Traces.size();
+    Traces.clear();
+    Seg.reset();
+  }
+  if (Dropped) {
+    VMTierStats St;
+    St.TracesInvalidated = Dropped;
+    M.creditTierStats(St);
+  }
+}

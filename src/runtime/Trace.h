@@ -1,0 +1,84 @@
+//===- runtime/Trace.h - Hot-block trace cache ------------------*- C++ -*-===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace tier. A Trace is a compiled hot basic block: the
+/// straight-line run of predecoded handlers from a hot entry PC up to
+/// and including its first control transfer (branch, indirect transfer,
+/// syscall, hlt, or a fused TxCheck group). Executing a trace skips all
+/// per-instruction stream navigation and fuel checks — the engine
+/// pre-verifies Fuel >= Cost so instruction accounting stays exact.
+///
+/// The cache is per-Machine and shared by all guest threads. dlopen and
+/// seal bump the machine's code epoch and drop every cached segment and
+/// trace (Machine::noteCodeChanged), so a predecoding from one layout
+/// generation can never be *installed* for the next; running engines
+/// re-checkout on the next block boundary. Because sealed code is
+/// immutable and append-only, a trace still being executed over a
+/// shared_ptr it checked out earlier remains valid byte-for-byte — the
+/// invalidation is what keeps the cache coherent with table/layout
+/// growth, not a use-after-free guard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCFI_RUNTIME_TRACE_H
+#define MCFI_RUNTIME_TRACE_H
+
+#include "runtime/Dispatch.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mcfi {
+
+/// One compiled step. Fn executes D->I per the Step.h contract; a null
+/// Fn marks the fused TxCheck terminator (executed by the fused-group
+/// handler in Dispatch.cpp).
+struct TraceStep {
+  OpFn Fn;
+  const DInstr *D;
+};
+
+struct Trace {
+  uint64_t EntryPC = 0;
+  uint32_t Cost = 0; ///< instructions one full execution retires
+  std::vector<TraceStep> Steps;
+  /// Owns the DInstrs the steps point into.
+  std::shared_ptr<const DecodedSegment> Seg;
+};
+
+/// Per-Machine cache of the current DecodedSegment and compiled traces.
+class TraceCache {
+public:
+  /// Longest trace, in instructions (a basic block rarely gets close;
+  /// this only bounds degenerate straight-line code).
+  static constexpr size_t MaxTraceLen = 256;
+
+  /// Returns the segment for the machine's current sealed prefix,
+  /// building (and caching) it if the prefix or epoch moved. Null when
+  /// no code is sealed.
+  std::shared_ptr<const DecodedSegment> segment(Machine &M);
+
+  /// Returns the trace entered at Stream[Idx], compiling it on first
+  /// request.
+  std::shared_ptr<const Trace>
+  lookupOrCompile(Machine &M, const std::shared_ptr<const DecodedSegment> &S,
+                  int32_t Idx);
+
+  /// Drops all cached predecodings and traces (code layout changed).
+  void invalidate(Machine &M);
+
+private:
+  std::mutex Mu;
+  std::shared_ptr<const DecodedSegment> Seg;
+  std::unordered_map<uint64_t, std::shared_ptr<const Trace>> Traces;
+};
+
+} // namespace mcfi
+
+#endif // MCFI_RUNTIME_TRACE_H

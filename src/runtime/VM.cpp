@@ -1,22 +1,29 @@
-//===- runtime/VM.cpp - The VISA interpreter -------------------------------===//
+//===- runtime/VM.cpp - The VISA interpreter tier --------------------------===//
 //
 // Part of the MCFI reproduction of "Modular Control-Flow Integrity"
 // (Niu & Tan, PLDI 2014). Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
-/// The interpreter executes instrumented (or plain) VISA bytes. Check
-/// transactions run as real instructions here: TableRead/BaryRead hit the
-/// shared atomic ID tables, so concurrency with a host-side TxUpdate
-/// behaves exactly as in the paper's Fig. 3/4 protocol. The interpreter
-/// itself enforces only the *hardware-level* rules (memory mapping, W^X,
-/// decode validity); control-flow integrity comes from the instrumented
-/// code reaching `hlt` when a check fails — as on real x86.
+/// The reference interpreter executes instrumented (or plain) VISA bytes
+/// one fully-checked step at a time. Check transactions run as real
+/// instructions here: TableRead/BaryRead hit the shared atomic ID tables,
+/// so concurrency with a host-side TxUpdate behaves exactly as in the
+/// paper's Fig. 3/4 protocol. The interpreter itself enforces only the
+/// *hardware-level* rules (memory mapping, W^X, decode validity);
+/// control-flow integrity comes from the instrumented code reaching `hlt`
+/// when a check fails — as on real x86.
+///
+/// The per-opcode semantics live in Step.h, shared with the predecoded
+/// threaded and trace tiers (Dispatch.cpp); interpretStep below is also
+/// those tiers' fallback for PCs their decoded segment does not cover.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Machine.h"
 
+#include "runtime/Dispatch.h"
+#include "runtime/Step.h"
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 #include "tables/ID.h"
@@ -38,358 +45,228 @@ RunResult stop(StopReason Reason, const Thread &T, std::string Msg = "",
 
 } // namespace
 
-RunResult Machine::run(Thread &T, uint64_t Fuel) {
-  uint64_t &SP = T.Regs[RegSP];
+//===----------------------------------------------------------------------===//
+// Syscall interposition (shared by all tiers via Step.h)
+//===----------------------------------------------------------------------===//
 
-  // Track how many threads are inside the interpreter so the quiescence
-  // scheme (noteSyscallBoundary) knows when *every* running thread has
-  // crossed a syscall boundary.
+bool mcfi::vmstep::execSyscall(Machine &M, Thread &T, const Instr &I,
+                               uint64_t PC, uint64_t &Next, RunResult &Out) {
+  uint64_t *R = T.Regs;
+  uint64_t &SP = T.Regs[RegSP];
+  // A thread entering a syscall holds no in-flight check transaction:
+  // the Sec. 5.2 quiescence point. Only engage the bookkeeping when the
+  // version space is actually running low.
+  if (M.tables().versionSpaceLow())
+    M.noteSyscallBoundary(T);
+  switch (static_cast<SyscallNo>(I.Imm)) {
+  case SyscallNo::Malloc:
+    R[RegRet] = M.allocHeap(R[RegArg0]);
+    break;
+  case SyscallNo::Free:
+    break; // bump allocator: free is a no-op
+  case SyscallNo::Setjmp: {
+    uint64_t Buf = R[RegArg0];
+    if (!M.store(Buf, 8, Next) || !M.store(Buf + 8, 8, SP))
+      return stopAt(Out, StopReason::Trap, T, PC, "setjmp buffer fault");
+    R[RegRet] = 0;
+    break;
+  }
+  case SyscallNo::Longjmp: {
+    uint64_t Buf = R[RegArg0];
+    uint64_t Target, SavedSP;
+    if (!M.load(Buf, 8, Target) || !M.load(Buf + 8, 8, SavedSP))
+      return stopAt(Out, StopReason::Trap, T, PC, "longjmp buffer fault");
+    // The runtime validates the (attacker-writable) jmp_buf target
+    // against the CFG's setjmp return sites (paper Sec. 6).
+    if (!M.isSetjmpRetSite(Target))
+      return stopAt(Out, StopReason::CfiViolation, T, PC,
+                    "longjmp to an address that is not a setjmp return "
+                    "site");
+    SP = SavedSP;
+    uint64_t V = R[RegArg0 + 1];
+    R[RegRet] = V ? V : 1;
+    Next = Target;
+    break;
+  }
+  case SyscallNo::Signal: {
+    uint64_t Handler = R[RegArg0 + 1];
+    // Handlers must be legitimate indirect-branch targets.
+    bool Valid = Handler >= Machine::CodeBase &&
+                 Handler < Machine::CodeBase + M.codeCapacity() &&
+                 isValidID(M.tables().taryRead(Handler - Machine::CodeBase));
+    if (!Valid)
+      return stopAt(Out, StopReason::CfiViolation, T, PC,
+                    "signal handler is not a valid branch target");
+    std::lock_guard<std::mutex> Guard(M.SignalLock);
+    M.SignalHandlers[static_cast<int>(R[RegArg0])] = Handler;
+    break;
+  }
+  case SyscallNo::Raise: {
+    uint64_t Handler = 0;
+    {
+      std::lock_guard<std::mutex> Guard(M.SignalLock);
+      auto It = M.SignalHandlers.find(static_cast<int>(R[RegArg0]));
+      if (It != M.SignalHandlers.end())
+        Handler = It->second;
+    }
+    if (!Handler)
+      break;
+    // Dispatch: the handler is entered like a call whose return goes
+    // through the sigreturn trampoline (the return instruction in the
+    // handler is checked against the trampoline's Tary ID). Without a
+    // trampoline the handler's ret would land at address 0 — trap
+    // instead of jumping to unmapped memory (a release-build crash when
+    // this was only an assert).
+    if (!M.SigReturnAddr)
+      return stopAt(Out, StopReason::Trap, T, PC,
+                    "raise: no sigreturn trampoline loaded");
+    T.SignalReturnStack.push_back(Next);
+    if (!pushWord(M, T, M.SigReturnAddr))
+      return stopAt(Out, StopReason::Trap, T, PC, "stack overflow on signal");
+    Next = Handler; // signal number already in the arg register
+    break;
+  }
+  case SyscallNo::SigReturn: {
+    if (T.SignalReturnStack.empty())
+      return stopAt(Out, StopReason::Trap, T, PC, "sigreturn without a signal");
+    Next = T.SignalReturnStack.back();
+    T.SignalReturnStack.pop_back();
+    break;
+  }
+  case SyscallNo::PrintInt:
+    M.appendOutput(std::to_string(static_cast<int64_t>(R[RegArg0])) + "\n");
+    break;
+  case SyscallNo::PrintStr:
+    M.appendOutput(M.readString(R[RegArg0]));
+    break;
+  case SyscallNo::Exit:
+    return stopAt(Out, StopReason::Exited, T, Next, "",
+                  static_cast<int64_t>(R[RegArg0]));
+  case SyscallNo::Dlopen:
+    R[RegRet] = M.DlopenHook
+                    ? static_cast<uint64_t>(
+                          M.DlopenHook(M, static_cast<int64_t>(R[RegArg0])))
+                    : static_cast<uint64_t>(-1);
+    break;
+  case SyscallNo::Dlsym:
+    // dlsymLookup walks Mapped under ModuleLock: dlopen appends to it
+    // concurrently (the push_back may relocate the vector).
+    R[RegRet] = M.dlsymLookup(static_cast<int64_t>(R[RegArg0]),
+                              M.readString(R[RegArg0 + 1]));
+    break;
+  default:
+    return stopAt(Out, StopReason::Trap, T, PC,
+                  formatString("unknown syscall %u",
+                               static_cast<unsigned>(I.Imm)));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// One fully-checked step (interpreter tier + engine fallback)
+//===----------------------------------------------------------------------===//
+
+bool Machine::interpretStep(Thread &T, RunResult &Out) {
+  uint64_t PC = T.PC;
+  // Fetch: the PC must lie in a *sealed* (executable) module. Unsealed
+  // modules are still writable, and W^X forbids executing them.
+  const uint8_t *Code = codePtr(PC, 1);
+  if (!Code) {
+    Out = stop(StopReason::Trap, T,
+               formatString("fetch from unmapped address 0x%llx",
+                            static_cast<unsigned long long>(PC)));
+    return false;
+  }
+  uint64_t Sealed = SealedPrefix.load(std::memory_order_acquire);
+  bool Executable = PC - CodeBase < Sealed;
+  // Rounded extent of the sealed region the PC falls in; an instruction
+  // may not extend past it (full-span W^X below).
+  uint64_t SpanEnd = CodeBase + Sealed;
+  if (!Executable) {
+    // Slow path: dlopen may seal modules out of prefix order. It also
+    // mutates Mapped, so walk it under the module lock.
+    std::lock_guard<std::mutex> Guard(ModuleLock);
+    for (const MappedModule &M : Mapped) {
+      if (PC >= M.CodeBase && PC < M.CodeBase + M.Obj->Code.size()) {
+        Executable = M.Sealed;
+        SpanEnd = M.CodeBase + ((M.Obj->Code.size() + 7) & ~7ull);
+        break;
+      }
+    }
+  }
+  if (!Executable) {
+    Out = stop(StopReason::Trap, T,
+               formatString("W^X: executing unsealed code at 0x%llx",
+                            static_cast<unsigned long long>(PC)));
+    return false;
+  }
+
+  visa::Instr I;
+  if (!decode(CodeBytes.data(), CodeUsed.load(std::memory_order_acquire),
+              PC - CodeBase, I)) {
+    Out = stop(StopReason::Trap, T,
+               formatString("invalid instruction at 0x%llx",
+                            static_cast<unsigned long long>(PC)));
+    return false;
+  }
+  // W^X covers every byte of the instruction, not just the first: a
+  // multi-byte instruction straddling the sealed/unsealed boundary would
+  // execute attacker-writable operand bytes.
+  if (PC + I.Length > SpanEnd) {
+    Out = stop(StopReason::Trap, T,
+               formatString("W^X: instruction at 0x%llx straddles unsealed "
+                            "code",
+                            static_cast<unsigned long long>(PC)));
+    return false;
+  }
+
+  uint64_t Next = PC + I.Length;
+  ++T.Instructions;
+  if (!vmstep::stepInstr(*this, T, I, PC, Next, Out))
+    return false;
+  T.PC = Next;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Tier dispatch
+//===----------------------------------------------------------------------===//
+
+RunResult Machine::runInterpreter(Thread &T, uint64_t Fuel) {
+  RunResult Out;
+  uint64_t Start = T.Instructions;
+  bool Stopped = false;
+  while (Fuel-- != 0) {
+    if (!interpretStep(T, Out)) {
+      Stopped = true;
+      break;
+    }
+  }
+  if (!Stopped)
+    Out = stop(StopReason::OutOfFuel, T, "instruction budget exhausted");
+  VMTierStats S;
+  S.InterpInstrs = T.Instructions - Start;
+  creditTierStats(S);
+  return Out;
+}
+
+RunResult Machine::run(Thread &T, uint64_t Fuel) {
+  // Track how many threads are inside the VM so the quiescence scheme
+  // (noteSyscallBoundary) knows when *every* running thread has crossed
+  // a syscall boundary.
   RunningThreads.fetch_add(1, std::memory_order_acq_rel);
   struct RunningGuard {
     std::atomic<int> &C;
     ~RunningGuard() { C.fetch_sub(1, std::memory_order_acq_rel); }
   } Guard{RunningThreads};
 
-  auto push = [&](uint64_t V) -> bool {
-    SP -= 8;
-    return store(SP, 8, V);
-  };
-  auto pop = [&](uint64_t &V) -> bool {
-    if (!load(SP, 8, V))
-      return false;
-    SP += 8;
-    return true;
-  };
-
-  while (Fuel-- != 0) {
-    uint64_t PC = T.PC;
-    // Fetch: the PC must lie in a *sealed* (executable) module. Unsealed
-    // modules are still writable, and W^X forbids executing them.
-    const uint8_t *Code = codePtr(PC, 1);
-    if (!Code)
-      return stop(StopReason::Trap, T,
-                  formatString("fetch from unmapped address 0x%llx",
-                               static_cast<unsigned long long>(PC)));
-    bool Executable =
-        PC - CodeBase < SealedPrefix.load(std::memory_order_acquire);
-    if (!Executable) {
-      // Slow path: dlopen may seal modules out of prefix order. It also
-      // mutates Mapped, so walk it under the module lock.
-      std::lock_guard<std::mutex> Guard(ModuleLock);
-      for (const MappedModule &M : Mapped) {
-        if (PC >= M.CodeBase && PC < M.CodeBase + M.Obj->Code.size()) {
-          Executable = M.Sealed;
-          break;
-        }
-      }
-    }
-    if (!Executable)
-      return stop(StopReason::Trap, T,
-                  formatString("W^X: executing unsealed code at 0x%llx",
-                               static_cast<unsigned long long>(PC)));
-
-    Instr I;
-    if (!decode(CodeBytes.data(), CodeUsed.load(std::memory_order_acquire),
-                PC - CodeBase, I))
-      return stop(StopReason::Trap, T,
-                  formatString("invalid instruction at 0x%llx",
-                               static_cast<unsigned long long>(PC)));
-    uint64_t Next = PC + I.Length;
-    ++T.Instructions;
-
-    uint64_t *R = T.Regs;
-    switch (I.Op) {
-    case Opcode::Invalid:
-      mcfi_unreachable("decode accepted an invalid opcode");
-    case Opcode::MovImm:
-      R[I.Rd] = I.Imm;
-      break;
-    case Opcode::Mov:
-      R[I.Rd] = R[I.Ra];
-      break;
-    case Opcode::Load:
-    case Opcode::Load8:
-    case Opcode::Load16:
-    case Opcode::Load32: {
-      unsigned Size = I.Op == Opcode::Load    ? 8
-                      : I.Op == Opcode::Load8 ? 1
-                      : I.Op == Opcode::Load16 ? 2
-                                               : 4;
-      uint64_t Addr = R[I.Ra] + static_cast<int64_t>(I.Off);
-      uint64_t V;
-      if (!load(Addr, Size, V))
-        return stop(StopReason::Trap, T,
-                    formatString("load fault at 0x%llx (pc 0x%llx)",
-                                 static_cast<unsigned long long>(Addr),
-                                 static_cast<unsigned long long>(PC)));
-      R[I.Rd] = V;
-      break;
-    }
-    case Opcode::Store:
-    case Opcode::Store8:
-    case Opcode::Store16:
-    case Opcode::Store32: {
-      unsigned Size = I.Op == Opcode::Store    ? 8
-                      : I.Op == Opcode::Store8 ? 1
-                      : I.Op == Opcode::Store16 ? 2
-                                                : 4;
-      uint64_t Addr = R[I.Rd] + static_cast<int64_t>(I.Off);
-      if (!store(Addr, Size, R[I.Ra]))
-        return stop(StopReason::Trap, T,
-                    formatString("store fault at 0x%llx (pc 0x%llx)",
-                                 static_cast<unsigned long long>(Addr),
-                                 static_cast<unsigned long long>(PC)));
-      break;
-    }
-    case Opcode::Add:
-      R[I.Rd] = R[I.Ra] + R[I.Rb];
-      break;
-    case Opcode::Sub:
-      R[I.Rd] = R[I.Ra] - R[I.Rb];
-      break;
-    case Opcode::Mul:
-      R[I.Rd] = R[I.Ra] * R[I.Rb];
-      break;
-    case Opcode::DivS:
-    case Opcode::ModS: {
-      int64_t A = static_cast<int64_t>(R[I.Ra]);
-      int64_t B = static_cast<int64_t>(R[I.Rb]);
-      if (B == 0 || (A == INT64_MIN && B == -1))
-        return stop(StopReason::Trap, T, "integer division fault");
-      R[I.Rd] = static_cast<uint64_t>(I.Op == Opcode::DivS ? A / B : A % B);
-      break;
-    }
-    case Opcode::And:
-      R[I.Rd] = R[I.Ra] & R[I.Rb];
-      break;
-    case Opcode::Or:
-      R[I.Rd] = R[I.Ra] | R[I.Rb];
-      break;
-    case Opcode::Xor:
-      R[I.Rd] = R[I.Ra] ^ R[I.Rb];
-      break;
-    case Opcode::Shl:
-      R[I.Rd] = R[I.Ra] << (R[I.Rb] & 63);
-      break;
-    case Opcode::ShrL:
-      R[I.Rd] = R[I.Ra] >> (R[I.Rb] & 63);
-      break;
-    case Opcode::ShrA:
-      R[I.Rd] = static_cast<uint64_t>(static_cast<int64_t>(R[I.Ra]) >>
-                                      (R[I.Rb] & 63));
-      break;
-    case Opcode::CmpEq:
-      R[I.Rd] = R[I.Ra] == R[I.Rb];
-      break;
-    case Opcode::CmpNe:
-      R[I.Rd] = R[I.Ra] != R[I.Rb];
-      break;
-    case Opcode::CmpLtS:
-      R[I.Rd] =
-          static_cast<int64_t>(R[I.Ra]) < static_cast<int64_t>(R[I.Rb]);
-      break;
-    case Opcode::CmpLeS:
-      R[I.Rd] =
-          static_cast<int64_t>(R[I.Ra]) <= static_cast<int64_t>(R[I.Rb]);
-      break;
-    case Opcode::CmpLtU:
-      R[I.Rd] = R[I.Ra] < R[I.Rb];
-      break;
-    case Opcode::CmpLeU:
-      R[I.Rd] = R[I.Ra] <= R[I.Rb];
-      break;
-    case Opcode::Neg:
-      R[I.Rd] = 0 - R[I.Ra];
-      break;
-    case Opcode::Not:
-      R[I.Rd] = ~R[I.Ra];
-      break;
-    case Opcode::AndImm:
-      R[I.Rd] &= I.Imm;
-      break;
-    case Opcode::AddImm:
-      R[I.Rd] += static_cast<int64_t>(I.Off);
-      break;
-    case Opcode::Jmp:
-      Next = Next + static_cast<int64_t>(I.Off);
-      break;
-    case Opcode::Jz:
-      if (R[I.Ra] == 0)
-        Next = Next + static_cast<int64_t>(I.Off);
-      break;
-    case Opcode::Jnz:
-      if (R[I.Ra] != 0)
-        Next = Next + static_cast<int64_t>(I.Off);
-      break;
-    case Opcode::JmpInd:
-      Next = R[I.Ra];
-      break;
-    case Opcode::Call:
-      if (!push(Next))
-        return stop(StopReason::Trap, T, "stack overflow on call");
-      Next = PC + I.Length + static_cast<int64_t>(I.Off);
-      break;
-    case Opcode::CallInd:
-      if (!push(PC + I.Length))
-        return stop(StopReason::Trap, T, "stack overflow on call");
-      Next = R[I.Ra];
-      break;
-    case Opcode::Ret: {
-      uint64_t RA;
-      if (!pop(RA))
-        return stop(StopReason::Trap, T, "stack underflow on ret");
-      Next = RA;
-      break;
-    }
-    case Opcode::Push:
-      if (!push(R[I.Ra]))
-        return stop(StopReason::Trap, T, "stack overflow on push");
-      break;
-    case Opcode::Pop: {
-      uint64_t V;
-      if (!pop(V))
-        return stop(StopReason::Trap, T, "stack underflow on pop");
-      R[I.Rd] = V;
-      break;
-    }
-    case Opcode::Nop:
-      break;
-    case Opcode::Halt:
-      T.PC = PC;
-      return stop(StopReason::CfiViolation, T,
-                  formatString("CFI check failed at 0x%llx",
-                               static_cast<unsigned long long>(PC)));
-    case Opcode::TableRead: {
-      uint64_t Addr = R[I.Ra];
-      R[I.Rd] = Addr >= CodeBase && Addr < CodeBase + CodeCapacity
-                    ? Tables.taryRead(Addr - CodeBase)
-                    : 0;
-      break;
-    }
-    case Opcode::BaryRead:
-      R[I.Rd] = Tables.baryRead(static_cast<uint32_t>(I.Imm));
-      break;
-    case Opcode::Syscall: {
-      // A thread entering a syscall holds no in-flight check
-      // transaction: the Sec. 5.2 quiescence point. Only engage the
-      // bookkeeping when the version space is actually running low.
-      if (Tables.versionSpaceLow())
-        noteSyscallBoundary(T);
-      switch (static_cast<SyscallNo>(I.Imm)) {
-      case SyscallNo::Malloc:
-        R[RegRet] = allocHeap(R[RegArg0]);
-        break;
-      case SyscallNo::Free:
-        break; // bump allocator: free is a no-op
-      case SyscallNo::Setjmp: {
-        uint64_t Buf = R[RegArg0];
-        if (!store(Buf, 8, Next) || !store(Buf + 8, 8, SP))
-          return stop(StopReason::Trap, T, "setjmp buffer fault");
-        R[RegRet] = 0;
-        break;
-      }
-      case SyscallNo::Longjmp: {
-        uint64_t Buf = R[RegArg0];
-        uint64_t Target, SavedSP;
-        if (!load(Buf, 8, Target) || !load(Buf + 8, 8, SavedSP))
-          return stop(StopReason::Trap, T, "longjmp buffer fault");
-        // The runtime validates the (attacker-writable) jmp_buf target
-        // against the CFG's setjmp return sites (paper Sec. 6).
-        if (!isSetjmpRetSite(Target)) {
-          T.PC = PC;
-          return stop(StopReason::CfiViolation, T,
-                      "longjmp to an address that is not a setjmp return "
-                      "site");
-        }
-        SP = SavedSP;
-        uint64_t V = R[RegArg0 + 1];
-        R[RegRet] = V ? V : 1;
-        Next = Target;
-        break;
-      }
-      case SyscallNo::Signal: {
-        uint64_t Handler = R[RegArg0 + 1];
-        // Handlers must be legitimate indirect-branch targets.
-        bool Valid = Handler >= CodeBase && Handler < CodeBase + CodeCapacity &&
-                     isValidID(Tables.taryRead(Handler - CodeBase));
-        if (!Valid) {
-          T.PC = PC;
-          return stop(StopReason::CfiViolation, T,
-                      "signal handler is not a valid branch target");
-        }
-        std::lock_guard<std::mutex> Guard(SignalLock);
-        SignalHandlers[static_cast<int>(R[RegArg0])] = Handler;
-        break;
-      }
-      case SyscallNo::Raise: {
-        uint64_t Handler = 0;
-        {
-          std::lock_guard<std::mutex> Guard(SignalLock);
-          auto It = SignalHandlers.find(static_cast<int>(R[RegArg0]));
-          if (It != SignalHandlers.end())
-            Handler = It->second;
-        }
-        if (!Handler)
-          break;
-        // Dispatch: the handler is entered like a call whose return goes
-        // through the sigreturn trampoline (the return instruction in the
-        // handler is checked against the trampoline's Tary ID).
-        assert(SigReturnAddr && "no sigreturn trampoline loaded");
-        T.SignalReturnStack.push_back(Next);
-        if (!push(SigReturnAddr))
-          return stop(StopReason::Trap, T, "stack overflow on signal");
-        R[RegArg0] = R[RegArg0]; // signal number already in arg register
-        Next = Handler;
-        break;
-      }
-      case SyscallNo::SigReturn: {
-        if (T.SignalReturnStack.empty())
-          return stop(StopReason::Trap, T, "sigreturn without a signal");
-        Next = T.SignalReturnStack.back();
-        T.SignalReturnStack.pop_back();
-        break;
-      }
-      case SyscallNo::PrintInt:
-        appendOutput(
-            std::to_string(static_cast<int64_t>(R[RegArg0])) + "\n");
-        break;
-      case SyscallNo::PrintStr:
-        appendOutput(readString(R[RegArg0]));
-        break;
-      case SyscallNo::Exit:
-        T.PC = Next;
-        return stop(StopReason::Exited, T, "",
-                    static_cast<int64_t>(R[RegArg0]));
-      case SyscallNo::Dlopen:
-        R[RegRet] = DlopenHook
-                        ? static_cast<uint64_t>(DlopenHook(
-                              *this, static_cast<int64_t>(R[RegArg0])))
-                        : static_cast<uint64_t>(-1);
-        break;
-      case SyscallNo::Dlsym: {
-        std::string Name = readString(R[RegArg0 + 1]);
-        int64_t Handle = static_cast<int64_t>(R[RegArg0]);
-        uint64_t Addr = 0;
-        if (Handle >= 0 && static_cast<size_t>(Handle) < Mapped.size()) {
-          if (const FunctionInfo *F =
-                  Mapped[static_cast<size_t>(Handle)].Obj->findFunction(Name))
-            Addr = Mapped[static_cast<size_t>(Handle)].CodeBase +
-                   F->CodeOffset;
-        } else {
-          Addr = findFunction(Name);
-        }
-        R[RegRet] = Addr;
-        break;
-      }
-      default:
-        return stop(StopReason::Trap, T,
-                    formatString("unknown syscall %u",
-                                 static_cast<unsigned>(I.Imm)));
-      }
-      break;
-    }
-    }
-    T.PC = Next;
+  switch (Tier) {
+  case ExecTier::Interpreter:
+    return runInterpreter(T, Fuel);
+  case ExecTier::Threaded:
+    return runTiered(*this, T, Fuel, /*UseTraces=*/false);
+  case ExecTier::Trace:
+    return runTiered(*this, T, Fuel, /*UseTraces=*/true);
   }
-  return stop(StopReason::OutOfFuel, T, "instruction budget exhausted");
+  mcfi_unreachable("unknown execution tier");
 }

@@ -312,6 +312,25 @@ void mcfi::visa::encode(const Instr &I, std::vector<uint8_t> &Out) {
   }
 }
 
+void mcfi::visa::decodeLinear(const uint8_t *Code, size_t Size,
+                              DecodedStream &Out) {
+  Out.Instrs.clear();
+  Out.Offsets.clear();
+  Out.IndexByOff.assign(Size, -1);
+  size_t Offset = 0;
+  while (Offset < Size) {
+    Instr I;
+    if (!decode(Code, Size, Offset, I)) {
+      ++Offset;
+      continue;
+    }
+    Out.IndexByOff[Offset] = static_cast<int32_t>(Out.Instrs.size());
+    Out.Offsets.push_back(static_cast<uint32_t>(Offset));
+    Out.Instrs.push_back(I);
+    Offset += I.Length;
+  }
+}
+
 bool mcfi::visa::isIndirectBranch(Opcode Op) {
   return Op == Opcode::Ret || Op == Opcode::JmpInd || Op == Opcode::CallInd;
 }

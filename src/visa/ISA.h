@@ -150,6 +150,29 @@ bool writesRd(Opcode Op);
 /// Renders \p I as assembly text.
 std::string printInstr(const Instr &I);
 
+//===----------------------------------------------------------------------===//
+// Decode-once support (the VM's predecoding tiers)
+//===----------------------------------------------------------------------===//
+
+/// A linear disassembly of a code region: every instruction start the
+/// greedy left-to-right walk reaches, plus a byte-offset -> instruction
+/// index map. Because VISA decoding is context-free, any start recorded
+/// here decodes to exactly what a fetch at that offset would decode; a
+/// fetch at an offset *not* recorded (a jump into the middle of an
+/// instruction, overlapping-gadget style) simply is not covered and must
+/// be decoded afresh by the caller.
+struct DecodedStream {
+  std::vector<Instr> Instrs;
+  std::vector<uint32_t> Offsets;  ///< Offsets[i] = byte offset of Instrs[i]
+  std::vector<int32_t> IndexByOff; ///< per byte: instr index or -1
+};
+
+/// Greedily decodes [0, Size) of \p Code into \p Out. Undecodable bytes
+/// (alignment padding, embedded data, an instruction truncated by Size)
+/// are skipped one byte at a time so decoding resynchronizes the same
+/// way a linear sweep of x86 bytes would.
+void decodeLinear(const uint8_t *Code, size_t Size, DecodedStream &Out);
+
 } // namespace visa
 } // namespace mcfi
 

@@ -156,6 +156,44 @@ TEST(VM, FuelExhaustionStops) {
   EXPECT_EQ(R.Instructions, 1000u);
 }
 
+TEST(VM, StraddlingInstructionTraps) {
+  // Regression: the W^X fetch check used to validate only the *first*
+  // byte of an instruction against the sealed extent. Craft a sealed
+  // module whose final byte is a MovImm opcode (10-byte encoding) so the
+  // remaining 9 operand bytes fall into the next, never-sealed module:
+  // executing it must trap on the full [PC, PC+Length) span instead of
+  // running an instruction that is 90% unsealed bytes.
+  MCFIObject A;
+  A.Name = "straddle";
+  A.Code.assign(7, 0x39);  // nops
+  A.Code.push_back(0x01);  // MovImm opcode; operands live in module B
+  FunctionInfo Info;
+  Info.Name = "raw";
+  A.Aux.Functions.push_back(Info);
+
+  Machine M;
+  int Idx = M.mapModule(std::move(A));
+  M.sealModule(Idx); // sealed prefix = 8 bytes (already 8-aligned)
+
+  MCFIObject B;
+  B.Name = "unsealed";
+  B.Code.assign(16, 0x00); // decodes as MovImm operands (rd = 0)
+  M.mapModule(std::move(B)); // never sealed: writable, not executable
+
+  for (ExecTier Tier :
+       {ExecTier::Interpreter, ExecTier::Threaded, ExecTier::Trace}) {
+    M.setTier(Tier);
+    Thread T;
+    ASSERT_TRUE(M.makeThread("raw", T));
+    T.PC = Machine::CodeBase + 7; // the straddling MovImm head
+    RunResult R = M.run(T, 100);
+    EXPECT_EQ(R.Reason, StopReason::Trap) << static_cast<int>(Tier);
+    EXPECT_NE(R.Message.find("straddles"), std::string::npos) << R.Message;
+    // The trap fires at fetch, before the instruction retires.
+    EXPECT_EQ(R.Instructions, 0u);
+  }
+}
+
 TEST(VM, ExecutingUnsealedModuleTraps) {
   AsmFunction Fn;
   Fn.Name = "raw";
@@ -231,6 +269,31 @@ TEST(Syscalls, NestedSignalsUnwindInOrder) {
   )");
   EXPECT_EQ(M.Result.Reason, StopReason::Exited) << M.Result.Message;
   EXPECT_EQ(M.Output, "outer-pre\ninner\nouter-post\nmain\n");
+}
+
+TEST(Syscalls, RaiseWithoutTrampolineTraps) {
+  // Regression: raising a signal when no sigreturn trampoline was ever
+  // loaded used to hit a bare assert (a release-build jump to address 0
+  // once the handler returned). It must stop the thread with a Trap.
+  const char *Source = R"(
+    void h(int s) { print_str("handled\n"); }
+    int main() {
+      signal(3, h);
+      raise(3);
+      return 0;
+    }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  BuiltProgram BP = buildProgram({Source}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  // Simulate a loader that never provided sig$return.
+  BP.M->SigReturnAddr = 0;
+  Measured M = measureRun(BP);
+  EXPECT_EQ(M.Result.Reason, StopReason::Trap) << M.Result.Message;
+  EXPECT_NE(M.Result.Message.find("sigreturn"), std::string::npos)
+      << M.Result.Message;
+  EXPECT_EQ(M.Output.find("handled"), std::string::npos);
 }
 
 TEST(Syscalls, SetjmpSecondLongjmpStillValid) {

@@ -478,6 +478,101 @@ TEST(DlopenStorm, BatchedLoadsFullAndIncremental) {
   runDlopenStorm(/*Incremental=*/true, Plugins, TargetOff, LocalSite);
 }
 
+/// Regression for the dlsym/dlopen race: the Dlsym syscall used to walk
+/// Machine::Mapped without ModuleLock while dlopen's push_back could
+/// relocate the vector under it. Guest threads spin in dlsym — both the
+/// global walk (handle -1) and the handle-scoped probe (whose bounds
+/// check reads Mapped.size()) — while loader threads dlopenBatch new
+/// modules. Run under TSan this is the race detector; in a normal build
+/// it asserts clean exits plus correct post-storm resolution.
+TEST(DlopenStorm, GuestDlsymRacesDlopen) {
+  constexpr int NumPlugins = 24;
+  std::vector<MCFIObject> Plugins;
+  for (int I = 0; I != NumPlugins; ++I) {
+    CompileOptions CO;
+    CO.ModuleName = "sym" + std::to_string(I);
+    CO.TailCalls = false;
+    CompileResult CR = compileModule(stormPluginSource(I), CO);
+    ASSERT_TRUE(CR.Ok) << "plugin " << I;
+    Plugins.push_back(std::move(CR.Obj));
+  }
+
+  const char *HostSource = R"(
+    long lookup(long iters) {
+      long bad = 0;
+      long i;
+      for (i = 0; i < iters; i = i + 1) {
+        /* global walk over every mapped module; resolves mid-storm */
+        dlsym(-1, "storm5_b");
+        /* handle-scoped: module index 7 only exists mid-storm */
+        dlsym(7, "storm2_a");
+        if (dlsym(-1, "no_such_symbol") != NULL) bad = 1;
+      }
+      exit((int)bad);
+      return 0;
+    }
+    int main() { return 0; }
+  )";
+  CompileOptions HostCO;
+  HostCO.ModuleName = "host";
+  HostCO.TailCalls = false;
+  CompileResult HostCR = compileModule(HostSource, HostCO);
+  ASSERT_TRUE(HostCR.Ok);
+
+  Machine M;
+  LinkOptions LO;
+  LO.MergeWorkers = 4;
+  Linker L(M, LO);
+  std::string Error;
+  std::vector<MCFIObject> Objs;
+  Objs.push_back(std::move(HostCR.Obj));
+  ASSERT_TRUE(L.linkProgram(std::move(Objs), Error)) << Error;
+  for (const MCFIObject &P : Plugins)
+    L.registerLibrary(P);
+
+  constexpr int Guests = 3;
+  constexpr int Loaders = 3;
+  constexpr int PerBatch = NumPlugins / Loaders;
+  std::atomic<int> CleanExits{0};
+  std::atomic<int> BadStops{0};
+  std::atomic<int> BadHandles{0};
+
+  std::vector<std::thread> Threads;
+  for (int G = 0; G != Guests; ++G) {
+    Threads.emplace_back([&] {
+      Thread T;
+      if (!M.makeThread("lookup", T))
+        return;
+      T.Regs[visa::RegArg0] = 1500;
+      RunResult R = M.run(T, ~0ull);
+      if (R.Reason == StopReason::Exited && R.ExitCode == 0)
+        CleanExits.fetch_add(1);
+      else
+        BadStops.fetch_add(1);
+    });
+  }
+  for (int T = 0; T != Loaders; ++T) {
+    Threads.emplace_back([&, T] {
+      std::vector<int64_t> Ids;
+      for (int I = 0; I != PerBatch; ++I)
+        Ids.push_back(T * PerBatch + I);
+      for (const DlopenResult &D : L.dlopenBatch(Ids))
+        if (D.Handle < 0)
+          BadHandles.fetch_add(1);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(CleanExits.load(), Guests);
+  EXPECT_EQ(BadStops.load(), 0);
+  EXPECT_EQ(BadHandles.load(), 0) << L.lastError();
+  // Post-storm, every plugin symbol resolves through both paths.
+  EXPECT_NE(M.findFunction("storm5_b"), 0u);
+  EXPECT_NE(M.dlsymLookup(-1, "storm23_a"), 0u);
+  EXPECT_EQ(M.dlsymLookup(-1, "no_such_symbol"), 0u);
+}
+
 TEST(GuestThreads, StacksAreDisjoint) {
   BuiltProgram BP = buildShared();
   ASSERT_TRUE(BP.Ok) << BP.Error;

@@ -1,0 +1,479 @@
+//===- tests/TierDiffTest.cpp - Differential execution-tier harness -------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The tier correctness bar: a RunResult (stop reason, exit code,
+/// retired-instruction count, message) and the guest's output must be
+/// byte-identical whether a program runs on the decode-per-step
+/// interpreter, the predecoded threaded-dispatch tier, or the trace
+/// tier. Exercised over the SPEC-shaped workloads, the SecurityTest
+/// attack corpus (mid-run memory corruption included), fuel-sliced
+/// resumption, and seeded dlopen/trace-invalidation interleavings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+using namespace mcfi;
+
+namespace {
+
+constexpr ExecTier AllTiers[] = {ExecTier::Interpreter, ExecTier::Threaded,
+                                 ExecTier::Trace};
+
+const char *tierName(ExecTier T) {
+  switch (T) {
+  case ExecTier::Interpreter:
+    return "interpreter";
+  case ExecTier::Threaded:
+    return "threaded";
+  case ExecTier::Trace:
+    return "trace";
+  }
+  return "?";
+}
+
+struct TierRun {
+  RunResult R;
+  std::string Output;
+  bool Ok = false;
+};
+
+void expectIdentical(const TierRun &Ref, const TierRun &Got, ExecTier Tier,
+                     const std::string &What) {
+  ASSERT_TRUE(Ref.Ok && Got.Ok) << What;
+  EXPECT_EQ(Ref.R.Reason, Got.R.Reason)
+      << What << " on " << tierName(Tier) << ": " << Got.R.Message;
+  EXPECT_EQ(Ref.R.ExitCode, Got.R.ExitCode) << What << " on " << tierName(Tier);
+  EXPECT_EQ(Ref.R.Instructions, Got.R.Instructions)
+      << What << " on " << tierName(Tier);
+  EXPECT_EQ(Ref.R.Message, Got.R.Message) << What << " on " << tierName(Tier);
+  EXPECT_EQ(Ref.Output, Got.Output) << What << " on " << tierName(Tier);
+}
+
+TierRun runOnTier(const std::vector<std::string> &Sources, BuildSpec Spec,
+                  ExecTier Tier, uint64_t Fuel = ~0ull) {
+  Spec.Tier = Tier;
+  BuiltProgram BP = buildProgram(Sources, Spec);
+  EXPECT_TRUE(BP.Ok) << BP.Error;
+  if (!BP.Ok)
+    return {};
+  Measured M = measureRun(BP, Fuel);
+  return {M.Result, M.Output, true};
+}
+
+void expectTierInvariant(const std::vector<std::string> &Sources,
+                         const BuildSpec &Spec, const std::string &What,
+                         uint64_t Fuel = ~0ull) {
+  TierRun Ref = runOnTier(Sources, Spec, ExecTier::Interpreter, Fuel);
+  for (ExecTier Tier : {ExecTier::Threaded, ExecTier::Trace})
+    expectIdentical(Ref, runOnTier(Sources, Spec, Tier, Fuel), Tier, What);
+}
+
+//===----------------------------------------------------------------------===//
+// Program corpus: every syscall family, traps, and CFI stops
+//===----------------------------------------------------------------------===//
+
+TEST(TierDiff, ProgramCorpusIsTierInvariant) {
+  const std::pair<const char *, const char *> Corpus[] = {
+      {"hot-indirect", R"(
+        long w0(long x) { return x + 1; }
+        long w1(long x) { return x * 3; }
+        long (*tab[2])(long);
+        int main() {
+          tab[0] = w0;
+          tab[1] = w1;
+          long acc = 0;
+          long i;
+          for (i = 0; i < 20000; i = i + 1) acc = acc + tab[i & 1](i);
+          print_int(acc & 65535);
+          return 0;
+        }
+      )"},
+      {"recursion-stack", R"(
+        long fib(long n) {
+          if (n < 2) return n;
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main() { print_int(fib(18)); return 0; }
+      )"},
+      {"setjmp-longjmp", R"(
+        long buf[4];
+        int main() {
+          long r = setjmp(buf);
+          print_int(r);
+          if (r < 3) longjmp(buf, r + 1);
+          return (int)r;
+        }
+      )"},
+      {"signals", R"(
+        void inner(int s) { print_str("inner\n"); }
+        void outer(int s) {
+          signal(2, inner);
+          raise(2);
+          print_str("outer\n");
+        }
+        int main() {
+          signal(1, outer);
+          raise(1);
+          print_str("main\n");
+          return 0;
+        }
+      )"},
+      {"malloc-strings", R"(
+        int main() {
+          long *p = (long *)malloc(64);
+          long i;
+          for (i = 0; i < 8; i = i + 1) p[i] = i * i;
+          long acc = 0;
+          for (i = 0; i < 8; i = i + 1) acc = acc + p[i];
+          print_int(acc);
+          return (int)(acc & 7);
+        }
+      )"},
+      {"div-trap", R"(
+        int main() {
+          long z = 0;
+          long i;
+          for (i = 0; i < 500; i = i + 1) z = z + i;
+          print_int(100 / (z - 124750)); /* divides by zero */
+          return 1;
+        }
+      )"},
+      {"wx-trap", R"(
+        int main() {
+          long *code = (long *)65536;
+          *code = 42; /* store into the code region faults */
+          return 1;
+        }
+      )"},
+      {"cfi-violation", R"(
+        typedef long (*Fn)(long);
+        long victim(char *s) { return (long)s; }
+        Fn p = (Fn)victim;
+        int main() { print_int(p(5)); return 0; }
+      )"},
+  };
+
+  for (const auto &[Name, Source] : Corpus) {
+    BuildSpec Spec;
+    Spec.LinkRtLibrary = false;
+    expectTierInvariant({Source}, Spec, Name);
+    // Fuel exhaustion must land on the same instruction boundary (the
+    // trace tier refuses to enter a trace it cannot fully retire).
+    expectTierInvariant({Source}, Spec, std::string(Name) + "/fuel-5000",
+                        5000);
+    expectTierInvariant({Source}, Spec, std::string(Name) + "/fuel-4999",
+                        4999);
+  }
+}
+
+TEST(TierDiff, WorkloadProfilesAreTierInvariant) {
+  // The first SPEC-shaped profiles, scaled down: full Fig. 5 runs are
+  // the bench's job, identity across tiers is this test's.
+  unsigned Count = 0;
+  for (BenchProfile P : specProfiles()) {
+    if (++Count > 4)
+      break;
+    P.WorkIterations = 300;
+    for (bool Instrument : {true, false}) {
+      std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+      BuildSpec Spec;
+      Spec.Instrument = Instrument;
+      expectTierInvariant({Source}, Spec,
+                          P.Name + (Instrument ? "/mcfi" : "/base"));
+    }
+  }
+}
+
+TEST(TierDiff, OptimizedRewritingIsTierInvariant) {
+  // --optimize reorders the Bary/Tary reads of the check sequence; the
+  // fused-TxCheck recognizer accepts both orders and must stay
+  // result-identical with the interpreter on the rewritten code.
+  const char *Source = R"(
+    long w0(long x) { return x + 1; }
+    long w1(long x) { return x * 2; }
+    long (*tab[2])(long);
+    int main() {
+      tab[0] = w0;
+      tab[1] = w1;
+      long acc = 0;
+      long i;
+      for (i = 0; i < 10000; i = i + 1) acc = acc + tab[i & 1](i);
+      print_int(acc);
+      return 0;
+    }
+  )";
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  Spec.Optimize = true;
+  expectTierInvariant({Source}, Spec, "optimized-checks");
+}
+
+//===----------------------------------------------------------------------===//
+// Attack corpus: mid-run corruption, identical verdicts per tier
+//===----------------------------------------------------------------------===//
+
+const char *AttackVictimSource = R"(
+  long benign(long x) { return x + 1; }
+  long benign2(long x) { return x + 2; }
+  long same_type_other(long x) { return x * 2; }
+  long wrong_type(long a, long b) { return a * b; }
+  long (*hook)(long) = benign;
+  long (*spare)(long) = same_type_other;
+  long (*wrong)(long, long) = wrong_type;
+  int main() {
+    long acc = 0;
+    long i;
+    for (i = 0; i < 200000; i = i + 1) acc = acc + hook(i);
+    print_int(acc & 65535);
+    return 0;
+  }
+)";
+
+/// Runs the victim to the 50k-instruction mark, corrupts `hook` with the
+/// target function \p TargetName (+ \p TargetOffset), and runs to the
+/// end. All tiers see the identical machine state at the corruption
+/// point, so the verdict tuple must match exactly.
+TierRun attackOnTier(ExecTier Tier, const std::string &TargetName,
+                     uint64_t TargetOffset) {
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  Spec.Tier = Tier;
+  BuiltProgram BP = buildProgram({AttackVictimSource}, Spec);
+  EXPECT_TRUE(BP.Ok) << BP.Error;
+  if (!BP.Ok)
+    return {};
+  uint64_t HookAddr = 0;
+  for (const MappedModule &Mod : BP.M->modules()) {
+    auto It = Mod.Obj->DataSymbols.find("hook");
+    if (It != Mod.Obj->DataSymbols.end())
+      HookAddr = Mod.DataBase + It->second;
+  }
+  EXPECT_NE(HookAddr, 0u);
+  Thread T;
+  EXPECT_TRUE(BP.M->makeThread("_start", T));
+  RunResult Mid = BP.M->run(T, 50'000);
+  EXPECT_EQ(Mid.Reason, StopReason::OutOfFuel) << Mid.Message;
+  EXPECT_TRUE(
+      BP.M->store(HookAddr, 8, BP.M->findFunction(TargetName) + TargetOffset));
+  TierRun Out;
+  Out.R = BP.M->run(T, ~0ull);
+  Out.Output = BP.M->takeOutput();
+  Out.Ok = true;
+  return Out;
+}
+
+TEST(TierDiff, AttackCorpusIsTierInvariant) {
+  const std::tuple<const char *, const char *, uint64_t, StopReason> Cases[] =
+      {
+          {"mid-instruction", "benign2", 3, StopReason::CfiViolation},
+          {"wrong-type", "wrong_type", 0, StopReason::CfiViolation},
+          {"same-type-swap", "same_type_other", 0, StopReason::Exited},
+      };
+  for (const auto &[What, Target, Off, Expected] : Cases) {
+    TierRun Ref = attackOnTier(ExecTier::Interpreter, Target, Off);
+    ASSERT_TRUE(Ref.Ok);
+    EXPECT_EQ(Ref.R.Reason, Expected) << What << ": " << Ref.R.Message;
+    for (ExecTier Tier : {ExecTier::Threaded, ExecTier::Trace})
+      expectIdentical(Ref, attackOnTier(Tier, Target, Off), Tier, What);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trace invalidation during dlopen
+//===----------------------------------------------------------------------===//
+
+std::string tierPluginSource(int I) {
+  std::string N = std::to_string(I);
+  return "long tier" + N + "_a(long x) { return x + " + N + "; }\n" +
+         "long tier" + N + "_drive(long v) {\n" +
+         "  long (*f)(long);\n" +
+         "  f = tier" + N + "_a;\n" +
+         "  return f(v);\n}\n";
+}
+
+std::vector<MCFIObject> compilePlugins(int Count) {
+  std::vector<MCFIObject> Plugins;
+  for (int I = 0; I != Count; ++I) {
+    CompileOptions CO;
+    CO.ModuleName = "tier" + std::to_string(I);
+    CO.TailCalls = false;
+    CompileResult CR = compileModule(tierPluginSource(I), CO);
+    EXPECT_TRUE(CR.Ok) << "plugin " << I;
+    Plugins.push_back(std::move(CR.Obj));
+  }
+  return Plugins;
+}
+
+const char *SlicedWorkerSource = R"(
+  long w0(long x) { return x + 1; }
+  long w1(long x) { return x * 2; }
+  long (*tab[2])(long);
+  long worker(long iters) {
+    tab[0] = w0;
+    tab[1] = w1;
+    long acc = 0;
+    long i;
+    for (i = 0; i < iters; i = i + 1) acc = acc + tab[i & 1](i);
+    exit((int)(acc & 127));
+    return acc;
+  }
+  int main() { return 0; }
+)";
+
+/// Seeded interleaving fuzz: run the hot worker in pseudo-random fuel
+/// slices, injecting a dlopen (code-epoch bump, segment + trace
+/// invalidation) at seeded slice boundaries. The slice schedule is a
+/// pure function of the seed, so the final RunResult must be identical
+/// on every tier even though the trace tier keeps recompiling.
+TierRun runSlicedWithDlopen(ExecTier Tier, uint64_t Seed,
+                            const std::vector<MCFIObject> &Plugins) {
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  Spec.Tier = Tier;
+  BuiltProgram BP = buildProgram({SlicedWorkerSource}, Spec);
+  EXPECT_TRUE(BP.Ok) << BP.Error;
+  if (!BP.Ok)
+    return {};
+  for (const MCFIObject &P : Plugins)
+    BP.L->registerLibrary(P);
+
+  Thread T;
+  EXPECT_TRUE(BP.M->makeThread("worker", T));
+  T.Regs[visa::RegArg0] = 6000;
+
+  std::mt19937_64 Rng(Seed);
+  size_t NextLib = 0;
+  TierRun Out;
+  while (true) {
+    uint64_t Slice = 1 + Rng() % 97;
+    Out.R = BP.M->run(T, Slice);
+    if (Out.R.Reason != StopReason::OutOfFuel)
+      break;
+    if (Rng() % 4 == 0 && NextLib < Plugins.size())
+      BP.L->dlopenBatch({static_cast<int64_t>(NextLib++)});
+  }
+  Out.Output = BP.M->takeOutput();
+  Out.Ok = true;
+  return Out;
+}
+
+TEST(TierDiff, DlopenInvalidationFuzzIsTierInvariant) {
+  std::vector<MCFIObject> Plugins = compilePlugins(12);
+  for (uint64_t Seed : {1ull, 7ull, 42ull}) {
+    TierRun Ref = runSlicedWithDlopen(ExecTier::Interpreter, Seed, Plugins);
+    ASSERT_TRUE(Ref.Ok);
+    EXPECT_EQ(Ref.R.Reason, StopReason::Exited) << Ref.R.Message;
+    for (ExecTier Tier : {ExecTier::Threaded, ExecTier::Trace})
+      expectIdentical(Ref, runSlicedWithDlopen(Tier, Seed, Plugins), Tier,
+                      "dlopen-fuzz/seed-" + std::to_string(Seed));
+  }
+}
+
+TEST(TierDiff, ConcurrentDlopenDuringTraceExecution) {
+  // Live invalidation: a guest thread hot enough to be running traces
+  // races dlopenBatch bumping the code epoch. The worker must finish
+  // cleanly (traces re-checked out at block boundaries, sealed bytes
+  // immutable) and every load must succeed.
+  std::vector<MCFIObject> Plugins = compilePlugins(12);
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  Spec.Tier = ExecTier::Trace;
+  BuiltProgram BP = buildProgram({SlicedWorkerSource}, Spec);
+  ASSERT_TRUE(BP.Ok) << BP.Error;
+  for (const MCFIObject &P : Plugins)
+    BP.L->registerLibrary(P);
+
+  // Warm the worker up synchronously so its hot loop is compiled to a
+  // trace before the first dlopen: the invalidation then provably drops
+  // live traces instead of racing an empty cache.
+  Thread T;
+  ASSERT_TRUE(BP.M->makeThread("worker", T));
+  T.Regs[visa::RegArg0] = 400000;
+  RunResult Warm = BP.M->run(T, 20'000);
+  ASSERT_EQ(Warm.Reason, StopReason::OutOfFuel) << Warm.Message;
+  ASSERT_GT(BP.M->vmStats().TracesCompiled, 0u);
+
+  std::atomic<int> BadHandles{0};
+  std::atomic<bool> CleanExit{false};
+  std::thread Guest([&] {
+    RunResult R = BP.M->run(T, ~0ull);
+    CleanExit.store(R.Reason == StopReason::Exited);
+  });
+  std::thread Loader([&] {
+    for (size_t I = 0; I != Plugins.size(); ++I)
+      for (const DlopenResult &D :
+           BP.L->dlopenBatch({static_cast<int64_t>(I)}))
+        if (D.Handle < 0)
+          BadHandles.fetch_add(1);
+  });
+  Loader.join();
+  Guest.join();
+  EXPECT_TRUE(CleanExit.load());
+  EXPECT_EQ(BadHandles.load(), 0) << BP.L->lastError();
+
+  VMTierStats S = BP.M->vmStats();
+  EXPECT_GT(S.TraceInstrs, 0u) << "worker never reached the trace tier";
+  EXPECT_GE(S.TracesInvalidated, 1u) << "dlopen never dropped a live trace";
+  EXPECT_GE(S.SegmentsBuilt, 2u) << "segment never rebuilt after dlopen";
+}
+
+//===----------------------------------------------------------------------===//
+// Tier accounting sanity
+//===----------------------------------------------------------------------===//
+
+TEST(TierDiff, StatsAttributeInstructionsToTheRightTier) {
+  const char *Source = R"(
+    long w(long x) { return x + 1; }
+    long (*f)(long) = w;
+    int main() {
+      long acc = 0;
+      long i;
+      for (i = 0; i < 5000; i = i + 1) acc = acc + f(i);
+      print_int(acc & 1023);
+      return 0;
+    }
+  )";
+  for (ExecTier Tier : AllTiers) {
+    BuildSpec Spec;
+    Spec.LinkRtLibrary = false;
+    Spec.Tier = Tier;
+    BuiltProgram BP = buildProgram({Source}, Spec);
+    ASSERT_TRUE(BP.Ok) << BP.Error;
+    Measured M = measureRun(BP);
+    ASSERT_EQ(M.Result.Reason, StopReason::Exited) << M.Result.Message;
+    VMTierStats S = BP.M->vmStats();
+    uint64_t Credited =
+        S.InterpInstrs + S.ThreadedInstrs + S.TraceInstrs;
+    EXPECT_EQ(Credited, M.Result.Instructions) << tierName(Tier);
+    switch (Tier) {
+    case ExecTier::Interpreter:
+      EXPECT_EQ(S.ThreadedInstrs + S.TraceInstrs, 0u);
+      EXPECT_EQ(S.FusedChecks, 0u);
+      break;
+    case ExecTier::Threaded:
+      EXPECT_GT(S.ThreadedInstrs, 0u);
+      EXPECT_EQ(S.TraceInstrs, 0u);
+      EXPECT_GT(S.FusedChecks, 0u) << "instrumented hot loop never fused";
+      break;
+    case ExecTier::Trace:
+      EXPECT_GT(S.TraceInstrs, 0u) << "hot loop never promoted to a trace";
+      EXPECT_GT(S.TraceHits, 0u);
+      EXPECT_GT(S.TracesCompiled, 0u);
+      break;
+    }
+  }
+}
+
+} // namespace

@@ -12,12 +12,16 @@
 ///     --register <lib.mcfo>  make a library dlopen-able (ids in order)
 ///     --fuel <n>             instruction budget (default: unlimited)
 ///     --no-verify            skip the modular verifier (debugging only)
-///     --stats                print policy statistics and retired instrs
+///     --tier <t>             execution tier: interp, threaded, or trace
+///                            (default: trace; all RunResult-identical)
+///     --stats                print policy statistics, retired instrs,
+///                            and the execution-tier counters
 ///
 /// Exit code: the guest's exit code; 124 on CFI violation; 125 on trap.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "metrics/Metrics.h"
 #include "toolchain/Toolchain.h"
 #include "tools/ToolCommon.h"
 
@@ -28,6 +32,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> Modules, Libraries;
   uint64_t Fuel = ~0ull;
   bool Verify = true, Stats = false;
+  ExecTier Tier = ExecTier::Trace;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -37,6 +42,16 @@ int main(int argc, char **argv) {
       Fuel = std::stoull(argv[++I]);
     } else if (Arg == "--no-verify") {
       Verify = false;
+    } else if (Arg == "--tier" && I + 1 < argc) {
+      std::string T = argv[++I];
+      if (T == "interp" || T == "interpreter")
+        Tier = ExecTier::Interpreter;
+      else if (T == "threaded")
+        Tier = ExecTier::Threaded;
+      else if (T == "trace")
+        Tier = ExecTier::Trace;
+      else
+        usage("mcfi-run: --tier takes interp, threaded, or trace");
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -57,7 +72,9 @@ int main(int argc, char **argv) {
     return true;
   };
 
-  Machine M;
+  MachineOptions MO;
+  MO.Tier = Tier;
+  Machine M(MO);
   LinkOptions LO;
   LO.Verify = Verify;
   Linker L(M, LO);
@@ -93,6 +110,11 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(L.policy().NumIBTs),
                  static_cast<unsigned long long>(L.policy().NumEQCs),
                  M.tables().currentVersion());
+    const char *TierName = Tier == ExecTier::Interpreter ? "interpreter"
+                           : Tier == ExecTier::Threaded ? "threaded"
+                                                        : "trace";
+    std::fprintf(stderr, "[mcfi-run] %s\n",
+                 vmStatsJSON(M.vmStats(), TierName).c_str());
   }
 
   switch (R.Reason) {

@@ -1,0 +1,273 @@
+//===- tools/mcfi-tierdiff.cpp - Execution-tier differential gate ----------===//
+//
+// Part of the MCFI reproduction of "Modular Control-Flow Integrity"
+// (Niu & Tan, PLDI 2014). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// mcfi-tierdiff: proves the execution tiers RunResult-identical and
+/// measures their relative speed.
+///
+///   mcfi-tierdiff [options] example.cpp [more.cpp ...]
+///     Differential mode (default): extracts every embedded MiniC module
+///     from each example file, links them into one program, and runs it
+///     under the interpreter, threaded, and trace tiers. Any divergence
+///     in (stop reason, exit code, retired instructions, message, guest
+///     output) fails. Program-level failures (a trap, a non-zero exit)
+///     do NOT fail the tool as long as all tiers agree byte-for-byte.
+///
+///   mcfi-tierdiff --bench [--min-speedup X]
+///     Runs the Fig. 5 indirect-call-heavy hot loop instrumented under
+///     all three tiers (best of 3), prints per-tier wall times and
+///     speedups over the interpreter, emits the tier-counter JSON, and
+///     fails when the trace tier's speedup is below X.
+///
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Harness.h"
+#include "metrics/Metrics.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "tools/ToolCommon.h"
+#include "workload/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace mcfi;
+using namespace mcfi::tools;
+
+namespace {
+
+constexpr ExecTier AllTiers[] = {ExecTier::Interpreter, ExecTier::Threaded,
+                                 ExecTier::Trace};
+
+const char *tierName(ExecTier T) {
+  switch (T) {
+  case ExecTier::Interpreter:
+    return "interpreter";
+  case ExecTier::Threaded:
+    return "threaded";
+  case ExecTier::Trace:
+    return "trace";
+  }
+  return "?";
+}
+
+struct TierOutcome {
+  RunResult R;
+  std::string Output;
+  double Seconds = 0;
+  VMTierStats Stats;
+  bool Built = false;
+};
+
+/// Builds the program from \p Sources on the given tier and runs it.
+TierOutcome runTier(const std::vector<std::string> &Sources, ExecTier Tier,
+                    uint64_t Fuel, std::string &Error) {
+  BuildSpec Spec;
+  Spec.LinkRtLibrary = false;
+  Spec.Tier = Tier;
+  TierOutcome O;
+  BuiltProgram BP = buildProgram(Sources, Spec);
+  if (!BP.Ok) {
+    Error = BP.Error;
+    return O;
+  }
+  Measured M = measureRun(BP, Fuel);
+  O.R = M.Result;
+  O.Output = M.Output;
+  O.Seconds = M.Seconds;
+  O.Stats = BP.M->vmStats();
+  O.Built = true;
+  return O;
+}
+
+const char *reasonName(StopReason R) {
+  switch (R) {
+  case StopReason::Exited:
+    return "exited";
+  case StopReason::CfiViolation:
+    return "cfi-violation";
+  case StopReason::Trap:
+    return "trap";
+  case StopReason::OutOfFuel:
+    return "out-of-fuel";
+  }
+  return "?";
+}
+
+/// One example file: extract modules, link, run on all tiers, compare.
+/// Returns 1 on divergence, 0 when identical, -1 when the example is
+/// not linkable as a standalone program (skipped).
+int diffExample(const std::string &Path) {
+  std::string Text;
+  if (!readFileText(Path, Text)) {
+    std::fprintf(stderr, "mcfi-tierdiff: cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  std::vector<std::string> Sources;
+  for (const ModuleSource &M : extractModules(Text))
+    Sources.push_back(M.Source);
+  if (Sources.empty()) {
+    std::fprintf(stderr, "mcfi-tierdiff: %s: no embedded modules, skipped\n",
+                 baseName(Path).c_str());
+    return -1;
+  }
+
+  // Cap the run: tier identity is provable on a bounded prefix too, and
+  // examples are allowed to be infinite under hostile inputs.
+  constexpr uint64_t Fuel = 50'000'000;
+  TierOutcome Ref;
+  std::string Error;
+  bool Diverged = false;
+  for (ExecTier Tier : AllTiers) {
+    TierOutcome O = runTier(Sources, Tier, Fuel, Error);
+    if (!O.Built) {
+      // Not a self-contained program (e.g. a library-only module set):
+      // identical for every tier by construction, nothing to compare.
+      std::fprintf(stderr, "mcfi-tierdiff: %s: not linkable (%s), skipped\n",
+                   baseName(Path).c_str(), Error.c_str());
+      return -1;
+    }
+    if (Tier == ExecTier::Interpreter) {
+      Ref = O;
+      continue;
+    }
+    if (O.R.Reason != Ref.R.Reason || O.R.ExitCode != Ref.R.ExitCode ||
+        O.R.Instructions != Ref.R.Instructions ||
+        O.R.Message != Ref.R.Message || O.Output != Ref.Output) {
+      Diverged = true;
+      std::fprintf(stderr,
+                   "mcfi-tierdiff: %s DIVERGED on %s:\n"
+                   "  interpreter: %s exit=%lld instrs=%llu msg=\"%s\"\n"
+                   "  %s: %s exit=%lld instrs=%llu msg=\"%s\"\n",
+                   baseName(Path).c_str(), tierName(Tier),
+                   reasonName(Ref.R.Reason),
+                   static_cast<long long>(Ref.R.ExitCode),
+                   static_cast<unsigned long long>(Ref.R.Instructions),
+                   Ref.R.Message.c_str(), tierName(Tier),
+                   reasonName(O.R.Reason),
+                   static_cast<long long>(O.R.ExitCode),
+                   static_cast<unsigned long long>(O.R.Instructions),
+                   O.R.Message.c_str());
+    }
+  }
+  if (!Diverged)
+    std::printf("mcfi-tierdiff: %-24s %s, %llu instructions, all tiers "
+                "identical\n",
+                baseName(Path).c_str(), reasonName(Ref.R.Reason),
+                static_cast<unsigned long long>(Ref.R.Instructions));
+  return Diverged ? 1 : 0;
+}
+
+/// --bench: the Fig. 5 indirect-call-heavy hot loop, instrumented, per
+/// tier (best wall time of 3). Returns 1 when the trace speedup misses
+/// \p MinSpeedup.
+int benchTiers(double MinSpeedup) {
+  // The profile with the most indirect branches per retired instruction:
+  // that is where per-step decode hurts most and where the fused TxCheck
+  // superinstruction pays.
+  BenchProfile P = specProfiles().front();
+  for (const BenchProfile &Cand : specProfiles())
+    if (Cand.IndirectCallPct > P.IndirectCallPct ||
+        (Cand.IndirectCallPct == P.IndirectCallPct &&
+         Cand.WorkPerCall < P.WorkPerCall))
+      P = Cand;
+  P.WorkIterations = 20000;
+  std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
+
+  TablePrinter Table;
+  Table.addRow({"tier", "instrs", "best time", "Minstr/s", "speedup"});
+  double InterpSeconds = 0;
+  double TraceSpeedup = 0;
+  uint64_t RefInstrs = 0;
+  for (ExecTier Tier : AllTiers) {
+    TierOutcome Best;
+    std::string Error;
+    for (int Round = 0; Round != 3; ++Round) {
+      TierOutcome O = runTier({Source}, Tier, ~0ull, Error);
+      if (!O.Built) {
+        std::fprintf(stderr, "mcfi-tierdiff: bench build failed: %s\n",
+                     Error.c_str());
+        return 1;
+      }
+      if (O.R.Reason != StopReason::Exited) {
+        std::fprintf(stderr, "mcfi-tierdiff: bench run failed: %s\n",
+                     O.R.Message.c_str());
+        return 1;
+      }
+      if (!Best.Built || O.Seconds < Best.Seconds)
+        Best = O;
+    }
+    if (Tier == ExecTier::Interpreter) {
+      InterpSeconds = Best.Seconds;
+      RefInstrs = Best.R.Instructions;
+    } else if (Best.R.Instructions != RefInstrs) {
+      std::fprintf(stderr,
+                   "mcfi-tierdiff: bench instruction counts diverged\n");
+      return 1;
+    }
+    double Speedup = InterpSeconds / Best.Seconds;
+    if (Tier == ExecTier::Trace)
+      TraceSpeedup = Speedup;
+    Table.addRow({tierName(Tier), std::to_string(Best.R.Instructions),
+                  formatString("%.3f s", Best.Seconds),
+                  formatString("%.1f", static_cast<double>(
+                                           Best.R.Instructions) /
+                                           Best.Seconds / 1e6),
+                  formatString("%.2fx", Speedup)});
+    std::printf("%s\n", vmStatsJSON(Best.Stats, tierName(Tier)).c_str());
+  }
+  Table.print();
+  std::printf("workload: %s (indirect-call-heavy, instrumented)\n",
+              P.Name.c_str());
+  if (MinSpeedup > 0 && TraceSpeedup < MinSpeedup) {
+    std::fprintf(stderr,
+                 "mcfi-tierdiff: FAIL: trace speedup %.2fx < required "
+                 "%.2fx\n",
+                 TraceSpeedup, MinSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Bench = false;
+  double MinSpeedup = 0;
+  std::vector<std::string> Files;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--bench") {
+      Bench = true;
+    } else if (Arg == "--min-speedup" && I + 1 < argc) {
+      MinSpeedup = std::atof(argv[++I]);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usage("mcfi-tierdiff: unknown option; see the file header for usage");
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (Bench)
+    return benchTiers(MinSpeedup);
+
+  if (Files.empty())
+    usage("usage: mcfi-tierdiff [--bench [--min-speedup X]] example.cpp ...");
+  int Status = 0;
+  unsigned Compared = 0;
+  for (const std::string &Path : Files) {
+    int R = diffExample(Path);
+    if (R > 0)
+      Status = 1;
+    else if (R == 0)
+      ++Compared;
+  }
+  if (!Compared) {
+    std::fprintf(stderr, "mcfi-tierdiff: no example was comparable\n");
+    return 1;
+  }
+  return Status;
+}

@@ -4,8 +4,11 @@
 # the lock-free check/update transaction paths, the multithreaded guest
 # runtime, dynamic linking racing executing threads, the parallel
 # CFG-merge pipeline (worker pool + sig interner), the serial-vs-
-# parallel merge differential, and the two-tier verifier (whose
-# semantic tier runs at dlopen time while guest threads execute).
+# parallel merge differential, the two-tier verifier (whose semantic
+# tier runs at dlopen time while guest threads execute), and the VM
+# execution tiers (threaded dispatch + trace cache racing dlopen's
+# code-epoch invalidation; test_runtime/test_threads/test_tierdiff all
+# run guests on the trace tier by default).
 #
 # Usage: tools/tsan-check.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -19,7 +22,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # scheduler is single-threaded by construction and TSan's fiber support
 # conflicts with swapcontext-based stacks.
 if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
-    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants)|merge_check|verify_check'; then
+    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants|tierdiff)|merge_check|verify_check'; then
   cat >&2 <<'EOF'
 tsan-check: FAILED.
 If the failure is in the tables' check/update transactions, hunt the
