@@ -7,6 +7,7 @@
 
 #include "metrics/Metrics.h"
 
+#include "analyzer/GadgetScan.h"
 #include "support/StringUtils.h"
 #include "visa/ISA.h"
 
@@ -82,49 +83,24 @@ PrecisionReport mcfi::computePrecision(const CFGPolicy &Policy) {
   return R;
 }
 
-namespace {
-
-/// Scans for unique gadgets starting at the offsets enabled by \p IsStart.
-/// A gadget is <= MaxInstrs decoded instructions ending at an indirect
-/// branch; uniqueness is by byte content (rp++'s notion).
-template <typename StartPred>
-uint64_t scanGadgets(const uint8_t *Code, size_t Size, StartPred IsStart) {
-  constexpr unsigned MaxInstrs = 24;
-  std::unordered_set<std::string> Unique;
-  for (size_t Start = 0; Start != Size; ++Start) {
-    if (!IsStart(Start))
-      continue;
-    size_t Off = Start;
-    for (unsigned N = 0; N != MaxInstrs && Off < Size; ++N) {
-      visa::Instr I;
-      if (!visa::decode(Code, Size, Off, I))
-        break;
-      Off += I.Length;
-      if (visa::isIndirectBranch(I.Op)) {
-        Unique.emplace(reinterpret_cast<const char *>(Code) + Start,
-                       Off - Start);
-        break;
-      }
-    }
-  }
-  return Unique.size();
-}
-
-} // namespace
-
 GadgetReport mcfi::countGadgets(const uint8_t *PlainCode, size_t PlainSize,
                                 const uint8_t *HardCode, size_t HardSize,
                                 const CFGPolicy &Policy, uint64_t HardBase) {
+  // Candidate enumeration is shared with the attack-synthesis harness
+  // (analyzer/GadgetScan.h) and cached per code blob by content hash;
+  // only the reachability predicate differs per report side.
   GadgetReport R;
   // Unprotected binary: an attacker can redirect an indirect branch to
   // any byte, including instruction middles.
   R.OriginalGadgets =
-      scanGadgets(PlainCode, PlainSize, [](size_t) { return true; });
+      countUniqueGadgets(PlainCode, PlainSize, *mineGadgets(PlainCode,
+                                                            PlainSize),
+                         [](uint64_t) { return true; });
   // MCFI-hardened: only addresses carrying a valid Tary ID are reachable
   // by any indirect branch.
-  R.HardenedGadgets = scanGadgets(HardCode, HardSize, [&](size_t Off) {
-    return Policy.TargetECN.count(HardBase + Off) != 0;
-  });
+  R.HardenedGadgets = countUniqueGadgets(
+      HardCode, HardSize, *mineGadgets(HardCode, HardSize),
+      [&](uint64_t Off) { return Policy.TargetECN.count(HardBase + Off) != 0; });
   if (R.OriginalGadgets)
     R.ReductionPct = 100.0 * (1.0 - static_cast<double>(R.HardenedGadgets) /
                                         static_cast<double>(

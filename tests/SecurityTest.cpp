@@ -12,6 +12,12 @@
 /// `hlt`; the unprotected baseline demonstrates that the same corruption
 /// succeeds without MCFI.
 ///
+/// Every scenario is parameterized over the three VM execution tiers:
+/// the interpreter's discrete check sequence, the threaded dispatcher,
+/// and the trace tier's fused TxCheck superinstruction must be exactly
+/// as strong (the synthesized end of this spectrum lives in
+/// AttackCorpusTest / tools/mcfi-attack).
+///
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Harness.h"
@@ -52,6 +58,8 @@ int main() {
 }
 )";
 
+class SecurityTierTest : public ::testing::TestWithParam<ExecTier> {};
+
 struct Victim {
   BuiltProgram BP;
   Thread T;
@@ -62,12 +70,13 @@ struct Victim {
   }
 };
 
-Victim prepare(bool Instrument, bool Optimize = false) {
+Victim prepare(ExecTier Tier, bool Instrument, bool Optimize = false) {
   Victim V;
   BuildSpec Spec;
   Spec.Instrument = Instrument;
   Spec.Optimize = Optimize;
   Spec.LinkRtLibrary = false;
+  Spec.Tier = Tier;
   V.BP = buildProgram({VictimSource}, Spec);
   EXPECT_TRUE(V.BP.Ok) << V.BP.Error;
   if (!V.BP.Ok)
@@ -91,8 +100,8 @@ RunResult attackHook(Victim &V, uint64_t Target) {
   return V.BP.M->run(V.T, ~0ull);
 }
 
-TEST(Security, HijackToMidInstructionIsBlocked) {
-  Victim V = prepare(/*Instrument=*/true);
+TEST_P(SecurityTierTest, HijackToMidInstructionIsBlocked) {
+  Victim V = prepare(GetParam(), /*Instrument=*/true);
   ASSERT_TRUE(V.BP.Ok);
   // Target the middle of a legitimate function: under MCFI the Tary
   // entry there is invalid (no IBT), so the check halts.
@@ -101,19 +110,19 @@ TEST(Security, HijackToMidInstructionIsBlocked) {
   EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
 }
 
-TEST(Security, OptimizedInstrumentationStillBlocksHijack) {
+TEST_P(SecurityTierTest, OptimizedInstrumentationStillBlocksHijack) {
   // The scheduled/mask-shared rewriting escapes the syntactic templates
   // but must be exactly as strong at runtime: the linker's two-tier
   // verifier proves it, and the hijack still hits a hlt.
-  Victim V = prepare(/*Instrument=*/true, /*Optimize=*/true);
+  Victim V = prepare(GetParam(), /*Instrument=*/true, /*Optimize=*/true);
   ASSERT_TRUE(V.BP.Ok);
   uint64_t Evil = V.funcAddr("benign2") + 3;
   RunResult R = attackHook(V, Evil);
   EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
 }
 
-TEST(Security, HijackToWrongTypeFunctionIsBlocked) {
-  Victim V = prepare(/*Instrument=*/true);
+TEST_P(SecurityTierTest, HijackToWrongTypeFunctionIsBlocked) {
+  Victim V = prepare(GetParam(), /*Instrument=*/true);
   ASSERT_TRUE(V.BP.Ok);
   // wrong_type has signature long(long,long): different equivalence
   // class, so the ECN comparison fails even though it is a legitimate
@@ -124,11 +133,11 @@ TEST(Security, HijackToWrongTypeFunctionIsBlocked) {
   EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
 }
 
-TEST(Security, HijackToExecveLikeIsBlocked) {
+TEST_P(SecurityTierTest, HijackToExecveLikeIsBlocked) {
   // The paper's GnuPG CVE-2006-6235 discussion: a hijacked function
   // pointer redirected to execve is stopped because the types do not
   // match, even though execve-like is address-taken elsewhere.
-  Victim V = prepare(/*Instrument=*/true);
+  Victim V = prepare(GetParam(), /*Instrument=*/true);
   ASSERT_TRUE(V.BP.Ok);
   uint64_t Evil = V.funcAddr("execve_like");
   ASSERT_NE(Evil, 0u);
@@ -137,11 +146,11 @@ TEST(Security, HijackToExecveLikeIsBlocked) {
   EXPECT_EQ(V.BP.M->takeOutput().find("PWNED"), std::string::npos);
 }
 
-TEST(Security, HijackToReturnSiteIsBlocked) {
+TEST_P(SecurityTierTest, HijackToReturnSiteIsBlocked) {
   // Return sites are IBTs, but they live in the *return* equivalence
   // classes; an indirect call cannot target them under MCFI (it could
   // under coarse-grained single-class CFI).
-  Victim V = prepare(/*Instrument=*/true);
+  Victim V = prepare(GetParam(), /*Instrument=*/true);
   ASSERT_TRUE(V.BP.Ok);
   uint64_t RetSite = 0;
   for (const MappedModule &Mod : V.BP.M->modules())
@@ -153,11 +162,11 @@ TEST(Security, HijackToReturnSiteIsBlocked) {
   EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
 }
 
-TEST(Security, SameTypeSwapIsAllowed) {
+TEST_P(SecurityTierTest, SameTypeSwapIsAllowed) {
   // Precision boundary (inherent to type-matching CFG generation): a
   // function of the *same* type is in the same equivalence class, so the
   // swap passes the checks and the program keeps running.
-  Victim V = prepare(/*Instrument=*/true);
+  Victim V = prepare(GetParam(), /*Instrument=*/true);
   ASSERT_TRUE(V.BP.Ok);
   uint64_t Other = V.funcAddr("same_type_other");
   ASSERT_NE(Other, 0u);
@@ -165,11 +174,11 @@ TEST(Security, SameTypeSwapIsAllowed) {
   EXPECT_EQ(R.Reason, StopReason::Exited) << R.Message;
 }
 
-TEST(Security, BaselineHijackSucceeds) {
+TEST_P(SecurityTierTest, BaselineHijackSucceeds) {
   // Without MCFI the same wrong-type hijack simply transfers control:
   // the attack is NOT reported as a CFI violation (it either runs the
   // wrong function or wanders off), demonstrating the protection delta.
-  Victim V = prepare(/*Instrument=*/false);
+  Victim V = prepare(GetParam(), /*Instrument=*/false);
   ASSERT_TRUE(V.BP.Ok);
   uint64_t Evil = V.funcAddr("execve_like");
   RunResult R = attackHook(V, Evil);
@@ -178,12 +187,12 @@ TEST(Security, BaselineHijackSucceeds) {
   EXPECT_NE(V.BP.M->takeOutput().find("PWNED"), std::string::npos);
 }
 
-TEST(Security, ReturnAddressSmashIsBlocked) {
+TEST_P(SecurityTierTest, ReturnAddressSmashIsBlocked) {
   // Classic stack smash: overwrite the topmost return address on the
   // victim thread's stack with a function entry. Under MCFI the return
   // check requires a *return site* of the right class; a function entry
   // fails it.
-  Victim V = prepare(/*Instrument=*/true);
+  Victim V = prepare(GetParam(), /*Instrument=*/true);
   ASSERT_TRUE(V.BP.Ok);
   RunResult Mid = V.BP.M->run(V.T, 200'000);
   ASSERT_EQ(Mid.Reason, StopReason::OutOfFuel);
@@ -214,7 +223,7 @@ TEST(Security, ReturnAddressSmashIsBlocked) {
   EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
 }
 
-TEST(Security, CorruptedLongjmpBufferIsBlocked) {
+TEST_P(SecurityTierTest, CorruptedLongjmpBufferIsBlocked) {
   const char *Source = R"(
     long buf[4];
     long *expose(void) { return buf; }
@@ -232,6 +241,7 @@ TEST(Security, CorruptedLongjmpBufferIsBlocked) {
   )";
   BuildSpec Spec;
   Spec.LinkRtLibrary = false;
+  Spec.Tier = GetParam();
   BuiltProgram BP = buildProgram({Source}, Spec);
   ASSERT_TRUE(BP.Ok) << BP.Error;
   Measured M = measureRun(BP);
@@ -239,7 +249,7 @@ TEST(Security, CorruptedLongjmpBufferIsBlocked) {
   EXPECT_EQ(M.Output.find("boom"), std::string::npos);
 }
 
-TEST(Security, RawK1PointerCallHalts) {
+TEST_P(SecurityTierTest, RawK1PointerCallHalts) {
   // A K1 violation left unfixed: the CFG has no edge from the call site
   // to the mismatched target, so invoking the pointer halts. This is
   // exactly why the paper's Table 2 K1 cases required source fixes.
@@ -254,13 +264,14 @@ TEST(Security, RawK1PointerCallHalts) {
   )";
   BuildSpec Spec;
   Spec.LinkRtLibrary = false;
+  Spec.Tier = GetParam();
   BuiltProgram BP = buildProgram({Source}, Spec);
   ASSERT_TRUE(BP.Ok) << BP.Error;
   Measured M = measureRun(BP);
   EXPECT_EQ(M.Result.Reason, StopReason::CfiViolation) << M.Result.Message;
 }
 
-TEST(Security, WXPreventsCodeRegionWrites) {
+TEST_P(SecurityTierTest, WXPreventsCodeRegionWrites) {
   // Guest stores into the code region must fault (W^X).
   const char *Source = R"(
     int main() {
@@ -271,13 +282,14 @@ TEST(Security, WXPreventsCodeRegionWrites) {
   )";
   BuildSpec Spec;
   Spec.LinkRtLibrary = false;
+  Spec.Tier = GetParam();
   BuiltProgram BP = buildProgram({Source}, Spec);
   ASSERT_TRUE(BP.Ok) << BP.Error;
   Measured M = measureRun(BP);
   EXPECT_EQ(M.Result.Reason, StopReason::Trap) << M.Result.Message;
 }
 
-TEST(Security, SignalHandlerMustBeValidTarget) {
+TEST_P(SecurityTierTest, SignalHandlerMustBeValidTarget) {
   const char *Source = R"(
     int main() {
       void (*evil)(int) = (void (*)(int))65539; /* mid-instruction */
@@ -288,10 +300,27 @@ TEST(Security, SignalHandlerMustBeValidTarget) {
   )";
   BuildSpec Spec;
   Spec.LinkRtLibrary = false;
+  Spec.Tier = GetParam();
   BuiltProgram BP = buildProgram({Source}, Spec);
   ASSERT_TRUE(BP.Ok) << BP.Error;
   Measured M = measureRun(BP);
   EXPECT_EQ(M.Result.Reason, StopReason::CfiViolation) << M.Result.Message;
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTiers, SecurityTierTest,
+    ::testing::Values(ExecTier::Interpreter, ExecTier::Threaded,
+                      ExecTier::Trace),
+    [](const ::testing::TestParamInfo<ExecTier> &Info) {
+      switch (Info.param) {
+      case ExecTier::Interpreter:
+        return "Interpreter";
+      case ExecTier::Threaded:
+        return "Threaded";
+      case ExecTier::Trace:
+        return "Trace";
+      }
+      return "Unknown";
+    });
 
 } // namespace

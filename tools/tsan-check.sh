@@ -8,7 +8,10 @@
 # tier runs at dlopen time while guest threads execute), and the VM
 # execution tiers (threaded dispatch + trace cache racing dlopen's
 # code-epoch invalidation; test_runtime/test_threads/test_tierdiff all
-# run guests on the trace tier by default).
+# run guests on the trace tier by default), plus the adversarial
+# gauntlet (test_attackcorpus + attack_check), whose torn-update attacks
+# hammer txCheck from checker threads while an update storm runs — racy
+# by construction, and must be TSan-clean.
 #
 # Usage: tools/tsan-check.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -22,7 +25,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # scheduler is single-threaded by construction and TSan's fiber support
 # conflicts with swapcontext-based stacks.
 if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
-    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants|tierdiff)|merge_check|verify_check'; then
+    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants|tierdiff|attackcorpus)|merge_check|verify_check|attack_check'; then
   cat >&2 <<'EOF'
 tsan-check: FAILED.
 If the failure is in the tables' check/update transactions, hunt the
