@@ -21,6 +21,12 @@
 /// small fraction of the full rebuild's O(code region) — or the bench
 /// fails.
 ///
+/// `--churn` closes the lifecycle loop: 100 open-all/close-all/drain
+/// cycles over the same plugin set, reporting install latency next to
+/// retire latency and failing unless every cycle returns the machine to
+/// its baseline footprint (the steady-state guarantee the epoch-based
+/// reclaimer exists to provide).
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
@@ -332,13 +338,141 @@ int runDeltaMode() {
   return 0;
 }
 
+/// `--churn`: the full module lifecycle at a steady state. One
+/// incremental-mode machine runs 100 open-all/close-all/drain cycles
+/// over the same 16-plugin set and reports install latency (merge +
+/// TxUpdate) next to retire latency (tombstoned merge + retire
+/// TxUpdate). Before the reclaim layer existed, --delta's shrink
+/// leftovers made this loop leak monotonically: IDs were zeroed but the
+/// ranges were never reusable. Now every cycle must return the machine
+/// to the cycle-1 footprint exactly — code top, table capacities, and
+/// an empty free list after the tail-trim — or the bench fails.
+int runChurnMode() {
+  benchHeader("dlopen/dlclose churn: install vs retire latency and "
+              "steady-state table footprint over 100 cycles",
+              "module unload (ROADMAP item 2)");
+
+  std::vector<MCFIObject> Plugins;
+  std::string Error;
+  if (!compilePlugins(Plugins, Error)) {
+    std::fprintf(stderr, "plugin compile failed: %s\n", Error.c_str());
+    return 1;
+  }
+
+  DeltaRun D = runDeltaLoads(/*Incremental=*/true, NumPlugins, Plugins);
+  if (!D.Ok) {
+    std::fprintf(stderr, "initial load failed: %s\n", D.Error.c_str());
+    return 1;
+  }
+  // Close the initial load and drain so cycle 1 starts from the
+  // host-only baseline (no guest threads run here, so drains mature
+  // every region immediately).
+  {
+    std::vector<int64_t> Handles;
+    for (size_t H = D.M->modules().size() - NumPlugins;
+         H != D.M->modules().size(); ++H)
+      Handles.push_back(static_cast<int64_t>(H));
+    for (bool Ok : D.L->dlcloseBatch(Handles))
+      if (!Ok) {
+        std::fprintf(stderr, "initial dlclose failed: %s\n",
+                     D.L->lastError().c_str());
+        return 1;
+      }
+    D.M->drainReclaim();
+  }
+
+  const uint64_t CodeTop0 = D.M->codeTop();
+  const size_t Modules0 = D.M->modules().size();
+  const uint64_t TaryCap0 = D.M->tables().taryCapacityBytes();
+  const uint32_t BaryCap0 = D.M->tables().baryCapacity();
+
+  constexpr int Cycles = 100;
+  double InstallSum = 0, InstallMax = 0, RetireSum = 0, RetireMax = 0;
+  for (int C = 0; C != Cycles; ++C) {
+    std::vector<int64_t> Ids;
+    for (int I = 0; I != NumPlugins; ++I)
+      Ids.push_back(I);
+    std::vector<int64_t> Handles;
+    for (const DlopenResult &R : D.L->dlopenBatch(Ids)) {
+      if (R.Handle < 0) {
+        std::fprintf(stderr, "cycle %d dlopen: %s\n", C,
+                     D.L->lastError().c_str());
+        return 1;
+      }
+      Handles.push_back(R.Handle);
+    }
+    const DlopenBatchStats &OB = D.L->batchHistory().back();
+    double Install = OB.MergeMicros + OB.InstallMicros;
+    InstallSum += Install;
+    InstallMax = Install > InstallMax ? Install : InstallMax;
+
+    for (bool Ok : D.L->dlcloseBatch(Handles))
+      if (!Ok) {
+        std::fprintf(stderr, "cycle %d dlclose: %s\n", C,
+                     D.L->lastError().c_str());
+        return 1;
+      }
+    const DlcloseBatchStats &CB = D.L->unloadHistory().back();
+    double Retire = CB.MergeMicros + CB.RetireMicros;
+    RetireSum += Retire;
+    RetireMax = Retire > RetireMax ? Retire : RetireMax;
+    D.M->drainReclaim();
+
+    // Steady state: every cycle lands back on the baseline footprint.
+    ReclaimStats RS = D.M->reclaimStats();
+    if (D.M->codeTop() != CodeTop0 || D.M->modules().size() != Modules0 ||
+        D.M->tables().taryCapacityBytes() != TaryCap0 ||
+        D.M->tables().baryCapacity() != BaryCap0 || RS.PendingRegions ||
+        RS.CondemnedECNs || RS.FreeRanges) {
+      std::fprintf(stderr,
+                   "FAIL: cycle %d leaked footprint (codeTop %+lld, "
+                   "pending %llu, condemned %llu, free %llu)\n",
+                   C,
+                   static_cast<long long>(D.M->codeTop()) -
+                       static_cast<long long>(CodeTop0),
+                   static_cast<unsigned long long>(RS.PendingRegions),
+                   static_cast<unsigned long long>(RS.CondemnedECNs),
+                   static_cast<unsigned long long>(RS.FreeRanges));
+      return 1;
+    }
+  }
+
+  TablePrinter Table;
+  Table.addRow({"transaction", "mean us", "max us"});
+  Table.addRow({"install (merge+tx)", formatString("%.1f", InstallSum / Cycles),
+                formatString("%.1f", InstallMax)});
+  Table.addRow({"retire (merge+tx)", formatString("%.1f", RetireSum / Cycles),
+                formatString("%.1f", RetireMax)});
+  Table.print();
+
+  ReclaimStats RS = D.M->reclaimStats();
+  std::printf("\n%d cycles x %d modules: retired=%llu reclaimed=%llu "
+              "released_ecns=%llu; footprint pinned at cycle-1 baseline\n",
+              Cycles, NumPlugins,
+              static_cast<unsigned long long>(RS.Retired),
+              static_cast<unsigned long long>(RS.Reclaimed),
+              static_cast<unsigned long long>(RS.ReleasedECNs));
+  std::printf("%s\n",
+              updateSummaryJSON(summarizeUpdates(*D.L, D.M->tables(), &RS),
+                                "churn")
+                  .c_str());
+  if (RS.Retired != RS.Reclaimed) {
+    std::fprintf(stderr, "FAIL: %llu regions never matured\n",
+                 static_cast<unsigned long long>(RS.Retired - RS.Reclaimed));
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc > 1) {
     if (std::strcmp(argv[1], "--delta") == 0)
       return runDeltaMode();
-    std::fprintf(stderr, "usage: %s [--delta]\n", argv[0]);
+    if (std::strcmp(argv[1], "--churn") == 0)
+      return runChurnMode();
+    std::fprintf(stderr, "usage: %s [--delta|--churn]\n", argv[0]);
     return 2;
   }
 

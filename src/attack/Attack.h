@@ -43,6 +43,14 @@
 ///  - code-epoch-replay: hijacks into a module dlopen'd after traces
 ///    were compiled; the stale predecoded segment must not cover the new
 ///    code, and the fallback path must re-check it in full.
+///  - unload: the dlclose lifecycle. Dispatch through a pointer into a
+///    retired-but-not-reclaimed module (the region is still mapped, the
+///    grace period still running) must die at the check, never read the
+///    dying code's tables; a formerly-legal in-class bind replayed after
+///    its module's dlclose must die the same way; and a dlclose/dlopen
+///    cycle must never let a pre-close ID snapshot validate into the
+///    successor instance (the condemned-ECN guard forces a version bump
+///    when a dying class number re-enters the tables before grace).
 ///
 /// Every attack runs under all three MachineOptions::Tier values; the
 /// differential tier harness guarantees the tiers agree, and this corpus
@@ -72,8 +80,9 @@ enum class AttackClass : uint8_t {
   TornUpdate,
   TraceFusedCheck,
   CodeEpochReplay,
+  Unload,
 };
-constexpr unsigned NumAttackClasses = 8;
+constexpr unsigned NumAttackClasses = 9;
 
 const char *className(AttackClass C);
 bool parseClassName(const std::string &Name, AttackClass &Out);

@@ -86,6 +86,15 @@ std::vector<AttackRecord> runTableAttacks(AttackClass Class, ExecTier Tier,
                                           const std::string &Victim,
                                           unsigned MaxPerClass);
 
+/// Executes the unload synthesizers (UnloadAttacks.cpp) against fresh
+/// builds of the builtin victim + registered plugin at \p Tier: dispatch
+/// into a retired-but-unreclaimed module, replay of a pre-close in-class
+/// bind, and a dlclose/dlopen ID-snapshot ABA probe. Like the table
+/// attacks, records carry \p Tier and \p Victim verbatim.
+std::vector<AttackRecord> runUnloadAttacks(ExecTier Tier,
+                                           const std::string &Victim,
+                                           unsigned MaxPerClass);
+
 const char *tierLabel(ExecTier T);
 
 } // namespace attack

@@ -44,6 +44,8 @@ const char *mcfi::attack::className(AttackClass C) {
     return "trace-fused-check";
   case AttackClass::CodeEpochReplay:
     return "code-epoch-replay";
+  case AttackClass::Unload:
+    return "unload";
   }
   return "?";
 }
@@ -286,6 +288,14 @@ CorpusReport mcfi::attack::runCorpus(const CorpusOptions &Opts) {
           continue;
         std::vector<AttackRecord> Recs =
             runTableAttacks(C, Tier, Victim.Name, Opts.MaxPerClass);
+        Rep.Records.insert(Rep.Records.end(), Recs.begin(), Recs.end());
+      }
+      // The unload lifecycle rides the grid the same way: its attacks
+      // drive a full Machine+Linker through dlopen/dlclose at this tier.
+      if (std::find(Classes.begin(), Classes.end(), AttackClass::Unload) !=
+          Classes.end()) {
+        std::vector<AttackRecord> Recs =
+            runUnloadAttacks(Tier, Victim.Name, Opts.MaxPerClass);
         Rep.Records.insert(Rep.Records.end(), Recs.begin(), Recs.end());
       }
     }

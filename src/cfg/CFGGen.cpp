@@ -47,9 +47,10 @@ public:
   CFGPolicy build() {
     // One content-hash lookup per module; re-merges over already-loaded
     // modules reuse the interned views without touching the sig strings.
+    // Tombstones (unloaded modules) have no object and no signatures.
     Sigs.reserve(Modules.size());
     for (const LoadedModuleView &M : Modules)
-      Sigs.push_back(getModuleSigs(*M.Obj));
+      Sigs.push_back(M.Obj ? getModuleSigs(*M.Obj) : nullptr);
 
     collectFunctions();
     indexBranchSites();
@@ -68,6 +69,10 @@ private:
   void collectFunctions() {
     for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
       const LoadedModuleView &M = Modules[Mi];
+      if (!M.Obj) { // tombstone: no functions
+        ModuleFuncEnd.push_back(static_cast<uint32_t>(Funcs.size()));
+        continue;
+      }
       const SigList &FuncSigs = Sigs[Mi]->FuncSigs;
       for (size_t Fi = 0; Fi != M.Obj->Aux.Functions.size(); ++Fi) {
         const FunctionInfo &F = M.Obj->Aux.Functions[Fi];
@@ -87,10 +92,13 @@ private:
     }
     // A module may take the address of a function another module
     // defines; the definition then becomes an indirect-branch target.
-    for (const LoadedModuleView &M : Modules)
+    for (const LoadedModuleView &M : Modules) {
+      if (!M.Obj)
+        continue;
       for (const std::string &Name : M.Obj->Aux.AddressTakenImports)
         if (auto It = FuncByName.find(Name); It != FuncByName.end())
           Funcs[It->second].AddressTaken = true;
+    }
     for (uint32_t Idx = 0; Idx != Funcs.size(); ++Idx)
       if (Funcs[Idx].AddressTaken) {
         BySig[Funcs[Idx].Sig].push_back(Idx);
@@ -98,15 +106,26 @@ private:
       }
   }
 
+  /// Branch-site slots a view occupies in the global index space:
+  /// tombstones keep their dead module's positions so surviving modules'
+  /// already-patched Bary indexes stay valid.
+  static size_t siteSlots(const LoadedModuleView &M) {
+    return M.Obj ? M.Obj->Aux.BranchSites.size() : M.TombstoneSites;
+  }
+
   void indexBranchSites() {
     uint32_t Next = 0;
+    uint64_t LiveSites = 0;
     for (const LoadedModuleView &M : Modules) {
       Policy.SiteIndexBase.push_back(Next);
-      Next += static_cast<uint32_t>(M.Obj->Aux.BranchSites.size());
+      Next += static_cast<uint32_t>(siteSlots(M));
+      if (M.Obj)
+        LiveSites += M.Obj->Aux.BranchSites.size();
     }
     Policy.BranchECN.assign(Next, -1);
     Policy.BranchClassSize.assign(Next, 0);
-    Policy.NumIBs = Next;
+    // Tombstone slots are placeholders, not instrumented branches.
+    Policy.NumIBs = LiveSites;
   }
 
   /// All address-taken functions matching a pointer signature. Interned
@@ -149,11 +168,11 @@ private:
   /// Builds the flat global-index → owning-module map for one aux array
   /// (size per module given by \p SizeOf), filling \p Base and \p Owner.
   size_t flattenIndex(std::vector<uint32_t> &Base, std::vector<uint32_t> &Owner,
-                      size_t (*SizeOf)(const MCFIObject &)) {
+                      size_t (*SizeOf)(const LoadedModuleView &)) {
     size_t Total = 0;
     for (const LoadedModuleView &M : Modules) {
       Base.push_back(static_cast<uint32_t>(Total));
-      Total += SizeOf(*M.Obj);
+      Total += SizeOf(M);
     }
     Owner.resize(Total);
     for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
@@ -166,9 +185,10 @@ private:
 
   void resolveCallSites() {
     std::vector<uint32_t> CallBase, CallOwner;
-    size_t Total = flattenIndex(CallBase, CallOwner, [](const MCFIObject &O) {
-      return O.Aux.CallSites.size();
-    });
+    size_t Total =
+        flattenIndex(CallBase, CallOwner, [](const LoadedModuleView &V) {
+          return V.Obj ? V.Obj->Aux.CallSites.size() : size_t(0);
+        });
     for (size_t Mi = 0; Mi != Modules.size(); ++Mi)
       ModuleCallEnd.push_back(Mi + 1 < Modules.size()
                                   ? CallBase[Mi + 1]
@@ -224,6 +244,8 @@ private:
     std::vector<std::vector<uint32_t>> TailEdges(Funcs.size());
     for (size_t Mi = 0; Mi != Modules.size(); ++Mi) {
       const LoadedModuleView &M = Modules[Mi];
+      if (!M.Obj)
+        continue;
       for (size_t Ti = 0; Ti != M.Obj->Aux.TailCalls.size(); ++Ti) {
         const TailCallInfo &TC = M.Obj->Aux.TailCalls[Ti];
         auto CallerIt = FuncByName.find(TC.Caller);
@@ -281,10 +303,8 @@ private:
     if (auto It = FuncByName.find("sig$return"); It != FuncByName.end())
       SigTrampoline = Funcs[It->second].Addr;
 
-    std::vector<uint32_t> SiteBase, SiteOwner;
-    size_t Total = flattenIndex(SiteBase, SiteOwner, [](const MCFIObject &O) {
-      return O.Aux.BranchSites.size();
-    });
+    std::vector<uint32_t> SiteBase;
+    size_t Total = flattenIndex(SiteBase, SiteOwner, siteSlots);
     assert(Total == Policy.BranchECN.size());
 
     // Each worker writes only BranchTargets[GI] for its own indexes; all
@@ -295,6 +315,8 @@ private:
           for (size_t GI = Begin; GI != End; ++GI) {
             uint32_t Mi = SiteOwner[GI];
             const LoadedModuleView &M = Modules[Mi];
+            if (!M.Obj) // tombstone slot: no branch, no targets
+              continue;
             size_t Local = GI - SiteBase[Mi];
             const BranchSite &BS = M.Obj->Aux.BranchSites[Local];
             std::vector<uint64_t> &Targets = BranchTargets[GI];
@@ -416,6 +438,13 @@ private:
 
     for (size_t B = 0; B != BranchTargets.size(); ++B) {
       const auto &Targets = BranchTargets[B];
+      if (!Modules[SiteOwner[B]].Obj) {
+        // Tombstone slot: keep BranchECN -1 (no ID — the zeroed entry
+        // the retire transaction left), NOT EmptyClassECN. EmptyClassECN
+        // is a *valid encoded ID* for live-but-targetless sites; a
+        // tombstone must stay indistinguishable from never-installed.
+        continue;
+      }
       if (Targets.empty()) {
         // Empty target set: the shared reserved ECN no address carries,
         // so the check always fails closed. One fixed number (rather
@@ -450,6 +479,7 @@ private:
   std::vector<CallSiteEntry> CallSites;
   std::vector<std::vector<uint64_t>> RetTargets; ///< per function
   std::vector<std::vector<uint64_t>> BranchTargets; ///< per global site
+  std::vector<uint32_t> SiteOwner; ///< owning module per global site
   std::vector<uint64_t> IBTAddrs;
   std::unordered_map<uint64_t, uint32_t> IBTIndex;
 };

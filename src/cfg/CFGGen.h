@@ -51,9 +51,20 @@ namespace mcfi {
 
 /// A module mapped into the code region at a base address, as the
 /// loader/linker sees it.
+///
+/// A view with Obj == nullptr is a *tombstone*: the slot of a dlclosed
+/// module. It contributes TombstoneSites branch-site positions — each
+/// carrying no ECN (BranchECN -1, i.e. a zeroed table entry, exactly the
+/// state the retire transaction left behind) — and nothing else: no
+/// functions, no IBTs, no call sites, no edges. Tombstones keep the
+/// global site-index space positionally stable, so already-sealed
+/// surviving modules' patched Bary indexes remain correct, while the
+/// merged CFG is exactly what it would be had the module never loaded.
 struct LoadedModuleView {
   const MCFIObject *Obj = nullptr;
   uint64_t CodeBase = 0;
+  /// Branch-site slots held by a tombstone (ignored when Obj != null).
+  uint32_t TombstoneSites = 0;
 };
 
 /// The generated control-flow policy.

@@ -165,6 +165,11 @@ SigSetCache::store(uint64_t ContentHash, std::shared_ptr<const void> Value) {
   return It->second;
 }
 
+bool SigSetCache::drop(uint64_t ContentHash) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Map.erase(ContentHash) != 0;
+}
+
 size_t SigSetCache::size() const {
   std::lock_guard<std::mutex> Guard(Lock);
   return Map.size();

@@ -118,6 +118,13 @@ public:
   std::shared_ptr<const void> store(uint64_t ContentHash,
                                     std::shared_ptr<const void> Value);
 
+  /// Drops the entry for \p ContentHash (module unload: the merged CFG
+  /// must hold no trace of the dead module, cached views included).
+  /// Harmless if an identical-content module is still loaded — the next
+  /// merge re-populates the entry from the interner with hash lookups
+  /// only. Returns true if an entry was present.
+  bool drop(uint64_t ContentHash);
+
   size_t size() const;
 
 private:

@@ -7,6 +7,8 @@
 
 #include "linker/Linker.h"
 
+#include "cfg/SigCache.h"
+#include "ctypes/SigIntern.h"
 #include "module/Pending.h"
 #include "rewriter/Rewriter.h"
 #include "support/Assert.h"
@@ -15,6 +17,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 using namespace mcfi;
 using namespace mcfi::visa;
@@ -196,32 +199,39 @@ bool Linker::resolveModule(int Index, std::string &Error) {
 }
 
 void Linker::patchBaryIndexes(const CFGPolicy &NewPolicy) {
-  BaryPatched.resize(M.modules().size(), false);
   for (size_t Idx = 0; Idx != M.modules().size(); ++Idx) {
-    if (BaryPatched[Idx])
-      continue;
     const MappedModule &Mod = M.modules()[Idx];
+    // Retired modules are sealed tombstones; the patched-set is keyed by
+    // Serial so a new module occupying a reused index is never mistaken
+    // for its already-patched predecessor.
+    if (Mod.Retired || BaryPatched.count(Mod.Serial))
+      continue;
     uint32_t Base = NewPolicy.SiteIndexBase[Idx];
     for (const RelocEntry &R : Mod.Obj->Relocs) {
       if (R.Kind != RelocKind::BaryIndex32)
         continue;
       M.patchCode32(Mod.CodeBase + R.Offset, Base + R.SiteId);
     }
-    BaryPatched[Idx] = true;
+    BaryPatched.insert(Mod.Serial);
   }
 }
 
 void Linker::updateGotEntries() {
   // Fill every module's GOT slots with the current definitions. Runs
-  // between the Tary and Bary phases of the installing TxUpdate.
+  // between the phases of installing AND retiring transactions.
   for (const MappedModule &Mod : M.modules()) {
+    if (Mod.Retired)
+      continue; // a dead module's GOT is unreachable, leave it
     for (const std::string &Imp : Mod.Obj->Imports) {
       auto It = Mod.Obj->DataSymbols.find("got$" + Imp);
       if (It == Mod.Obj->DataSymbols.end())
         continue;
+      // findFunction skips retired modules, so an import whose
+      // definition was dlclosed resolves to 0 — and the slot must be
+      // actively zeroed, not skipped: a stale pre-unload address here
+      // would let the PLT replay a transfer into retired (or reused)
+      // code. A zero slot fails closed at the PLT's check.
       uint64_t Addr = M.findFunction(Imp);
-      if (!Addr)
-        continue; // stays 0: calling it fails closed at the PLT check
       uint8_t Bytes[8];
       for (unsigned B = 0; B != 8; ++B)
         Bytes[B] = static_cast<uint8_t>(Addr >> (8 * B));
@@ -230,22 +240,64 @@ void Linker::updateGotEntries() {
   }
 }
 
+std::vector<LoadedModuleView> Linker::moduleViews() const {
+  std::vector<LoadedModuleView> Views;
+  Views.reserve(M.modules().size());
+  for (const MappedModule &Mod : M.modules()) {
+    if (Mod.Retired)
+      Views.push_back({nullptr, Mod.CodeBase, Mod.TombstoneSites});
+    else
+      Views.push_back({Mod.Obj.get(), Mod.CodeBase, 0});
+  }
+  return Views;
+}
+
+PolicyImage Linker::flattenPolicy(const CFGPolicy &P) const {
+  PolicyImage Image;
+  Image.TaryLimitBytes = M.codeTop() - Machine::CodeBase;
+  Image.BaryCount = static_cast<uint32_t>(P.BranchECN.size());
+  Image.TaryECN.reserve(P.TargetECN.size());
+  for (const auto &[Addr, ECN] : P.TargetECN)
+    Image.TaryECN.emplace(Addr - Machine::CodeBase, ECN);
+  Image.BaryECN = P.BranchECN;
+  return Image;
+}
+
 bool Linker::installPolicy(CFGPolicy &&NewPolicy, uint32_t BatchModules) {
   // Flatten the policy to table coordinates so the shadow can diff it
   // against what the tables currently hold.
-  PolicyImage Image;
-  Image.TaryLimitBytes = M.codeTop() - Machine::CodeBase;
-  Image.BaryCount = static_cast<uint32_t>(NewPolicy.BranchECN.size());
-  Image.TaryECN.reserve(NewPolicy.TargetECN.size());
-  for (const auto &[Addr, ECN] : NewPolicy.TargetECN)
-    Image.TaryECN.emplace(Addr - Machine::CodeBase, ECN);
-  Image.BaryECN = NewPolicy.BranchECN;
+  PolicyImage Image = flattenPolicy(NewPolicy);
 
   ShadowDelta Delta;
   if (Opts.IncrementalUpdates)
     Delta = Shadow.computeDelta(Image);
   else
     Delta.Reason = "incremental updates disabled";
+
+  // The dlclose/dlopen ABA guard: an incremental install never bumps the
+  // version, so it must not hand a *condemned* ECN (one owned by a
+  // retired module still inside its grace period) to a fresh class — a
+  // stale pre-unload ID would then pass the version-half comparison
+  // against the new targets. Forcing the full path bumps the version,
+  // which makes every stale snapshot fail.
+  if (!Delta.FullRebuild &&
+      (!Delta.TaryDirtyOffsets.empty() || !Delta.BaryDirty.empty())) {
+    std::vector<uint32_t> FreshECNs;
+    for (uint64_t Off : Delta.TaryDirtyOffsets) {
+      auto It = Image.TaryECN.find(Off);
+      if (It != Image.TaryECN.end())
+        FreshECNs.push_back(It->second);
+    }
+    for (uint32_t I : Delta.BaryDirty) {
+      int64_t ECN = I < Image.BaryECN.size() ? Image.BaryECN[I] : -1;
+      if (ECN >= 0 && ECN != EmptyClassECN)
+        FreshECNs.push_back(static_cast<uint32_t>(ECN));
+    }
+    if (M.reclaimer().anyCondemned(FreshECNs)) {
+      Delta = ShadowDelta();
+      Delta.Reason = "condemned ECN reuse (unload grace period)";
+    }
+  }
 
 #ifndef NDEBUG
   // Cross-check the delta against the modules' declared IBT offsets:
@@ -254,10 +306,12 @@ bool Linker::installPolicy(CFGPolicy &&NewPolicy, uint32_t BatchModules) {
   if (!Delta.FullRebuild) {
     for (uint64_t Off : Delta.TaryDirtyOffsets) {
       uint64_t Addr = Off + Machine::CodeBase;
-      // Owning module = the highest CodeBase at or below the address.
+      // Owning module = the live module containing the address (retired
+      // tombstones can share a CodeBase with a hole's new occupant).
       const MappedModule *Owner = nullptr;
       for (const MappedModule &Mod : M.modules())
-        if (Mod.CodeBase <= Addr && (!Owner || Mod.CodeBase > Owner->CodeBase))
+        if (!Mod.Retired && Mod.CodeBase <= Addr &&
+            Addr < Mod.CodeBase + Mod.CodeSize)
           Owner = &Mod;
       assert(Owner && "delta Tary offset outside every module");
       // Hand-assembled objects (some tests) skip finalizeObject and
@@ -320,6 +374,9 @@ bool Linker::installPolicy(CFGPolicy &&NewPolicy, uint32_t BatchModules) {
 
 bool Linker::linkProgram(std::vector<MCFIObject> Objects,
                          std::string &Error) {
+  // Hold off concurrent applyReclaim for the whole link: the module
+  // walks below are not a single ModuleLock critical section.
+  auto ReclaimGuard = M.lockReclaimApply();
   // Bootstrap first so its branch-site indexes stay stable forever.
   std::vector<MCFIObject> All;
   All.push_back(makeBootstrap());
@@ -342,9 +399,7 @@ bool Linker::linkProgram(std::vector<MCFIObject> Objects,
     if (!resolveModule(Idx, Error))
       return false;
 
-  std::vector<LoadedModuleView> Views;
-  for (const MappedModule &Mod : M.modules())
-    Views.push_back({Mod.Obj.get(), Mod.CodeBase});
+  std::vector<LoadedModuleView> Views = moduleViews();
 
   if (Opts.InstallPolicy) {
     CFGPolicy NewPolicy =
@@ -384,6 +439,11 @@ bool Linker::linkProgram(std::vector<MCFIObject> Objects,
 
   M.SigReturnAddr = M.findFunction("sig$return");
   M.DlopenHook = [this](Machine &, int64_t Id) { return dlopen(Id); };
+  M.DlcloseHook = [this](Machine &, int64_t Handle) {
+    return dlclose(Handle);
+  };
+  // Everything mapped so far is the program itself; dlclose refuses it.
+  StaticModules = M.modules().size();
   return true;
 }
 
@@ -456,6 +516,10 @@ Linker::dlopenBatch(const std::vector<int64_t> &RegistryIds) {
 }
 
 void Linker::processBatch(std::vector<PendingDlopen *> &Batch) {
+  // A drainReclaim on another thread (test harness, churn tool, or a
+  // guest's quiescence hook) must not trim/zero Mapped while this
+  // leader is mid-walk; applyReclaim takes the same lock.
+  auto ReclaimGuard = M.lockReclaimApply();
   DlopenBatchStats BS;
   BS.Requested = static_cast<uint32_t>(Batch.size());
 
@@ -487,10 +551,9 @@ void Linker::processBatch(std::vector<PendingDlopen *> &Batch) {
 
   // Step 2, once for the whole batch: regenerate the combined CFG, patch
   // every new module's Bary indexes while its pages are still writable,
-  // verify, seal RX.
-  std::vector<LoadedModuleView> Views;
-  for (const MappedModule &Mod : M.modules())
-    Views.push_back({Mod.Obj.get(), Mod.CodeBase});
+  // verify, seal RX. Retired modules appear as tombstones: positionally
+  // present, semantically absent.
+  std::vector<LoadedModuleView> Views = moduleViews();
   auto MergeStart = std::chrono::steady_clock::now();
   CFGPolicy NewPolicy = generateCFG(Views, Opts.Refinement, Opts.MergeWorkers);
   BS.MergeMicros = std::chrono::duration<double, std::micro>(
@@ -536,4 +599,297 @@ void Linker::processBatch(std::vector<PendingDlopen *> &Batch) {
     P->Result.CodeBase = M.modules()[static_cast<size_t>(Idx)].CodeBase;
   }
   BatchHistory.push_back(BS);
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic unloading (dlclose, batched)
+//===----------------------------------------------------------------------===//
+
+bool Linker::dlcloseOne(int64_t Handle) {
+  PendingDlclose Req;
+  Req.Handle = Handle;
+
+  std::unique_lock<std::mutex> Lk(BatchLock);
+  CloseQueue.push_back(&Req);
+  if (CloseLeaderActive) {
+    // Another thread is mid-retire; its leader drains the queue — this
+    // request included — as one batch (one retire transaction).
+    CloseCv.wait(Lk, [&] { return Req.Done; });
+    return Req.Ok;
+  }
+
+  CloseLeaderActive = true;
+  while (!CloseQueue.empty()) {
+    std::vector<PendingDlclose *> Batch(CloseQueue.begin(), CloseQueue.end());
+    CloseQueue.clear();
+    Lk.unlock();
+    {
+      std::lock_guard<std::mutex> Guard(DlopenLock);
+      processUnloadBatch(Batch);
+    }
+    Lk.lock();
+    for (PendingDlclose *P : Batch)
+      P->Done = true;
+    CloseCv.notify_all();
+  }
+  CloseLeaderActive = false;
+  return Req.Ok;
+}
+
+std::vector<bool> Linker::dlcloseBatch(const std::vector<int64_t> &Handles) {
+  std::vector<PendingDlclose> Reqs(Handles.size());
+  std::vector<PendingDlclose *> Batch;
+  Batch.reserve(Reqs.size());
+  for (size_t I = 0; I != Handles.size(); ++I) {
+    Reqs[I].Handle = Handles[I];
+    Batch.push_back(&Reqs[I]);
+  }
+  // Bypasses the combiner queue (exact batch shape for tests/benchmarks);
+  // DlopenLock still serializes against every other link operation.
+  std::lock_guard<std::mutex> Guard(DlopenLock);
+  processUnloadBatch(Batch);
+  std::vector<bool> Out;
+  Out.reserve(Reqs.size());
+  for (const PendingDlclose &R : Reqs)
+    Out.push_back(R.Ok);
+  return Out;
+}
+
+/// Do two flattened policies encode the same table state?
+static bool sameImage(const PolicyImage &A, const PolicyImage &B) {
+  return A.TaryLimitBytes == B.TaryLimitBytes && A.BaryCount == B.BaryCount &&
+         A.TaryECN == B.TaryECN && A.BaryECN == B.BaryECN;
+}
+
+void Linker::processUnloadBatch(std::vector<PendingDlclose *> &Batch) {
+  // Same serialization as processBatch: moduleViews and the validation
+  // walk must see a stable Mapped while a concurrent drain applies.
+  auto ReclaimGuard = M.lockReclaimApply();
+  DlcloseBatchStats BS;
+  BS.Requested = static_cast<uint32_t>(Batch.size());
+
+  // Per-module state captured before anything is torn down.
+  struct DyingModule {
+    PendingDlclose *P = nullptr;
+    int Idx = -1;
+    uint64_t Serial = 0;
+    uint64_t ContentHash = 0;
+    uint64_t CodeBegin = 0, CodeEnd = 0; ///< absolute address range
+    uint32_t SiteBase = 0, SiteCount = 0; ///< global Bary index range
+    std::vector<uint32_t> CondemnedECNs;
+  };
+
+  // Validate: in range, dynamically loaded, live, not a duplicate within
+  // this batch. A bad handle fails alone; the rest proceed.
+  std::vector<DyingModule> Dying;
+  std::unordered_set<int64_t> SeenHandles;
+  for (PendingDlclose *P : Batch) {
+    int64_t H = P->Handle;
+    if (H < static_cast<int64_t>(StaticModules) ||
+        H >= static_cast<int64_t>(M.modules().size())) {
+      LastError = "dlclose: invalid handle";
+      continue;
+    }
+    const MappedModule &Mod = M.modules()[static_cast<size_t>(H)];
+    if (Mod.Retired) {
+      LastError = "dlclose: module already closed";
+      continue;
+    }
+    if (!SeenHandles.insert(H).second) {
+      LastError = "dlclose: duplicate handle in batch";
+      continue;
+    }
+    assert(static_cast<size_t>(H) < Policy.SiteIndexBase.size() &&
+           "policy is stale relative to the module list");
+    DyingModule D;
+    D.P = P;
+    D.Idx = static_cast<int>(H);
+    D.Serial = Mod.Serial;
+    D.ContentHash = hashModuleContent(*Mod.Obj);
+    D.CodeBegin = Mod.CodeBase;
+    D.CodeEnd = Mod.CodeBase + Mod.CodeSize;
+    D.SiteBase = Policy.SiteIndexBase[static_cast<size_t>(H)];
+    D.SiteCount = static_cast<uint32_t>(Mod.Obj->Aux.BranchSites.size());
+    Dying.push_back(std::move(D));
+  }
+  BS.Closed = static_cast<uint32_t>(Dying.size());
+  if (Dying.empty()) {
+    UnloadHistory.push_back(BS);
+    return;
+  }
+
+  auto InDyingTary = [&](uint64_t Off) {
+    uint64_t Addr = Machine::CodeBase + Off;
+    for (const DyingModule &D : Dying)
+      if (Addr >= D.CodeBegin && Addr < D.CodeEnd)
+        return true;
+    return false;
+  };
+  auto DyingOwnerOfSite = [&](uint32_t Site) -> int {
+    for (size_t I = 0; I != Dying.size(); ++I)
+      if (Site >= Dying[I].SiteBase &&
+          Site < Dying[I].SiteBase + Dying[I].SiteCount)
+        return static_cast<int>(I);
+    return -1;
+  };
+
+  // Exclusive-ECN computation, against the shadow BEFORE the scrub: an
+  // ECN is condemned iff every occurrence across the installed image
+  // (Tary values and live Bary values) lies inside the dying set. A
+  // class shared with a surviving module stays live — its surviving
+  // members keep matching, so its number is not up for reuse. The
+  // reserved EmptyClassECN is shared by construction and never matches a
+  // target; it is never condemned.
+  {
+    struct Occurrence {
+      uint64_t Total = 0, InDying = 0;
+      std::vector<int> Owners; ///< dying-module indexes holding it
+    };
+    std::unordered_map<uint32_t, Occurrence> Occ;
+    const PolicyImage &Img = Shadow.image();
+    for (const auto &[Off, ECN] : Img.TaryECN) {
+      Occurrence &C = Occ[ECN];
+      ++C.Total;
+      if (InDyingTary(Off)) {
+        ++C.InDying;
+        // Tary occurrences are attributed below via the owning range.
+        for (size_t I = 0; I != Dying.size(); ++I)
+          if (Machine::CodeBase + Off >= Dying[I].CodeBegin &&
+              Machine::CodeBase + Off < Dying[I].CodeEnd)
+            if (C.Owners.empty() || C.Owners.back() != static_cast<int>(I))
+              C.Owners.push_back(static_cast<int>(I));
+      }
+    }
+    for (size_t Site = 0; Site != Img.BaryECN.size(); ++Site) {
+      int64_t E = Img.BaryECN[Site];
+      if (E < 0)
+        continue;
+      Occurrence &C = Occ[static_cast<uint32_t>(E)];
+      ++C.Total;
+      int Owner = DyingOwnerOfSite(static_cast<uint32_t>(Site));
+      if (Owner >= 0) {
+        ++C.InDying;
+        if (C.Owners.empty() || C.Owners.back() != Owner)
+          C.Owners.push_back(Owner);
+      }
+    }
+    for (auto &[ECN, C] : Occ) {
+      if (ECN == EmptyClassECN || C.InDying == 0 || C.InDying != C.Total)
+        continue;
+      // Exclusive to the dying set: condemn it on every dying module
+      // that holds it (the reclaimer counts multiplicity, so the number
+      // stays condemned until the LAST holder matures).
+      std::sort(C.Owners.begin(), C.Owners.end());
+      C.Owners.erase(std::unique(C.Owners.begin(), C.Owners.end()),
+                     C.Owners.end());
+      for (int Owner : C.Owners)
+        Dying[static_cast<size_t>(Owner)].CondemnedECNs.push_back(ECN);
+    }
+    for (DyingModule &D : Dying)
+      std::sort(D.CondemnedECNs.begin(), D.CondemnedECNs.end());
+  }
+
+  // Step 1 of the retire protocol: make the dying modules invisible to
+  // symbol lookups BEFORE the table transaction, so the GOT-zeroing hook
+  // running between its phases re-resolves imports without them.
+  for (const DyingModule &D : Dying)
+    M.markModuleRetired(D.Idx, D.SiteCount);
+
+  // Close the longjmp window before the tables forget the module: a
+  // jmp_buf pointing into a dying range must stop validating now, not
+  // after the policy regeneration below.
+  {
+    std::vector<uint64_t> Sites;
+    Sites.reserve(Policy.SetjmpRetSites.size());
+    for (uint64_t S : Policy.SetjmpRetSites) {
+      bool Dead = false;
+      for (const DyingModule &D : Dying)
+        if (S >= D.CodeBegin && S < D.CodeEnd) {
+          Dead = true;
+          break;
+        }
+      if (!Dead)
+        Sites.push_back(S);
+    }
+    Policy.SetjmpRetSites = Sites;
+    M.setSetjmpRetSites(std::move(Sites));
+  }
+
+  // ONE retire transaction for the whole batch: Bary sites die first,
+  // then the phase barrier + GOT zeroing, then the Tary ranges — so no
+  // surviving site ever observes a half-retired module as matchable.
+  std::vector<TaryRange> Ranges;
+  std::vector<uint32_t> Sites;
+  for (const DyingModule &D : Dying) {
+    Ranges.push_back(
+        {D.CodeBegin - Machine::CodeBase, D.CodeEnd - Machine::CodeBase});
+    for (uint32_t S = 0; S != D.SiteCount; ++S)
+      Sites.push_back(D.SiteBase + S);
+  }
+  TxUpdateStats Stats;
+  Stats.BatchModules = BS.Closed;
+  auto Start = std::chrono::steady_clock::now();
+  TxUpdateStatus Status = M.tables().txUpdateRetire(
+      Ranges, Sites, [this]() { updateGotEntries(); }, &Stats);
+  assert(Status == TxUpdateStatus::Ok &&
+         "retire transactions never exhaust version space");
+  (void)Status;
+  Stats.Micros = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  UpdateHistory.push_back(Stats);
+  BS.RetireMicros = Stats.Micros;
+
+  // Mirror the zeroing into the shadow so the next delta diffs against
+  // what the tables actually hold now.
+  for (const DyingModule &D : Dying) {
+    std::vector<uint32_t> ModSites;
+    ModSites.reserve(D.SiteCount);
+    for (uint32_t S = 0; S != D.SiteCount; ++S)
+      ModSites.push_back(D.SiteBase + S);
+    Shadow.retireRange(D.CodeBegin - Machine::CodeBase,
+                       D.CodeEnd - Machine::CodeBase, ModSites);
+  }
+
+  // Drop cached per-module signature sets and the patched-site record
+  // (keyed by Serial, so a future occupant of the index re-patches).
+  for (const DyingModule &D : Dying) {
+    SigSetCache::global().drop(D.ContentHash);
+    BaryPatched.erase(D.Serial);
+  }
+
+  // Step 2 of the retire protocol: the code ranges + condemned ECNs
+  // enter the reclaimer's grace period. The code stays mapped and
+  // executable until every guest thread passes a quiescent point.
+  for (DyingModule &D : Dying)
+    M.retireModule(D.Idx, std::move(D.CondemnedECNs));
+
+  // Regenerate the policy with the dying modules as tombstones. In the
+  // common self-contained case the result flattens to exactly the
+  // scrubbed shadow (survivors keep their classes and numbering), and no
+  // second transaction is needed: the retire-only fast path. Otherwise
+  // (class splits, renumbering) the full install's version bump makes
+  // every stale pre-unload ID snapshot fail.
+  auto MergeStart = std::chrono::steady_clock::now();
+  CFGPolicy NewPolicy =
+      generateCFG(moduleViews(), Opts.Refinement, Opts.MergeWorkers);
+  BS.MergeMicros = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - MergeStart)
+                       .count();
+  if (sameImage(flattenPolicy(NewPolicy), Shadow.image())) {
+    Policy = std::move(NewPolicy);
+    M.setSetjmpRetSites(Policy.SetjmpRetSites);
+  } else {
+    BS.PolicyReinstalled = true;
+    if (!installPolicy(std::move(NewPolicy), BS.Closed))
+      LastError = "dlclose: " + LastError; // modules are still retired
+  }
+
+  // Between the retire transaction and a reinstall the tables are
+  // self-consistent under the OLD numbering (survivors' entries were
+  // untouched on both sides); only the dying entries are gone. See
+  // docs/INTERNALS.md §17.
+  for (const DyingModule &D : Dying)
+    D.P->Ok = true;
+  UnloadHistory.push_back(BS);
 }

@@ -36,6 +36,7 @@
 #include <condition_variable>
 #include <deque>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace mcfi {
@@ -86,6 +87,20 @@ struct DlopenBatchStats {
   double InstallMicros = 0; ///< the single TxUpdate transaction
 };
 
+/// Per-batch accounting for coalesced unloads (dlclose), mirroring
+/// DlopenBatchStats.
+struct DlcloseBatchStats {
+  uint32_t Requested = 0; ///< dlclose requests coalesced into the batch
+  uint32_t Closed = 0;    ///< modules actually retired
+  /// True when removing the batch changed surviving equivalence classes,
+  /// forcing a full version-bumping reinstall on top of the retire
+  /// transaction (class splits/renumbering; the common self-contained
+  /// plugin case stays retire-only).
+  bool PolicyReinstalled = false;
+  double MergeMicros = 0;  ///< one tombstoned-CFG regeneration
+  double RetireMicros = 0; ///< the single txUpdateRetire transaction
+};
+
 /// Drives loading, relocation, CFG generation, verification, and table
 /// installation against one Machine.
 class Linker {
@@ -118,6 +133,24 @@ public:
   /// input. Used by benchmarks/tests that need exact batch shapes.
   std::vector<DlopenResult> dlopenBatch(const std::vector<int64_t> &RegistryIds);
 
+  /// Module unload — the inverse of the dlopen path. The module's table
+  /// entries are zeroed by ONE retire transaction (no version bump;
+  /// checks against it fail closed immediately), its setjmp sites leave
+  /// the longjmp list, its GOT-published addresses are zeroed in the
+  /// transaction's between-phases hook, and its code range + exclusive
+  /// ECNs go to the machine's epoch reclaimer to wait out the grace
+  /// period. Returns false for an invalid handle (unknown, static
+  /// program module, or already closed). Installed as the machine's
+  /// DlcloseHook by linkProgram; concurrent callers are coalesced like
+  /// dlopenOne's.
+  bool dlcloseOne(int64_t Handle);
+  int64_t dlclose(int64_t Handle) { return dlcloseOne(Handle) ? 0 : -1; }
+
+  /// Explicitly unloads \p Handles as one batch (one retire transaction,
+  /// one tombstoned-CFG regeneration), bypassing the combiner queue.
+  /// Results are index-parallel to the input.
+  std::vector<bool> dlcloseBatch(const std::vector<int64_t> &Handles);
+
   /// The policy currently installed (valid after linkProgram).
   const CFGPolicy &policy() const { return Policy; }
 
@@ -130,6 +163,11 @@ public:
   /// Per-batch accounting for coalesced dynamic loads, in install order.
   const std::vector<DlopenBatchStats> &batchHistory() const {
     return BatchHistory;
+  }
+
+  /// Per-batch accounting for coalesced unloads, in retire order.
+  const std::vector<DlcloseBatchStats> &unloadHistory() const {
+    return UnloadHistory;
   }
 
   /// The shadow of the installed policy (delta source; exposed for
@@ -146,12 +184,25 @@ private:
     bool Done = false;
   };
 
+  /// One queued request in the dlclose combiner.
+  struct PendingDlclose {
+    int64_t Handle = -1;
+    bool Ok = false;
+    bool Done = false;
+  };
+
   bool loadAndRelocate(MCFIObject Obj, std::string &Error);
   bool resolveModule(int Index, std::string &Error);
   void patchBaryIndexes(const CFGPolicy &Policy);
   void updateGotEntries();
   bool installPolicy(CFGPolicy &&NewPolicy, uint32_t BatchModules = 1);
   void processBatch(std::vector<PendingDlopen *> &Batch);
+  void processUnloadBatch(std::vector<PendingDlclose *> &Batch);
+  /// Views of every mapped module, index-parallel to M.modules();
+  /// retired modules appear as positionally-stable tombstones.
+  std::vector<LoadedModuleView> moduleViews() const;
+  /// Flattens \p P to table coordinates (the shape PolicyShadow holds).
+  PolicyImage flattenPolicy(const CFGPolicy &P) const;
   MCFIObject makeBootstrap();
 
   Machine &M;
@@ -160,17 +211,33 @@ private:
   PolicyShadow Shadow;
   std::vector<TxUpdateStats> UpdateHistory;
   std::vector<DlopenBatchStats> BatchHistory;
+  std::vector<DlcloseBatchStats> UnloadHistory;
   std::vector<MCFIObject> Registry;
-  std::vector<bool> BaryPatched; ///< per machine module index
+  /// Serials of modules whose BaryIndex32 relocations are patched.
+  /// Keyed by the never-reused module Serial, NOT the module index: the
+  /// reclaimer's tail-trim lets indices be reused after an unload, and
+  /// an index-keyed "already patched" bit would silently skip the new
+  /// occupant (index-reuse ABA).
+  std::unordered_set<uint64_t> BaryPatched;
+  /// Modules mapped by linkProgram (bootstrap + program). They can never
+  /// be dlclosed: the running program's own code and the policy's stable
+  /// prefix live there.
+  size_t StaticModules = 0;
   std::string LastError;
   std::mutex DlopenLock; ///< serializes dynamic link operations
 
   /// Combiner state: loaders enqueue under BatchLock; the leader drains
   /// the queue in rounds while holding DlopenLock for the install work.
+  /// dlclose mirrors the structure with its own queue so unload batches
+  /// coalesce the same way (close requests arriving mid-retire join the
+  /// next round).
   std::mutex BatchLock;
   std::condition_variable BatchCv;
   std::deque<PendingDlopen *> BatchQueue;
   bool LeaderActive = false;
+  std::condition_variable CloseCv;
+  std::deque<PendingDlclose *> CloseQueue;
+  bool CloseLeaderActive = false;
 };
 
 } // namespace mcfi

@@ -11,7 +11,8 @@
 
 using namespace mcfi;
 
-UpdateSummary mcfi::summarizeUpdates(const Linker &L, const IDTables &Tables) {
+UpdateSummary mcfi::summarizeUpdates(const Linker &L, const IDTables &Tables,
+                                     const ReclaimStats *RS) {
   UpdateSummary S;
   for (const TxUpdateStats &U : L.updateHistory()) {
     ++S.Installs;
@@ -34,8 +35,16 @@ UpdateSummary mcfi::summarizeUpdates(const Linker &L, const IDTables &Tables) {
     if (B.Requested > S.MaxBatch)
       S.MaxBatch = B.Requested;
   }
+  for (const DlcloseBatchStats &B : L.unloadHistory()) {
+    ++S.UnloadBatches;
+    S.BatchedDlcloses += B.Closed;
+    if (B.PolicyReinstalled)
+      ++S.Reinstalls;
+  }
   S.SlowRetries = Tables.slowRetryCount();
   S.UpdateInFlight = Tables.updateInFlight();
+  if (RS)
+    S.Reclaim = *RS;
   return S;
 }
 
@@ -47,7 +56,12 @@ std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
       "\"full_entries_touched\":%llu,\"incremental_entries_touched\":%llu,"
       "\"micros\":%.1f,\"full_micros\":%.1f,\"incremental_micros\":%.1f,"
       "\"slow_retries\":%llu,\"update_in_flight\":%s,"
-      "\"batches\":%llu,\"batched_dlopens\":%llu,\"max_batch\":%llu}",
+      "\"batches\":%llu,\"batched_dlopens\":%llu,\"max_batch\":%llu,"
+      "\"unload_batches\":%llu,\"batched_dlcloses\":%llu,"
+      "\"reinstalls\":%llu,\"retired\":%llu,\"reclaimed\":%llu,"
+      "\"bytes_reclaimed\":%llu,\"condemned_ecns\":%llu,"
+      "\"released_ecns\":%llu,\"pending_regions\":%llu,"
+      "\"free_ranges\":%llu,\"free_bytes\":%llu,\"reused\":%llu}",
       Label.c_str(), static_cast<unsigned long long>(S.Installs),
       static_cast<unsigned long long>(S.FullInstalls),
       static_cast<unsigned long long>(S.IncrementalInstalls),
@@ -59,5 +73,17 @@ std::string mcfi::updateSummaryJSON(const UpdateSummary &S,
       S.UpdateInFlight ? "true" : "false",
       static_cast<unsigned long long>(S.Batches),
       static_cast<unsigned long long>(S.BatchedDlopens),
-      static_cast<unsigned long long>(S.MaxBatch));
+      static_cast<unsigned long long>(S.MaxBatch),
+      static_cast<unsigned long long>(S.UnloadBatches),
+      static_cast<unsigned long long>(S.BatchedDlcloses),
+      static_cast<unsigned long long>(S.Reinstalls),
+      static_cast<unsigned long long>(S.Reclaim.Retired),
+      static_cast<unsigned long long>(S.Reclaim.Reclaimed),
+      static_cast<unsigned long long>(S.Reclaim.BytesReclaimed),
+      static_cast<unsigned long long>(S.Reclaim.CondemnedECNs),
+      static_cast<unsigned long long>(S.Reclaim.ReleasedECNs),
+      static_cast<unsigned long long>(S.Reclaim.PendingRegions),
+      static_cast<unsigned long long>(S.Reclaim.FreeRanges),
+      static_cast<unsigned long long>(S.Reclaim.FreeBytes),
+      static_cast<unsigned long long>(S.Reclaim.Reused));
 }

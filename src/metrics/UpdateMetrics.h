@@ -50,10 +50,24 @@ struct UpdateSummary {
   uint64_t Batches = 0;
   uint64_t BatchedDlopens = 0;
   uint64_t MaxBatch = 0;
+
+  /// Dlclose-coalescing telemetry (Linker::unloadHistory), mirroring the
+  /// dlopen batch counters; Reinstalls counts unload batches whose CFG
+  /// re-merge changed surviving classes and forced a full reinstall.
+  uint64_t UnloadBatches = 0;
+  uint64_t BatchedDlcloses = 0;
+  uint64_t Reinstalls = 0;
+
+  /// Epoch-reclamation counters (Machine::reclaimStats), present when a
+  /// machine was supplied to summarizeUpdates.
+  ReclaimStats Reclaim;
 };
 
 /// Aggregates \p L's updateHistory() plus retry telemetry from \p Tables.
-UpdateSummary summarizeUpdates(const Linker &L, const IDTables &Tables);
+/// Pass \p RS (the machine's reclaimStats()) to include the unload
+/// reclamation counters in the summary.
+UpdateSummary summarizeUpdates(const Linker &L, const IDTables &Tables,
+                               const ReclaimStats *RS = nullptr);
 
 /// One-line JSON rendering, \p Label under a "mode" key (e.g. "full" /
 /// "incremental").

@@ -666,6 +666,7 @@ enum class BuiltinKind : uint8_t {
   Exit,
   Dlopen,
   Dlsym,
+  Dlclose,
 };
 
 /// A function declaration or definition.

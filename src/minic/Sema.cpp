@@ -102,6 +102,7 @@ private:
     declareBuiltin("exit", BuiltinKind::Exit, "void(int)");
     declareBuiltin("dlopen", BuiltinKind::Dlopen, "long(int)");
     declareBuiltin("dlsym", BuiltinKind::Dlsym, "void*(long,char*)");
+    declareBuiltin("dlclose", BuiltinKind::Dlclose, "int(long)");
     // Mark builtins whose kind was attached to a user declaration.
     struct {
       const char *Name;
@@ -113,7 +114,7 @@ private:
         {"print_int", BuiltinKind::PrintInt},
         {"print_str", BuiltinKind::PrintStr},
         {"exit", BuiltinKind::Exit},       {"dlopen", BuiltinKind::Dlopen},
-        {"dlsym", BuiltinKind::Dlsym},
+        {"dlsym", BuiltinKind::Dlsym},     {"dlclose", BuiltinKind::Dlclose},
     };
     for (const auto &Row : Table)
       if (FuncDecl *F = Prog.findFunction(Row.Name))

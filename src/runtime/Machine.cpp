@@ -10,6 +10,7 @@
 #include "runtime/Trace.h"
 #include "support/Assert.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace mcfi;
@@ -36,29 +37,43 @@ Machine::~Machine() = default;
 int Machine::mapModule(MCFIObject Obj) {
   uint64_t CodeSize = Obj.Code.size();
   uint64_t NeededCode = (CodeSize + 7) & ~7ull; // keep modules 8-aligned
-  uint64_t Used = CodeUsed.load(std::memory_order_relaxed);
-  if (Used + NeededCode > CodeCapacity)
-    return -1;
   uint64_t DataSize = (Obj.DataSize + 7) & ~7ull;
   if (DataUsed + DataSize > DataCapacity / 2)
     return -1;
 
   MappedModule M;
-  M.CodeBase = CodeBase + Used;
+  // Prefer a reclaimed hole: ranges reach the free list only after their
+  // grace period, so reuse here can never alias a range a guest thread
+  // still holds pre-retire state for.
+  uint64_t ReusedBase = Reclaimer.allocFromFree(NeededCode, 8);
+  if (ReusedBase) {
+    M.CodeBase = ReusedBase;
+    std::memcpy(CodeBytes.data() + (ReusedBase - CodeBase), Obj.Code.data(),
+                CodeSize);
+  } else {
+    uint64_t Used = CodeUsed.load(std::memory_order_relaxed);
+    if (Used + NeededCode > CodeCapacity)
+      return -1;
+    M.CodeBase = CodeBase + Used;
+    std::memcpy(CodeBytes.data() + Used, Obj.Code.data(), CodeSize);
+    // Publish the extension only after the bytes are in place: a guest
+    // thread whose isCodeAddr sees the new extent must see the code too.
+    CodeUsed.store(Used + NeededCode, std::memory_order_release);
+  }
+  M.CodeSize = NeededCode;
   M.DataBase = DataBase + DataUsed;
-  std::memcpy(CodeBytes.data() + Used, Obj.Code.data(), CodeSize);
-  // Publish the extension only after the bytes are in place: a guest
-  // thread whose isCodeAddr sees the new extent must see the code too.
-  CodeUsed.store(Used + NeededCode, std::memory_order_release);
   DataUsed += DataSize;
 
   for (const auto &[Off, Bytes] : Obj.DataInit)
     writeDataBytes(M.DataBase + Off, Bytes.data(), Bytes.size());
 
   M.Obj = std::make_unique<MCFIObject>(std::move(Obj));
+  int Index;
   {
     std::lock_guard<std::mutex> Guard(ModuleLock);
+    M.Serial = NextModuleSerial++;
     Mapped.push_back(std::move(M));
+    Index = static_cast<int>(Mapped.size() - 1);
   }
 
   // The heap starts after all loaded globals (re-based on every load;
@@ -71,7 +86,7 @@ int Machine::mapModule(MCFIObject Obj) {
                                          std::memory_order_relaxed)) {
   }
   noteCodeChanged();
-  return static_cast<int>(Mapped.size() - 1);
+  return Index;
 }
 
 void Machine::noteCodeChanged() {
@@ -83,25 +98,60 @@ void Machine::sealModule(int Index) {
   std::lock_guard<std::mutex> Guard(ModuleLock);
   assert(Index >= 0 && static_cast<size_t>(Index) < Mapped.size());
   Mapped[Index].Sealed = true;
-  // Extend the contiguous sealed prefix (fast executable check).
-  uint64_t Prefix = 0;
-  for (const MappedModule &M : Mapped) {
-    if (!M.Sealed)
-      break;
-    Prefix = M.CodeBase - CodeBase + ((M.Obj->Code.size() + 7) & ~7ull);
-  }
-  SealedPrefix.store(Prefix, std::memory_order_release);
+  recomputeSealedPrefixLocked();
   noteCodeChanged();
 }
 
-void Machine::patchCode64(uint64_t Addr, uint64_t Value) {
-  assert(isCodeAddr(Addr, 8) && "patch outside code region");
+void Machine::recomputeSealedPrefixLocked() {
+  // The contiguous sealed prefix (fast executable check). With free-list
+  // reuse the Mapped order is no longer address order, and reclaimed
+  // holes break contiguity: walk spans sorted by base address and stop
+  // at the first gap, unsealed module, or reclaimed hole. Retired (but
+  // not yet reclaimed) modules still count — their code stays mapped and
+  // executable until the grace period elapses.
+  std::vector<std::pair<uint64_t, uint64_t>> Spans; // {Base, End}, sealed
+  Spans.reserve(Mapped.size());
   for (const MappedModule &M : Mapped) {
+    if (M.Reclaimed || !M.Sealed)
+      continue;
+    Spans.emplace_back(M.CodeBase, M.CodeBase + M.CodeSize);
+  }
+  std::sort(Spans.begin(), Spans.end());
+  uint64_t End = CodeBase;
+  for (const auto &[B, E] : Spans) {
+    if (B != End)
+      break;
+    End = E;
+  }
+  SealedPrefix.store(End - CodeBase, std::memory_order_release);
+}
+
+void Machine::auditPatchTarget(uint64_t Addr) {
+  // ModuleLock: a concurrent drainReclaim mutates Mapped (Reclaimed
+  // flags, Obj teardown, tail-trim pop_back) and a concurrent dlopen
+  // grows it. The patched module itself is mid-install — unsealed,
+  // unretired — so its bytes can't be concurrently reclaimed, but this
+  // W^X audit walk must not race the bookkeeping. Retired modules are
+  // skipped along with reclaimed ones: their entry may still claim a
+  // range whose grace period matured onto the free list an instant ago
+  // (collect publishes the range before applyReclaim flips Reclaimed),
+  // and a new module legitimately patching that reused range must not
+  // trip the old tombstone's Sealed flag.
+  std::lock_guard<std::mutex> Guard(ModuleLock);
+  for (const MappedModule &M : Mapped) {
+    if (M.Reclaimed || M.Retired)
+      continue;
     if (Addr >= M.CodeBase && Addr < M.CodeBase + M.Obj->Code.size()) {
       assert(!M.Sealed && "patching a sealed module violates W^X");
       break;
     }
   }
+  (void)Addr;
+}
+
+void Machine::patchCode64(uint64_t Addr, uint64_t Value) {
+  assert(isCodeAddr(Addr, 8) && "patch outside code region");
+  auditPatchTarget(Addr);
   uint64_t Off = Addr - CodeBase;
   for (unsigned I = 0; I != 8; ++I)
     CodeBytes[Off + I] = static_cast<uint8_t>(Value >> (8 * I));
@@ -109,12 +159,7 @@ void Machine::patchCode64(uint64_t Addr, uint64_t Value) {
 
 void Machine::patchCode32(uint64_t Addr, uint32_t Value) {
   assert(isCodeAddr(Addr, 4) && "patch outside code region");
-  for (const MappedModule &M : Mapped) {
-    if (Addr >= M.CodeBase && Addr < M.CodeBase + M.Obj->Code.size()) {
-      assert(!M.Sealed && "patching a sealed module violates W^X");
-      break;
-    }
-  }
+  auditPatchTarget(Addr);
   uint64_t Off = Addr - CodeBase;
   for (unsigned I = 0; I != 4; ++I)
     CodeBytes[Off + I] = static_cast<uint8_t>(Value >> (8 * I));
@@ -162,8 +207,105 @@ void Machine::noteSyscallBoundary(Thread &T) {
   Tables.resetVersionEpoch();
   QuiescedThisGen = 0;
   QuiesceGen.store(Gen + 1, std::memory_order_release);
+  // Generation completion is also the reclaimer's grace clock: regions
+  // retired at generation R mature once Gen+1 >= R+2 (the completion of
+  // R+1 proves every thread crossed a boundary strictly after the
+  // retire). QuiesceLock is held; applyReclaim takes ModuleLock inside
+  // it, which no path acquires in the opposite order.
+  applyReclaim(Reclaimer.collect(Gen + 1));
   if (QuiesceEpochHook)
     QuiesceEpochHook(Gen);
+}
+
+//===----------------------------------------------------------------------===//
+// Module unload
+//===----------------------------------------------------------------------===//
+
+void Machine::markModuleRetired(int Index, uint32_t TombstoneSites) {
+  std::lock_guard<std::mutex> Guard(ModuleLock);
+  assert(Index >= 0 && static_cast<size_t>(Index) < Mapped.size());
+  MappedModule &M = Mapped[Index];
+  assert(!M.Retired && "module retired twice");
+  M.Retired = true;
+  M.TombstoneSites = TombstoneSites;
+}
+
+void Machine::retireModule(int Index, std::vector<uint32_t> ExclusiveECNs) {
+  RetiredRegion R;
+  {
+    std::lock_guard<std::mutex> Guard(ModuleLock);
+    assert(Index >= 0 && static_cast<size_t>(Index) < Mapped.size());
+    MappedModule &M = Mapped[Index];
+    assert(M.Retired && "retireModule without markModuleRetired");
+    R.CodeBase = M.CodeBase;
+    R.SizeBytes = M.CodeSize;
+    R.Serial = M.Serial;
+  }
+  R.ECNs = std::move(ExclusiveECNs);
+  // Stamp with the forming generation: threads already counted toward it
+  // may still be mid-transaction, hence the R+2 maturity rule.
+  R.RetireGen = QuiesceGen.load(std::memory_order_acquire);
+  Reclaimer.retire(std::move(R));
+}
+
+void Machine::drainReclaim() {
+  if (RunningThreads.load(std::memory_order_acquire) == 0) {
+    // No guest thread is inside the interpreter: there are no readers,
+    // so every pending region is trivially past grace.
+    applyReclaim(Reclaimer.collectAll());
+    return;
+  }
+  applyReclaim(
+      Reclaimer.collect(QuiesceGen.load(std::memory_order_acquire)));
+}
+
+void Machine::applyReclaim(const std::vector<RetiredRegion> &Matured) {
+  if (Matured.empty())
+    return;
+  // Serialize against the linker's batch leaders: their module walks
+  // (moduleViews, GOT updates, Bary-index patching) span many
+  // ModuleLock-sized critical sections and would otherwise observe the
+  // tail-trim's pop_back mid-walk. Lock order: ReclaimApplyLock before
+  // ModuleLock (the guest quiescence path adds QuiesceLock in front).
+  auto ApplyGuard = lockReclaimApply();
+  {
+    std::lock_guard<std::mutex> Guard(ModuleLock);
+    for (const RetiredRegion &R : Matured) {
+      for (MappedModule &M : Mapped) {
+        if (M.Serial != R.Serial)
+          continue;
+        assert(M.Retired && "reclaiming a live module");
+        M.Reclaimed = true;
+        M.Obj.reset(); // drop symbols/metadata; the tombstone stays
+        // The W^X "unmap": the range is no longer executable content.
+        // A stray fetch into the hole reads zeroes and traps on decode —
+        // it can never execute stale module bytes.
+        std::memset(CodeBytes.data() + (R.CodeBase - CodeBase), 0,
+                    R.SizeBytes);
+        break;
+      }
+    }
+    recomputeSealedPrefixLocked();
+    // Publish the ranges for reuse only now that the bytes are zeroed:
+    // a range on the free list is immediately allocatable by the next
+    // mapModule, which must never have its freshly copied code wiped by
+    // this function's memset (collect() deliberately does not publish).
+    for (const RetiredRegion &R : Matured)
+      Reclaimer.addFreeRange(R.CodeBase, R.SizeBytes);
+    // Tail-trim cascade: peel matured holes off the top of the code
+    // region and retreat CodeUsed, so a machine that unloads everything
+    // it dlopened returns to its exact initial footprint (the churn
+    // storm asserts this). Interior holes stay on the free list for
+    // reuse by the next mapModule.
+    FreeRange Top;
+    while (Reclaimer.takeFreeRangeEndingAt(codeTop(), Top)) {
+      CodeUsed.store(Top.Base - CodeBase, std::memory_order_release);
+      while (!Mapped.empty() && Mapped.back().Reclaimed &&
+             Mapped.back().CodeBase >= Top.Base)
+        Mapped.pop_back();
+    }
+  }
+  noteCodeChanged();
 }
 
 //===----------------------------------------------------------------------===//
@@ -302,9 +444,12 @@ uint64_t Machine::findFunction(const std::string &Name) const {
   // Guest dlsym resolves symbols while dlopen may be appending to
   // Mapped from another thread; the walk must hold the module lock.
   std::lock_guard<std::mutex> Guard(ModuleLock);
-  for (const MappedModule &M : Mapped)
+  for (const MappedModule &M : Mapped) {
+    if (M.Retired) // dlclosed modules are invisible to symbol lookup
+      continue;
     if (const FunctionInfo *F = M.Obj->findFunction(Name))
       return M.CodeBase + F->CodeOffset;
+  }
   return 0;
 }
 
@@ -313,6 +458,8 @@ uint64_t Machine::dlsymLookup(int64_t Handle, const std::string &Name) const {
     std::lock_guard<std::mutex> Guard(ModuleLock);
     if (Handle >= 0 && static_cast<size_t>(Handle) < Mapped.size()) {
       const MappedModule &M = Mapped[static_cast<size_t>(Handle)];
+      if (M.Retired) // stale handle to a dlclosed module
+        return 0;
       if (const FunctionInfo *F = M.Obj->findFunction(Name))
         return M.CodeBase + F->CodeOffset;
       return 0;

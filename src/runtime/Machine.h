@@ -30,6 +30,7 @@
 
 #include "module/MCFIObject.h"
 #include "tables/IDTables.h"
+#include "tables/Reclaim.h"
 #include "visa/ISA.h"
 
 #include <atomic>
@@ -83,6 +84,7 @@ enum class SyscallNo : uint8_t {
   Exit = 9,
   Dlopen = 10,
   Dlsym = 11,
+  Dlclose = 12,
   SigReturn = 100,
 };
 
@@ -117,11 +119,30 @@ struct Thread {
 };
 
 /// A module mapped into the machine.
+///
+/// Unload lifecycle (docs/INTERNALS.md §17): live -> Retired (dlclose ran
+/// its retire transaction; code still mapped because a guest thread may
+/// still be executing in it) -> Reclaimed (grace period elapsed; Obj
+/// dropped, code bytes zeroed, range on the reclaimer's free list).
+/// Reclaimed entries stay in Mapped as tombstones so surviving module
+/// indices — and the linker's positional site bookkeeping — never shift;
+/// only trailing tombstones are popped by the tail-trim cascade.
 struct MappedModule {
   std::unique_ptr<MCFIObject> Obj;
   uint64_t CodeBase = 0; ///< absolute
   uint64_t DataBase = 0; ///< absolute
+  uint64_t CodeSize = 0; ///< 8-aligned mapped size (outlives Obj)
+  /// Monotonic, never-reused identity. Module *indices* are reused once
+  /// trailing tombstones are popped; anything keyed across an unload
+  /// (e.g. the linker's patched-GOT set) must key on Serial instead.
+  uint64_t Serial = 0;
   bool Sealed = false;   ///< code is RX (executable, not writable)
+  bool Retired = false;  ///< dlclosed; invisible to dlsym/findFunction
+  bool Reclaimed = false; ///< grace elapsed; Obj == nullptr, code zeroed
+  /// Branch-site slot count captured by the linker at dlclose, so policy
+  /// regeneration can emit a positionally-stable tombstone view after
+  /// Obj has been dropped.
+  uint32_t TombstoneSites = 0;
 };
 
 struct MachineOptions {
@@ -193,6 +214,48 @@ public:
   /// Guest threads that dlopen concurrently are coalesced by the linker's
   /// combiner into one batched table installation (Linker::dlopenOne).
   std::function<int64_t(Machine &, int64_t)> DlopenHook;
+
+  /// Installed by the linker: services the guest's dlclose syscall
+  /// (returns 0 on success, -1 on a bad handle).
+  std::function<int64_t(Machine &, int64_t)> DlcloseHook;
+
+  //===--------------------------------------------------------------------===//
+  // Module unload (called by the linker's dlclose path)
+  //===--------------------------------------------------------------------===//
+
+  /// Step 1 of unload: marks module \p Index retired, making it
+  /// invisible to findFunction/dlsymLookup — the linker calls this
+  /// *before* its table retire transaction so the transaction's GOT-
+  /// zeroing hook re-resolves imports without the dying module. Records
+  /// \p TombstoneSites for later policy regeneration.
+  void markModuleRetired(int Index, uint32_t TombstoneSites);
+
+  /// Step 2 of unload (after the table retire transaction): hands the
+  /// module's code range plus its exclusive ECNs to the epoch reclaimer,
+  /// stamped with the current quiescence generation. The code stays
+  /// mapped and executable until the grace period elapses — a guest
+  /// thread may still be running in it.
+  void retireModule(int Index, std::vector<uint32_t> ExclusiveECNs);
+
+  /// Opportunistically matures retired regions: with no running guest
+  /// threads everything pending is drained (no readers exist); otherwise
+  /// only regions past the R+2 grace rule are reclaimed. Safe to call at
+  /// any time; tests and the churn benchmark call it between cycles.
+  void drainReclaim();
+
+  /// True while any retired region awaits its grace period. The VM keeps
+  /// taking the quiescence path at syscall boundaries while set, so grace
+  /// generations keep advancing.
+  bool reclaimPending() const { return Reclaimer.pendingReclaim(); }
+
+  EpochReclaimer &reclaimer() { return Reclaimer; }
+  const EpochReclaimer &reclaimer() const { return Reclaimer; }
+  ReclaimStats reclaimStats() const { return Reclaimer.stats(); }
+
+  /// Current quiescence generation (see noteSyscallBoundary).
+  uint64_t quiesceGeneration() const {
+    return QuiesceGen.load(std::memory_order_acquire);
+  }
 
   /// Fired after each quiescence-point epoch reset with the generation
   /// that just completed. Lets metrics and the schedule checker observe
@@ -298,14 +361,43 @@ public:
 
   uint64_t codeCapacity() const { return CodeCapacity; }
 
+  /// Serializes applyReclaim's layout mutation (Reclaimed flags, code
+  /// zeroing, tail-trim pop_back) against the linker's batch leaders,
+  /// whose module walks span many ModuleLock-sized critical sections
+  /// (and some, like the patch audit, take ModuleLock themselves —
+  /// hence a separate, coarser mutex). drainReclaim may be called from
+  /// any thread, so the linker holds this for the whole of
+  /// linkProgram/processBatch/processUnloadBatch. Lock order:
+  /// QuiesceLock -> ReclaimApplyLock -> ModuleLock.
+  std::unique_lock<std::mutex> lockReclaimApply() const {
+    return std::unique_lock<std::mutex>(ReclaimApplyLock);
+  }
+
 private:
   friend class Interpreter;
 
   RunResult runInterpreter(Thread &T, uint64_t Fuel);
 
   /// Bumps CodeEpoch and drops cached predecodings/traces. Called by
-  /// mapModule/sealModule (dlopen changes the code layout).
+  /// mapModule/sealModule (dlopen changes the code layout) and by the
+  /// reclamation path (unload changes it back).
   void noteCodeChanged();
+
+  /// Runtime half of reclamation for regions past grace: zero code bytes
+  /// (the W^X "unmap"), drop the module object, recompute the hole-aware
+  /// sealed prefix, evict stale predecodings/traces, and run the
+  /// tail-trim cascade so a fully unloaded machine returns to its
+  /// initial code footprint.
+  void applyReclaim(const std::vector<RetiredRegion> &Matured);
+
+  /// Recomputes SealedPrefix as the contiguous sealed span from CodeBase,
+  /// stopping at the first hole or unsealed/reclaimed module. Requires
+  /// ModuleLock.
+  void recomputeSealedPrefixLocked();
+
+  /// Debug audit for patchCode32/64: asserts the patched address does not
+  /// fall inside a sealed, live module (W^X). Takes ModuleLock.
+  void auditPatchTarget(uint64_t Addr);
 
   uint64_t CodeCapacity;
   uint64_t DataCapacity;
@@ -325,11 +417,20 @@ private:
   /// the vector) while a guest thread walks it in the interpreter's
   /// slow executable check.
   mutable std::mutex ModuleLock;
+  /// See lockReclaimApply(); held by applyReclaim around its whole
+  /// mutation and by the linker across batch processing.
+  mutable std::mutex ReclaimApplyLock;
   std::vector<MappedModule> Mapped;
   /// Bytes of contiguously sealed code (release/acquire like CodeUsed).
   std::atomic<uint64_t> SealedPrefix{0};
+  /// Next MappedModule::Serial (monotonic; guarded by ModuleLock).
+  uint64_t NextModuleSerial = 1;
 
   IDTables Tables;
+
+  /// Epoch-based reclamation of dlclosed code/table ranges and ECNs
+  /// (tables/Reclaim.h); advanced at quiescence-generation completion.
+  EpochReclaimer Reclaimer;
 
   /// Quiescence tracking (noteSyscallBoundary). Generations start at 1
   /// so a fresh Thread (QuiesceGen 0) always counts as unobserved.

@@ -55,8 +55,10 @@ bool mcfi::vmstep::execSyscall(Machine &M, Thread &T, const Instr &I,
   uint64_t &SP = T.Regs[RegSP];
   // A thread entering a syscall holds no in-flight check transaction:
   // the Sec. 5.2 quiescence point. Only engage the bookkeeping when the
-  // version space is actually running low.
-  if (M.tables().versionSpaceLow())
+  // version space is actually running low, or a dlclosed region is
+  // waiting out its grace period (reclamation advances on the same
+  // quiescence generations).
+  if (M.tables().versionSpaceLow() || M.reclaimPending())
     M.noteSyscallBoundary(T);
   switch (static_cast<SyscallNo>(I.Imm)) {
   case SyscallNo::Malloc:
@@ -111,6 +113,14 @@ bool mcfi::vmstep::execSyscall(Machine &M, Thread &T, const Instr &I,
     }
     if (!Handler)
       break;
+    // Revalidate at dispatch time: the handler may have been registered
+    // before its module was dlclosed, and the retire transaction zeroes
+    // its Tary ID. A stale registration must lose here, not transfer
+    // into a retired (or since-reused) code range.
+    if (!isValidID(M.tables().taryRead(Handler - Machine::CodeBase)))
+      return stopAt(Out, StopReason::CfiViolation, T, PC,
+                    "raise: registered signal handler is no longer a valid "
+                    "branch target (module unloaded)");
     // Dispatch: the handler is entered like a call whose return goes
     // through the sigreturn trampoline (the return instruction in the
     // handler is checked against the trampoline's Tary ID). Without a
@@ -146,6 +156,12 @@ bool mcfi::vmstep::execSyscall(Machine &M, Thread &T, const Instr &I,
     R[RegRet] = M.DlopenHook
                     ? static_cast<uint64_t>(
                           M.DlopenHook(M, static_cast<int64_t>(R[RegArg0])))
+                    : static_cast<uint64_t>(-1);
+    break;
+  case SyscallNo::Dlclose:
+    R[RegRet] = M.DlcloseHook
+                    ? static_cast<uint64_t>(
+                          M.DlcloseHook(M, static_cast<int64_t>(R[RegArg0])))
                     : static_cast<uint64_t>(-1);
     break;
   case SyscallNo::Dlsym:
@@ -187,9 +203,11 @@ bool Machine::interpretStep(Thread &T, RunResult &Out) {
     // mutates Mapped, so walk it under the module lock.
     std::lock_guard<std::mutex> Guard(ModuleLock);
     for (const MappedModule &M : Mapped) {
-      if (PC >= M.CodeBase && PC < M.CodeBase + M.Obj->Code.size()) {
+      if (M.Reclaimed) // a hole: zeroed bytes, not executable
+        continue;
+      if (PC >= M.CodeBase && PC < M.CodeBase + M.CodeSize) {
         Executable = M.Sealed;
-        SpanEnd = M.CodeBase + ((M.Obj->Code.size() + 7) & ~7ull);
+        SpanEnd = M.CodeBase + M.CodeSize;
         break;
       }
     }

@@ -5,8 +5,9 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The six transaction-layer races the checker covers: the five ISSUE 3
-// requires plus the coalesced multi-dlopen batch installation.
+// The seven transaction-layer races the checker covers: the five ISSUE 3
+// requires, the coalesced multi-dlopen batch installation, and the
+// dlclose retire / grace-gated reuse race.
 // Scenarios are deliberately tiny (a few Tary words, two checker threads,
 // two or three ops each): exhaustive exploration cost is exponential in
 // the number of scheduling points, and every behavior of the transaction
@@ -215,6 +216,63 @@ std::vector<Scenario> makeScenarios() {
     S.Checkers = {
         {{3, 0}, {3, 24}},
         {{2, 32}, {0, 0}, {2, 16}},
+    };
+    Out.push_back(std::move(S));
+  }
+
+  {
+    // Module unload: a dlclose retire transaction (module X: Tary 24 /
+    // Bary site 1, class 3) followed by a grace-gated reuse of the
+    // recycled range (module Z: Tary 28 / Bary site 2, and the CFG
+    // re-merge hands Z's class the condemned number 3). The reuse is an
+    // incremental install — no version bump — so it is exactly the
+    // dlclose/dlopen ABA: a checker that latched X's Bary ID before the
+    // retire would compare it against Z's identically-numbered,
+    // identically-versioned Tary entry and PASS an edge no policy ever
+    // allowed. Checker 1 is the use-after-retire sentinel: its (1, 28)
+    // evaluates to ViolationInvalid under every linearization point
+    // (site 1 is X's, target 28 is Z's), so the ABA Pass is torn by
+    // construction. With GraceBefore honoured the updater parks until
+    // every live checker has crossed an op boundary (a quiescent point)
+    // after the retire, and the race is impossible; the
+    // GSchedMutantSkipGrace mutant drops the wait and must be caught.
+    Scenario S;
+    S.Name = "unload";
+    S.Summary = "dlclose retire + grace-gated range reuse (ABA) vs checks";
+    S.CodeCapacity = 64;
+    S.BaryCapacity = 8;
+    S.Initial.TaryLimitBytes = 32;
+    S.Initial.TaryECN = {{0, 1}, {24, 3}};
+    S.Initial.BaryCount = 2;
+    S.Initial.BaryECN = {{0, 1}, {1, 3}};
+    // Update 1: retire module X. The resulting policy simply forgets X;
+    // extents are unchanged (its positions are tombstoned, not freed).
+    SpecPolicy P1;
+    P1.Retire = true;
+    P1.TaryRetire = {{24, 32}};
+    P1.BaryRetireSites = {1};
+    P1.TaryLimitBytes = 32;
+    P1.TaryECN = {{0, 1}};
+    P1.BaryCount = 2;
+    P1.BaryECN = {{0, 1}};
+    // Update 2: module Z reuses X's range after grace. Different layout
+    // (IBT at 28, new site index 2), same version, condemned ECN 3.
+    SpecPolicy P2;
+    P2.Incremental = true;
+    P2.GraceBefore = true;
+    P2.TaryLimitBytes = 32;
+    P2.TaryECN = {{0, 1}, {28, 3}};
+    P2.BaryCount = 3;
+    P2.BaryECN = {{0, 1}, {2, 3}};
+    P2.TaryDirty = {{28, 32}};
+    P2.BaryDirty = {2};
+    S.Updates = {P1, P2};
+    S.Checkers = {
+        // The sentinel: X's site against Z's target. Any Pass is torn.
+        {{1, 28}},
+        // X's in-class edge racing the retire, then Z's own edge (legal
+        // only once the reuse is installed).
+        {{1, 24}, {2, 28}},
     };
     Out.push_back(std::move(S));
   }

@@ -65,6 +65,21 @@ struct SpecPolicy {
   std::vector<TaryRange> TaryDirty;
   std::vector<uint32_t> BaryDirty;
 
+  /// Install via txUpdateRetire (dlclose): zero the Bary sites, then —
+  /// after the phase barrier — the Tary ranges, with no version bump.
+  /// The ECN maps above describe the resulting (post-retire) policy.
+  bool Retire = false;
+  std::vector<TaryRange> TaryRetire;
+  std::vector<uint32_t> BaryRetireSites;
+
+  /// Model the epoch reclaimer's grace period before this update: the
+  /// updater blocks until every live checker's in-flight operation began
+  /// after all completed updates (each op boundary is a quiescent
+  /// point — the harness analogue of a syscall boundary). The
+  /// GSchedMutantSkipGrace mutant drops the wait, which must surface a
+  /// use-after-retire as a torn observation.
+  bool GraceBefore = false;
+
   /// This update must be refused with VersionExhausted (and has no
   /// effect on the linearization sequence).
   bool ExpectExhausted = false;
@@ -147,6 +162,11 @@ struct ExploreOptions {
   /// Enable the test-only Bary-before-Tary phase-order mutant
   /// (SchedPoint.h's GSchedMutantReorderPhases) during the run.
   bool MutantReorderPhases = false;
+  /// Enable the test-only skip-grace mutant (GSchedMutantSkipGrace):
+  /// updates marked GraceBefore run without waiting out the grace
+  /// period, reusing retired table state while a checker may still hold
+  /// a pre-retire snapshot.
+  bool MutantSkipGrace = false;
   bool StopAtFirstViolation = true;
   /// Prune exploration at decisions whose state fingerprint was already
   /// expanded with at least as much preemption budget remaining.
@@ -189,9 +209,10 @@ std::string minimizeSchedule(const Scenario &S, const std::string &Schedule,
 std::string formatSchedule(const std::vector<int> &Choices);
 std::vector<int> parseSchedule(const std::string &Schedule);
 
-/// The six built-in transaction scenarios (full-update race,
+/// The seven built-in transaction scenarios (full-update race,
 /// incremental race, shrink race, version wrap, back-to-back updates,
-/// coalesced multi-dlopen batch install).
+/// coalesced multi-dlopen batch install, dlclose retire + grace-gated
+/// range reuse).
 const std::vector<Scenario> &builtinScenarios();
 const Scenario *findScenario(const std::string &Name);
 

@@ -128,6 +128,8 @@ private:
   int decide();
   bool isEnabled(int I) const;
   bool anyAlive() const;
+  bool graceElapsed() const;
+  void awaitGrace();
   uint64_t fingerprint() const;
   std::string formatTrace() const;
   std::string describeOp(const OpRecord &R) const;
@@ -152,6 +154,10 @@ private:
   int Current = -1;
   bool Aborted = false;
   bool InRun = false;
+  /// The updater is parked before a GraceBefore update until every live
+  /// checker has passed a quiescent point (op boundary) since the last
+  /// completed update.
+  bool WaitingGrace = false;
 
   std::vector<int> ForcedPrefix;
   size_t ForcedPos = 0;
@@ -183,9 +189,27 @@ bool Harness::anyAlive() const {
   return false;
 }
 
+bool Harness::graceElapsed() const {
+  // Grace has elapsed once every live checker's in-flight op began
+  // after all completed updates: any pre-retire snapshot it could hold
+  // is gone. Checkers latch CurWindowLo (= CompletedUpdates) at each op
+  // start, so an op boundary is exactly a quiescent point — the harness
+  // analogue of the Machine's syscall-boundary quiescence generations.
+  for (size_t I = 1; I < Threads.size(); ++I) {
+    const ThreadState &T = Threads[I];
+    if (T.Alive && T.CurWindowLo < CompletedUpdates)
+      return false;
+  }
+  return true;
+}
+
 bool Harness::isEnabled(int I) const {
   const ThreadState &T = Threads[I];
   if (!T.Alive)
+    return false;
+  // The updater is parked while it awaits the grace period; it wakes as
+  // soon as the laggard checker crosses an op boundary (or dies).
+  if (I == 0 && WaitingGrace && !graceElapsed())
     return false;
   // Park a checker that has exhausted its retry allowance while an
   // update transaction is still in flight: running it again only
@@ -211,6 +235,7 @@ uint64_t Harness::fingerprint() const {
   H = hashMix(H, Tables->installedTaryLimitBytes());
   H = hashMix(H, Tables->installedBaryCount());
   H = hashMix(H, uint64_t(Current + 1));
+  H = hashMix(H, uint64_t(WaitingGrace));
   H = hashMix(H, StartedUpdates);
   H = hashMix(H, CompletedUpdates);
   H = hashMix(H, Frontier);
@@ -373,12 +398,31 @@ void Harness::assignLinearization(OpRecord &R) {
   abortRun(ViolationKind::TornObservation, OS.str());
 }
 
+void Harness::awaitGrace() {
+  // Park before the update until the grace condition holds. The yield
+  // is the reclaim path's scheduling point (the same SchedObject the
+  // real reclaimer's pendingReclaim poll brackets); isEnabled keeps the
+  // updater off the schedule until graceElapsed(), so the loop spins at
+  // most once per wake-up.
+  WaitingGrace = true;
+  while (!graceElapsed()) {
+    SchedAccess A;
+    A.Op = SchedOp::LoadAcquire;
+    A.Obj = SchedObject::Reclaim;
+    A.Index = 0;
+    onYield(A);
+  }
+  WaitingGrace = false;
+}
+
 void Harness::runUpdater() {
   ThreadState &T = Threads[0];
   for (size_t U = 0; U < S.Updates.size(); ++U) {
     const SpecPolicy &P = S.Updates[U];
     T.OpCursor = U;
     T.ObsHash = 0;
+    if (P.GraceBefore && !GSchedMutantSkipGrace)
+      awaitGrace();
     if (P.QuiesceBefore)
       Tables->resetVersionEpoch();
     bool ExpectOk = !P.ExpectExhausted;
@@ -394,13 +438,14 @@ void Harness::runUpdater() {
       auto It = P.BaryECN.find(Site);
       return It == P.BaryECN.end() ? -1 : int64_t(It->second);
     };
-    TxUpdateStatus St =
-        P.Incremental
-            ? Tables->txUpdateIncremental(P.TaryLimitBytes, P.TaryDirty,
-                                          GetTary, P.BaryCount, P.BaryDirty,
-                                          GetBary)
-            : Tables->txUpdate(P.TaryLimitBytes, GetTary, P.BaryCount,
-                               GetBary);
+    TxUpdateStatus St;
+    if (P.Retire)
+      St = Tables->txUpdateRetire(P.TaryRetire, P.BaryRetireSites);
+    else if (P.Incremental)
+      St = Tables->txUpdateIncremental(P.TaryLimitBytes, P.TaryDirty, GetTary,
+                                       P.BaryCount, P.BaryDirty, GetBary);
+    else
+      St = Tables->txUpdate(P.TaryLimitBytes, GetTary, P.BaryCount, GetBary);
     Run.UpdateStatuses.push_back(St);
     TxUpdateStatus Want = P.ExpectExhausted ? TxUpdateStatus::VersionExhausted
                                             : TxUpdateStatus::Ok;
@@ -515,6 +560,8 @@ RunRecord Harness::execute(const std::vector<int> &Prefix, RNG *Rng) {
   GActiveHarness = this;
   GSchedHooks = {&Harness::yieldHook, &Harness::observeHook, this};
   GSchedMutantReorderPhases = Opts.MutantReorderPhases;
+  GSchedMutantSkipGrace = Opts.MutantSkipGrace;
+  WaitingGrace = false;
   InRun = true;
 
   Current = -1;
@@ -527,6 +574,7 @@ RunRecord Harness::execute(const std::vector<int> &Prefix, RNG *Rng) {
   InRun = false;
   GSchedHooks = {};
   GSchedMutantReorderPhases = false;
+  GSchedMutantSkipGrace = false;
   GActiveHarness = nullptr;
 
   Run.Schedule = formatSchedule(Chosen);

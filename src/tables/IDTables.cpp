@@ -306,6 +306,86 @@ IDTables::txUpdate(uint64_t TaryLimitBytes,
   return TxUpdateStatus::Ok;
 }
 
+TxUpdateStatus
+IDTables::txUpdateRetire(const std::vector<TaryRange> &TaryRetire,
+                         const std::vector<uint32_t> &BarySites,
+                         const std::function<void()> &BetweenTablesHook,
+                         TxUpdateStats *Stats) {
+  std::lock_guard<std::mutex> Guard(UpdateLock);
+
+  schedYield(SchedOp::RMWRelaxed, SchedObject::UpdateCount, 0);
+  uint64_t Upd = Updates.fetch_add(1, std::memory_order_relaxed);
+  schedObserve(SchedOp::RMWRelaxed, SchedObject::UpdateCount, 0, Upd + 1);
+
+  TxUpdateStats Local;
+  Local.Incremental = true; // no version bump, O(delta) stores
+  schedYield(SchedOp::LoadRelaxed, SchedObject::Version, 0);
+  Local.Version = Version.load(std::memory_order_relaxed);
+  schedObserve(SchedOp::LoadRelaxed, SchedObject::Version, 0, Local.Version);
+
+  schedYield(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0);
+  uint64_t Seq = UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedObserve(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0, Seq + 1);
+
+  // Phase 1: zero the module's Bary sites. Sites first — the reverse of
+  // the install order — so no still-installed site can observe its
+  // targets vanishing: by the time a target is cleared, every site that
+  // could legally reach it under the retired module's classes is gone.
+  auto RetireBary = [&] {
+    for (uint32_t I : BarySites) {
+      assert(I < BaryEntries.size() && "retired site past capacity");
+      schedYield(SchedOp::StoreRelaxed, SchedObject::Bary, I);
+      BaryEntries[I].store(0, std::memory_order_relaxed);
+      schedObserve(SchedOp::StoreRelaxed, SchedObject::Bary, I, 0);
+      ++Local.BaryCleared;
+    }
+  };
+
+  // Phase 2: zero the module's Tary ranges. The installed extents are
+  // left untouched — the retired ranges become interior holes, and a
+  // later shrinking full update still zeroes down from the old extents.
+  auto RetireTary = [&] {
+    for (const TaryRange &R : TaryRetire) {
+      uint64_t Begin = R.BeginBytes / 4;
+      uint64_t End = (R.EndBytes + 3) / 4;
+      assert(End * 4 <= taryCapacityBytes() && "retired range past capacity");
+      for (uint64_t I = Begin; I < End; ++I) {
+        schedYield(SchedOp::StoreRelaxed, SchedObject::Tary, I);
+        TaryEntries[I].store(0, std::memory_order_relaxed);
+        schedObserve(SchedOp::StoreRelaxed, SchedObject::Tary, I, 0);
+        ++Local.TaryCleared;
+      }
+    }
+  };
+
+  auto PhaseBarrierAndHook = [&] {
+    schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (BetweenTablesHook) {
+      BetweenTablesHook();
+      schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+  };
+
+  RetireBary();
+  PhaseBarrierAndHook();
+  RetireTary();
+  schedYield(SchedOp::FenceSeqCst, SchedObject::None, 0);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  schedYield(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0);
+  uint64_t EndSeq = UpdateSeq.fetch_add(1, std::memory_order_release);
+  schedObserve(SchedOp::RMWRelease, SchedObject::UpdateSeq, 0, EndSeq + 1);
+
+  if (Stats) {
+    Local.Micros = Stats->Micros;
+    Local.BatchModules = Stats->BatchModules;
+    *Stats = Local;
+  }
+  return TxUpdateStatus::Ok;
+}
+
 TxUpdateStatus IDTables::txUpdateIncremental(
     uint64_t TaryLimitBytes, const std::vector<TaryRange> &TaryDirty,
     const std::function<int64_t(uint64_t)> &GetTaryECN, uint32_t BaryCount,

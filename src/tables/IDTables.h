@@ -157,6 +157,26 @@ public:
       const std::function<void()> &BetweenTablesHook = nullptr,
       TxUpdateStats *Stats = nullptr);
 
+  /// Retirement (shrink) transaction: the inverse of the incremental
+  /// install, used by dlclose. Zeroes the given Bary sites, then — after
+  /// the phase barrier and \p BetweenTablesHook (the linker's GOT
+  /// invalidation goes here) — zeroes the Tary entries in \p TaryRetire,
+  /// the reverse of the install order: a module's branch sites die before
+  /// its targets vanish, so no surviving site ever reads a half-retired
+  /// module as anything but absent.
+  ///
+  /// No version bump: each zeroing store linearizes independently, and a
+  /// concurrent TxCheck sees the retired edge either present (old CFG) or
+  /// absent — ViolationInvalid, failing closed (CaughtByCheck at the VM
+  /// level). The retired table *ranges* stay unusable until the epoch
+  /// reclaimer's grace period elapses (tables/Reclaim.h); this transaction
+  /// only makes the policy forget the module.
+  TxUpdateStatus
+  txUpdateRetire(const std::vector<TaryRange> &TaryRetire,
+                 const std::vector<uint32_t> &BarySites,
+                 const std::function<void()> &BetweenTablesHook = nullptr,
+                 TxUpdateStats *Stats = nullptr);
+
   /// Current CFG version (only advanced by txUpdate).
   uint32_t currentVersion() const {
     return Version.load(std::memory_order_relaxed);

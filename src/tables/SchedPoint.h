@@ -53,6 +53,7 @@ enum class SchedObject : uint8_t {
   SlowRetries,
   InstalledTary,
   InstalledBary,
+  Reclaim, ///< epoch-reclamation pending-region counter (tables/Reclaim.h)
 };
 
 /// One instrumented access: the hook payload.
@@ -107,6 +108,8 @@ inline const char *schedObjectName(SchedObject Obj) {
     return "InstalledTary";
   case SchedObject::InstalledBary:
     return "InstalledBary";
+  case SchedObject::Reclaim:
+    return "Reclaim";
   }
   return "?";
 }
@@ -129,6 +132,12 @@ inline SchedHooks GSchedHooks;
 /// Exists so the schedule checker can prove it would catch the torn
 /// observations that order prevents (ISSUE 3 acceptance criterion).
 inline bool GSchedMutantReorderPhases = false;
+
+/// TEST-ONLY MUTANT KNOB: when set, a retiring updater skips the grace
+/// period — it may run (and reuse the retired range) while a checker is
+/// still mid-transaction holding pre-retire IDs. The unload scenario must
+/// detect the resulting use-after-retire as a torn observation.
+inline bool GSchedMutantSkipGrace = false;
 
 inline void schedYield(SchedOp Op, SchedObject Obj, uint64_t Index) {
   if (GSchedHooks.Yield)

@@ -7,6 +7,8 @@
 
 #include "tables/Shadow.h"
 
+#include "support/Assert.h"
+
 #include <algorithm>
 
 using namespace mcfi;
@@ -21,6 +23,17 @@ namespace {
 constexpr uint64_t CoalesceGapBytes = 128;
 
 } // namespace
+
+void PolicyShadow::retireRange(uint64_t TaryBeginBytes, uint64_t TaryEndBytes,
+                               const std::vector<uint32_t> &BarySites) {
+  assert(Installed && "retiring entries before any install");
+  std::erase_if(Image.TaryECN, [&](const auto &Entry) {
+    return Entry.first >= TaryBeginBytes && Entry.first < TaryEndBytes;
+  });
+  for (uint32_t I : BarySites)
+    if (I < Image.BaryECN.size())
+      Image.BaryECN[I] = -1;
+}
 
 ShadowDelta PolicyShadow::computeDelta(const PolicyImage &Next) const {
   ShadowDelta D;

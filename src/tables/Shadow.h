@@ -89,6 +89,15 @@ public:
     Installed = true;
   }
 
+  /// Records the effect of a retire transaction (dlclose): every Tary
+  /// entry in [\p TaryBeginBytes, \p TaryEndBytes) is erased and each of
+  /// \p BarySites reverts to "no ID" (-1) — exactly the zeroed state
+  /// txUpdateRetire left in the tables. Extents are unchanged: the dead
+  /// module's positions stay tombstoned, not reclaimed, until the epoch
+  /// reclaimer matures the range.
+  void retireRange(uint64_t TaryBeginBytes, uint64_t TaryEndBytes,
+                   const std::vector<uint32_t> &BarySites);
+
 private:
   PolicyImage Image;
   uint32_t InstalledVersion = 0;

@@ -183,6 +183,44 @@ TEST(AttackCorpus, ClassifierMapsRuntimeStopStates) {
             Verdict::Survived);
 }
 
+TEST(AttackCorpus, UnloadLifecycleAttacksAllDieOnEveryTier) {
+  // The dlclose gauntlet: dispatch into a retired-but-unreclaimed
+  // module, replay of a pre-close in-class bind, and the dlclose/dlopen
+  // ID-snapshot ABA — three synthesizers, all three tiers, and every
+  // one of the nine runs must end CaughtByCheck (the retire transaction
+  // zeroes the tables and the condemned-ECN guard bumps the version;
+  // nothing should even reach the SFI layer).
+  CorpusOptions Opts;
+  Opts.Classes = {AttackClass::Unload};
+  CorpusReport R = runCorpus(Opts);
+  ASSERT_TRUE(R.Error.empty()) << R.Error;
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Survivors, 0u);
+  ASSERT_EQ(R.Records.size(), 9u);
+  std::map<ExecTier, unsigned> PerTier;
+  for (const AttackRecord &Rec : R.Records) {
+    EXPECT_EQ(Rec.Class, AttackClass::Unload);
+    EXPECT_EQ(Rec.V, Verdict::CaughtByCheck)
+        << tierLabel(Rec.Tier) << " " << Rec.Name << ": " << Rec.Detail;
+    ++PerTier[Rec.Tier];
+  }
+  ASSERT_EQ(PerTier.size(), 3u);
+  for (const auto &[T, N] : PerTier)
+    EXPECT_EQ(N, 3u) << tierLabel(T);
+
+  const ClassSummary &S = R.Classes.at(AttackClass::Unload);
+  EXPECT_EQ(S.Corpus, 9u);
+  EXPECT_EQ(S.Killed, 9u);
+  EXPECT_EQ(R.AIR, 1.0);
+}
+
+TEST(AttackCorpus, UnloadClassRoundTripsItsName) {
+  EXPECT_STREQ(className(AttackClass::Unload), "unload");
+  AttackClass C;
+  ASSERT_TRUE(parseClassName("unload", C));
+  EXPECT_EQ(C, AttackClass::Unload);
+}
+
 TEST(AttackCorpus, GadgetScansAreCachedByContentHash) {
   std::vector<uint8_t> Code(512);
   for (size_t I = 0; I != Code.size(); ++I)

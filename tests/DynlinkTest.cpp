@@ -246,4 +246,193 @@ TEST(Dynlink, ConcurrentThreadsDuringDlopen) {
   EXPECT_NE(D.M->findFunction("plugin_fn"), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Module unload (dlclose)
+//===----------------------------------------------------------------------===//
+
+TEST(Dynlink, DlcloseFailsClosedAndInvalidatesHandle) {
+  // After dlclose the module's IDs are zeroed and its GOT-published
+  // address is gone: a replayed PLT call must lose at the check, and a
+  // stale handle must stop resolving symbols.
+  const char *Host = R"(
+    long plugin_fn(long x);
+    int main() {
+      long h = dlopen(0);
+      if (h < 0) return 1;
+      print_int(plugin_fn(4));                 /* works while loaded */
+      if (dlclose(h) != 0) return 2;
+      long (*f)(long) = (long (*)(long))dlsym(h, "plugin_fn");
+      if (f) print_str("stale handle resolved\n");
+      else print_str("gone\n");
+      print_int(plugin_fn(5));                 /* must fail closed */
+      return 0;
+    }
+  )";
+  DynProgram D = buildDynamic(Host, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  RunResult R = runProgram(*D.M);
+  EXPECT_EQ(R.Reason, StopReason::CfiViolation) << R.Message;
+  EXPECT_EQ(D.M->takeOutput(), "41\ngone\n");
+  ASSERT_EQ(D.L->unloadHistory().size(), 1u);
+  EXPECT_EQ(D.L->unloadHistory()[0].Closed, 1u);
+  // The unloaded function is invisible to symbol lookup.
+  EXPECT_EQ(D.M->findFunction("plugin_fn"), 0u);
+}
+
+TEST(Dynlink, DlcloseRejectsBadHandles) {
+  DynProgram D = buildDynamic(HostSource, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  // Static program modules (bootstrap + host) can never be closed.
+  EXPECT_FALSE(D.L->dlcloseOne(0));
+  EXPECT_FALSE(D.L->dlcloseOne(1));
+  // Out-of-range and negative handles.
+  EXPECT_FALSE(D.L->dlcloseOne(-1));
+  EXPECT_FALSE(D.L->dlcloseOne(99));
+  // Double close: the second must fail.
+  int64_t H = D.L->dlopen(0);
+  ASSERT_GE(H, 0) << D.L->lastError();
+  EXPECT_TRUE(D.L->dlcloseOne(H));
+  EXPECT_FALSE(D.L->dlcloseOne(H));
+  // Duplicate handles within one batch: exactly one wins.
+  int64_t H2 = D.L->dlopen(0);
+  ASSERT_GE(H2, 0);
+  std::vector<bool> Ok = D.L->dlcloseBatch({H2, H2});
+  EXPECT_TRUE(Ok[0]);
+  EXPECT_FALSE(Ok[1]);
+}
+
+TEST(Dynlink, DlcloseReclaimRestoresFootprint) {
+  // The zero-leak property: open -> close -> drain returns the machine
+  // to its pre-dlopen footprint (module count, code usage, no pending
+  // regions, no condemned ECNs, empty free list after the tail-trim).
+  DynProgram D = buildDynamic(HostSource, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  size_t Modules0 = D.M->modules().size();
+  uint64_t CodeTop0 = D.M->codeTop();
+
+  int64_t H = D.L->dlopen(0);
+  ASSERT_GE(H, 0) << D.L->lastError();
+  uint64_t PluginBase = D.M->modules()[static_cast<size_t>(H)].CodeBase;
+  EXPECT_GT(D.M->codeTop(), CodeTop0);
+
+  ASSERT_TRUE(D.L->dlcloseOne(H));
+  // Retired, not yet reclaimed: the region waits out its grace period.
+  EXPECT_TRUE(D.M->reclaimPending());
+  EXPECT_EQ(D.M->reclaimStats().PendingRegions, 1u);
+
+  // No guest threads are running, so the drain matures everything.
+  D.M->drainReclaim();
+  ReclaimStats RS = D.M->reclaimStats();
+  EXPECT_EQ(RS.PendingRegions, 0u);
+  EXPECT_EQ(RS.Reclaimed, 1u);
+  EXPECT_EQ(RS.CondemnedECNs, 0u);
+  // Tail-trim: the hole was at the top of the code region, so the
+  // machine shrinks back instead of keeping a free-list entry.
+  EXPECT_EQ(RS.FreeRanges, 0u);
+  EXPECT_EQ(D.M->codeTop(), CodeTop0);
+  EXPECT_EQ(D.M->modules().size(), Modules0);
+
+  // Re-merge after unload is identical to never having loaded: a fresh
+  // dlopen of the same library lands at the same base and flattens to
+  // the same policy image as the first load did.
+  int64_t H2 = D.L->dlopen(0);
+  ASSERT_GE(H2, 0) << D.L->lastError();
+  EXPECT_EQ(D.M->modules()[static_cast<size_t>(H2)].CodeBase, PluginBase);
+}
+
+TEST(Dynlink, ReopenAfterUnloadIsByteIdentical) {
+  // Stronger determinism check: the shadow image after
+  // open/close/drain/open equals the image after the first open.
+  DynProgram D = buildDynamic(HostSource, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  int64_t H = D.L->dlopen(0);
+  ASSERT_GE(H, 0);
+  PolicyImage First = D.L->shadow().image(); // copy
+  ASSERT_TRUE(D.L->dlcloseOne(H));
+  D.M->drainReclaim();
+  int64_t H2 = D.L->dlopen(0);
+  ASSERT_GE(H2, 0);
+  const PolicyImage &Second = D.L->shadow().image();
+  EXPECT_EQ(First.TaryLimitBytes, Second.TaryLimitBytes);
+  EXPECT_EQ(First.BaryCount, Second.BaryCount);
+  EXPECT_TRUE(First.TaryECN == Second.TaryECN);
+  EXPECT_TRUE(First.BaryECN == Second.BaryECN);
+}
+
+TEST(Dynlink, DlcloseBatchOneRetireTransaction) {
+  // Closing N modules as one batch runs ONE retire transaction.
+  DynProgram D = buildDynamic(HostSource, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+  std::vector<DlopenResult> Opened = D.L->dlopenBatch({0, 0, 0});
+  std::vector<int64_t> Handles;
+  for (const DlopenResult &R : Opened) {
+    ASSERT_GE(R.Handle, 0);
+    Handles.push_back(R.Handle);
+  }
+  uint64_t Updates0 = D.M->tables().updateCount();
+  std::vector<bool> Ok = D.L->dlcloseBatch(Handles);
+  for (bool B : Ok)
+    EXPECT_TRUE(B);
+  ASSERT_FALSE(D.L->unloadHistory().empty());
+  const DlcloseBatchStats &BS = D.L->unloadHistory().back();
+  EXPECT_EQ(BS.Requested, 3u);
+  EXPECT_EQ(BS.Closed, 3u);
+  // One retire transaction, plus at most one reinstall when surviving
+  // classes changed shape.
+  uint64_t Delta = D.M->tables().updateCount() - Updates0;
+  EXPECT_GE(Delta, 1u);
+  EXPECT_LE(Delta, 2u);
+}
+
+TEST(Dynlink, ConcurrentCheckersDuringDlclose) {
+  // The unload twin of ConcurrentThreadsDuringDlopen: a spinner whose
+  // indirect calls target only its OWN module must never falter while
+  // an unrelated plugin is unloaded out from under it.
+  const char *Host = R"(
+    long plugin_fn(long x);
+    long w0(long x) { return x + 1; }
+    long w1(long x) { return x * 2; }
+    long (*tab[2])(long);
+    void spinner(void) {
+      tab[0] = w0;
+      tab[1] = w1;
+      long acc = 0;
+      long i = 0;
+      while (1) {
+        acc = acc + tab[i & 1](i);
+        i = i + 1;
+      }
+    }
+    int main() { return 0; }
+  )";
+  DynProgram D = buildDynamic(Host, PluginSource);
+  ASSERT_TRUE(D.Ok) << D.Error;
+
+  Thread T;
+  ASSERT_TRUE(D.M->makeThread("spinner", T));
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Violated{false};
+  std::thread Guest([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      RunResult R = D.M->run(T, 200'000);
+      if (R.Reason != StopReason::OutOfFuel) {
+        Violated.store(R.Reason == StopReason::CfiViolation);
+        break;
+      }
+    }
+  });
+
+  for (int Cycle = 0; Cycle != 10 && !Violated.load(); ++Cycle) {
+    int64_t H = D.L->dlopen(0);
+    ASSERT_GE(H, 0) << D.L->lastError();
+    ASSERT_TRUE(D.L->dlcloseOne(H));
+    D.M->drainReclaim(); // spinner never syscalls; grace stays open
+  }
+
+  Stop.store(true);
+  Guest.join();
+  EXPECT_FALSE(Violated.load())
+      << "a survivor's check transaction failed during dlclose";
+}
+
 } // namespace

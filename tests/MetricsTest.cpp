@@ -172,6 +172,29 @@ TEST(UpdateSummaryMetrics, JSONCarriesInFlightFlag) {
   EXPECT_NE(Busy.find("\"update_in_flight\":true"), std::string::npos) << Busy;
 }
 
+TEST(UpdateSummaryMetrics, JSONCarriesReclaimCounters) {
+  UpdateSummary S;
+  S.UnloadBatches = 2;
+  S.BatchedDlcloses = 5;
+  S.Reinstalls = 1;
+  S.Reclaim.Retired = 5;
+  S.Reclaim.Reclaimed = 4;
+  S.Reclaim.BytesReclaimed = 4096;
+  S.Reclaim.CondemnedECNs = 3;
+  S.Reclaim.FreeRanges = 1;
+  S.Reclaim.Reused = 2;
+  std::string J = updateSummaryJSON(S, "churn");
+  EXPECT_NE(J.find("\"unload_batches\":2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"batched_dlcloses\":5"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"reinstalls\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"retired\":5"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"reclaimed\":4"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"bytes_reclaimed\":4096"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"condemned_ecns\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"free_ranges\":1"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"reused\":2"), std::string::npos) << J;
+}
+
 TEST(UpdateSummaryMetrics, InFlightSamplesSeqlockParity) {
   // The flag is a point sample of the update seqlock: false at rest,
   // true when read from inside an update's between-tables window.

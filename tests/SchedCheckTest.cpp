@@ -102,7 +102,8 @@ TEST_P(SchedScenario, RandomWalksPassOracle) {
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, SchedScenario,
                          ::testing::Values("full", "incremental", "shrink",
-                                           "wrap", "backtoback", "batch"));
+                                           "wrap", "backtoback", "batch",
+                                           "unload"));
 
 //===----------------------------------------------------------------------===//
 // Acceptance: the test-only mutant reordering the Tary->barrier->Bary
@@ -175,6 +176,63 @@ TEST(SchedMutant, CorrectOrderHasNoTornReadOnSentinelSchedule) {
   ASSERT_FALSE(R.Violations.empty());
   RunRecord Clean = runSchedule(*S, R.Violations.front().Schedule);
   EXPECT_FALSE(Clean.Violated) << Clean.Fault.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Unload: the dlclose retire + grace-gated range-reuse scenario. The
+// grace wait is what makes the dlclose/dlopen ABA unobservable; the
+// skip-grace mutant removes it and must be caught as a torn Pass on the
+// sentinel edge (retired module's site vs reuse module's target).
+//===----------------------------------------------------------------------===//
+
+TEST(SchedUnload, SkipGraceMutantIsCaughtAsUseAfterRetire) {
+  const Scenario *S = findScenario("unload");
+  ASSERT_NE(S, nullptr);
+  ExploreOptions Opts;
+  Opts.MutantSkipGrace = true;
+  ExploreReport R = exploreExhaustive(*S, Opts);
+  ASSERT_FALSE(R.Violations.empty())
+      << "skipping the grace period must surface the unload ABA";
+  const Violation &V = R.Violations.front();
+  EXPECT_EQ(V.Kind, ViolationKind::TornObservation) << V.Message;
+  // The torn op is the sentinel: the retired module's Bary site passing
+  // against the reuse module's Tary entry — an edge no policy allows.
+  EXPECT_NE(V.Message.find("site=1"), std::string::npos) << V.Message;
+  EXPECT_NE(V.Message.find("target=28"), std::string::npos) << V.Message;
+  EXPECT_NE(V.Message.find("Pass"), std::string::npos) << V.Message;
+
+  // Deterministic replay; and with the grace period honoured the
+  // killing schedule is not merely clean but *infeasible* — it demands
+  // the updater run at a point where the grace gate parks it (the only
+  // acceptable replay outcomes are a clean run or that harness report,
+  // never a torn observation).
+  RunRecord Replay = runSchedule(*S, V.Schedule, Opts);
+  ASSERT_TRUE(Replay.Violated);
+  EXPECT_EQ(Replay.Fault.Kind, ViolationKind::TornObservation);
+  EXPECT_EQ(Replay.Fault.Message, V.Message);
+  RunRecord Clean = runSchedule(*S, V.Schedule);
+  if (Clean.Violated) {
+    EXPECT_EQ(Clean.Fault.Kind, ViolationKind::Harness)
+        << Clean.Fault.Message;
+    EXPECT_NE(Clean.Fault.Message.find("not runnable"), std::string::npos)
+        << Clean.Fault.Message;
+  }
+}
+
+TEST(SchedUnload, GraceWaitParksUpdaterUntilCheckersQuiesce) {
+  // With grace honoured, every schedule is clean AND the reuse update
+  // still completes (the updater is parked, not deadlocked): both
+  // updates must report Ok on a straight-through schedule.
+  const Scenario *S = findScenario("unload");
+  ASSERT_NE(S, nullptr);
+  RunRecord R = runSchedule(*S, "");
+  EXPECT_FALSE(R.Violated) << R.Fault.Message;
+  ASSERT_EQ(R.UpdateStatuses.size(), 2u);
+  EXPECT_EQ(R.UpdateStatuses[0], TxUpdateStatus::Ok);
+  EXPECT_EQ(R.UpdateStatuses[1], TxUpdateStatus::Ok);
+  // Every checker op linearizes against some policy in its window.
+  for (const OpRecord &C : R.Checks)
+    EXPECT_LE(C.AssignedPolicy, 2u);
 }
 
 //===----------------------------------------------------------------------===//

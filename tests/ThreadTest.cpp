@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 using namespace mcfi;
@@ -571,6 +572,314 @@ TEST(DlopenStorm, GuestDlsymRacesDlopen) {
   EXPECT_NE(M.findFunction("storm5_b"), 0u);
   EXPECT_NE(M.dlsymLookup(-1, "storm23_a"), 0u);
   EXPECT_EQ(M.dlsymLookup(-1, "no_such_symbol"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dlclose churn: open/close storms with zero-leak accounting
+//===----------------------------------------------------------------------===//
+
+/// The unload tentpole's stress proof, in two phases over one compiled
+/// plugin set.
+///
+/// Phase A (deterministic): one thread cycles open-all-16 /
+/// validate-edges / close-all-16 / drain. Every cycle the update and
+/// version counters must satisfy the exact identities the batch and
+/// unload histories imply (opens coalesce to ONE install, closes to ONE
+/// retire, version bumps only for non-incremental installs and policy
+/// reinstalls), and the machine must return to its pre-open footprint:
+/// no pending regions, no condemned ECNs, an empty free list after the
+/// tail-trim, baseline codeTop and module count.
+///
+/// Phase B (concurrent): 8 loaders interleave dlopenBatch/dlcloseBatch
+/// over their own module pairs with interspersed drains, while
+/// reserved-bit canaries sweep the tables. Intra-batch edges must check
+/// Pass the moment a batch returns (they are legal in every policy
+/// while the owner's modules live, and ECN numbering is stable across
+/// concurrent retires). Post-storm the same counter identities and the
+/// same zero-leak footprint must hold: after the final drain, every
+/// Tary word above the host's code extent and every Bary slot above the
+/// host's site count reads zero — a nonzero word there is a leaked
+/// table slot from some unload.
+TEST(DlcloseChurn, StormWithZeroLeakAccounting) {
+  constexpr int NumPlugins = 16;
+  std::vector<MCFIObject> Plugins;
+  std::vector<uint64_t> TargetOff(NumPlugins, 0);
+  std::vector<uint32_t> LocalSite(NumPlugins, 0);
+  for (int I = 0; I != NumPlugins; ++I) {
+    CompileOptions CO;
+    CO.ModuleName = "storm" + std::to_string(I);
+    CO.TailCalls = false; // keep the checked site a plain IndirectCall
+    CompileResult CR = compileModule(stormPluginSource(I), CO);
+    ASSERT_TRUE(CR.Ok) << "plugin " << I;
+    std::string AName = "storm" + std::to_string(I) + "_a";
+    for (const FunctionInfo &F : CR.Obj.Aux.Functions)
+      if (F.Name == AName) {
+        ASSERT_TRUE(F.AddressTaken);
+        TargetOff[I] = F.CodeOffset;
+      }
+    bool FoundSite = false;
+    for (size_t S = 0; S != CR.Obj.Aux.BranchSites.size(); ++S)
+      if (CR.Obj.Aux.BranchSites[S].Kind == BranchKind::IndirectCall) {
+        LocalSite[I] = static_cast<uint32_t>(S);
+        FoundSite = true;
+        break;
+      }
+    ASSERT_TRUE(FoundSite);
+    Plugins.push_back(std::move(CR.Obj));
+  }
+
+  auto freshLinker = [&](Machine &M) {
+    LinkOptions LO;
+    LO.IncrementalUpdates = true;
+    LO.MergeWorkers = 4;
+    auto L = std::make_unique<Linker>(M, LO);
+    CompileOptions HostCO;
+    HostCO.ModuleName = "host";
+    CompileResult HostCR = compileModule("int main() { return 0; }", HostCO);
+    EXPECT_TRUE(HostCR.Ok);
+    std::string Error;
+    std::vector<MCFIObject> Objs;
+    Objs.push_back(std::move(HostCR.Obj));
+    EXPECT_TRUE(L->linkProgram(std::move(Objs), Error)) << Error;
+    for (const MCFIObject &P : Plugins)
+      L->registerLibrary(P);
+    return L;
+  };
+
+  // Sums the counter-relevant facts over a history suffix.
+  struct HistoryDelta {
+    uint64_t Installs = 0, NonIncremental = 0, Loaded = 0;
+    uint64_t Retires = 0, Reinstalls = 0, Closed = 0;
+  };
+  auto tally = [](const Linker &L, size_t Batches0, size_t Unloads0) {
+    HistoryDelta D;
+    const std::vector<DlopenBatchStats> &BH = L.batchHistory();
+    for (size_t I = Batches0; I != BH.size(); ++I) {
+      D.Installs += BH[I].Installed ? 1 : 0;
+      D.NonIncremental += (BH[I].Installed && !BH[I].Incremental) ? 1 : 0;
+      D.Loaded += BH[I].Loaded;
+    }
+    const std::vector<DlcloseBatchStats> &UH = L.unloadHistory();
+    for (size_t I = Unloads0; I != UH.size(); ++I) {
+      ++D.Retires;
+      D.Reinstalls += UH[I].PolicyReinstalled ? 1 : 0;
+      D.Closed += UH[I].Closed;
+    }
+    return D;
+  };
+
+  // Zero-leak sweep: nothing above the host's own footprint survives a
+  // full unload + drain.
+  auto expectNoLeakedSlots = [](const Machine &M, uint64_t CodeTop0,
+                                uint32_t Bary0) {
+    uint64_t Leaked = 0;
+    for (uint64_t Off = CodeTop0 - Machine::CodeBase;
+         Off < M.tables().taryCapacityBytes(); Off += 4)
+      if (M.tables().taryRead(Off) != 0)
+        ++Leaked;
+    for (uint32_t I = Bary0; I < M.tables().baryCapacity(); ++I)
+      if (M.tables().baryRead(I) != 0)
+        ++Leaked;
+    EXPECT_EQ(Leaked, 0u) << "table slots leaked past the full unload";
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Phase A: deterministic open/close cycles with exact accounting.
+  //===--------------------------------------------------------------------===//
+  {
+    Machine M;
+    auto L = freshLinker(M);
+    size_t Modules0 = M.modules().size();
+    uint64_t CodeTop0 = M.codeTop();
+    uint32_t Bary0 = L->shadow().image().BaryCount;
+
+    constexpr int CyclesA = 4;
+    for (int C = 0; C != CyclesA; ++C) {
+      uint64_t U0 = M.tables().updateCount();
+      uint64_t V0 = M.tables().versionedUpdateCount();
+      size_t Batches0 = L->batchHistory().size();
+      size_t Unloads0 = L->unloadHistory().size();
+
+      std::vector<int64_t> Ids;
+      for (int I = 0; I != NumPlugins; ++I)
+        Ids.push_back(I);
+      std::vector<DlopenResult> R = L->dlopenBatch(Ids);
+      ASSERT_EQ(R.size(), static_cast<size_t>(NumPlugins));
+      std::vector<int64_t> Handles;
+      for (const DlopenResult &D : R) {
+        ASSERT_GE(D.Handle, 0) << "cycle " << C << ": " << L->lastError();
+        Handles.push_back(D.Handle);
+      }
+      // The ring of cross-module edges holds the instant the batch lands.
+      for (int I = 0; I != NumPlugins; ++I) {
+        int J = (I + 1) % NumPlugins;
+        uint32_t Bary = R[static_cast<size_t>(I)].SiteIndexBase +
+                        LocalSite[static_cast<size_t>(I)];
+        uint64_t Off = R[static_cast<size_t>(J)].CodeBase +
+                       TargetOff[static_cast<size_t>(J)] - Machine::CodeBase;
+        EXPECT_EQ(M.tables().txCheck(Bary, Off), CheckResult::Pass)
+            << "cycle " << C << " edge " << I << "->" << J;
+      }
+
+      for (bool Ok : L->dlcloseBatch(Handles))
+        EXPECT_TRUE(Ok) << "cycle " << C << ": " << L->lastError();
+      M.drainReclaim();
+
+      // Exact identities: the open batch is ONE install, the close batch
+      // ONE retire; versions move only for non-incremental installs and
+      // policy reinstalls.
+      HistoryDelta D = tally(*L, Batches0, Unloads0);
+      EXPECT_EQ(D.Installs, 1u) << "cycle " << C;
+      EXPECT_EQ(D.Loaded, static_cast<uint64_t>(NumPlugins));
+      EXPECT_EQ(D.Retires, 1u) << "cycle " << C;
+      EXPECT_EQ(D.Closed, static_cast<uint64_t>(NumPlugins));
+      EXPECT_EQ(M.tables().updateCount() - U0,
+                D.Installs + D.Retires + D.Reinstalls)
+          << "cycle " << C;
+      EXPECT_EQ(M.tables().versionedUpdateCount() - V0,
+                D.NonIncremental + D.Reinstalls)
+          << "cycle " << C;
+
+      // The footprint is restored every cycle: drained, tail-trimmed,
+      // back to the host-only baseline.
+      ReclaimStats RS = M.reclaimStats();
+      EXPECT_EQ(RS.PendingRegions, 0u) << "cycle " << C;
+      EXPECT_EQ(RS.CondemnedECNs, 0u) << "cycle " << C;
+      EXPECT_EQ(RS.FreeRanges, 0u) << "cycle " << C;
+      EXPECT_EQ(M.codeTop(), CodeTop0) << "cycle " << C;
+      EXPECT_EQ(M.modules().size(), Modules0) << "cycle " << C;
+    }
+    ReclaimStats RS = M.reclaimStats();
+    EXPECT_EQ(RS.Retired, RS.Reclaimed);
+    EXPECT_GE(RS.Reclaimed, static_cast<uint64_t>(CyclesA));
+    EXPECT_GT(RS.BytesReclaimed, 0u);
+    expectNoLeakedSlots(M, CodeTop0, Bary0);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase B: 8 loaders churn their own pairs against live canaries.
+  //===--------------------------------------------------------------------===//
+  {
+    Machine M;
+    auto L = freshLinker(M);
+    size_t Modules0 = M.modules().size();
+    uint64_t CodeTop0 = M.codeTop();
+    uint32_t Bary0 = L->shadow().image().BaryCount;
+    uint64_t U0 = M.tables().updateCount();
+    uint64_t V0 = M.tables().versionedUpdateCount();
+
+    constexpr int Loaders = 8;
+    constexpr int PerLoader = 2; // ids {2T, 2T+1}
+    constexpr int CyclesB = 6;
+
+    std::atomic<int> BadHandles{0};
+    std::atomic<int> BadCloses{0};
+    std::atomic<int> FailedChecks{0};
+    std::atomic<int> LoadersLeft{Loaders};
+    std::atomic<uint64_t> TornWords{0};
+    auto Deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+
+    auto Canary = [&] {
+      while (LoadersLeft.load(std::memory_order_acquire) != 0 &&
+             std::chrono::steady_clock::now() < Deadline) {
+        for (uint64_t Off = 0; Off < M.tables().taryCapacityBytes(); Off += 4) {
+          uint32_t W = M.tables().taryRead(Off);
+          if (W != 0 && !isValidID(W))
+            TornWords.fetch_add(1);
+        }
+        for (uint32_t I = 0; I < M.tables().baryCapacity(); ++I) {
+          uint32_t W = M.tables().baryRead(I);
+          if (W != 0 && !isValidID(W))
+            TornWords.fetch_add(1);
+        }
+      }
+    };
+    std::vector<std::thread> Canaries;
+    for (int I = 0; I != 2; ++I)
+      Canaries.emplace_back(Canary);
+
+    auto Loader = [&](int T) {
+      std::vector<int64_t> Ids;
+      for (int I = 0; I != PerLoader; ++I)
+        Ids.push_back(T * PerLoader + I);
+      for (int C = 0; C != CyclesB; ++C) {
+        std::vector<DlopenResult> R = L->dlopenBatch(Ids);
+        bool AllUp = true;
+        std::vector<int64_t> Handles;
+        for (const DlopenResult &D : R) {
+          if (D.Handle < 0) {
+            BadHandles.fetch_add(1);
+            AllUp = false;
+            continue;
+          }
+          Handles.push_back(D.Handle);
+        }
+        if (AllUp) {
+          // Both directions of this loader's intra-batch edge are legal
+          // in EVERY policy while its modules live — a failed check here
+          // is a half-installed batch or an unload that revoked a
+          // surviving module's edges.
+          for (int I = 0; I != PerLoader; ++I) {
+            int J = (I + 1) % PerLoader;
+            uint32_t Bary = R[static_cast<size_t>(I)].SiteIndexBase +
+                            LocalSite[static_cast<size_t>(Ids[I])];
+            uint64_t Off = R[static_cast<size_t>(J)].CodeBase +
+                           TargetOff[static_cast<size_t>(Ids[J])] -
+                           Machine::CodeBase;
+            if (M.tables().txCheck(Bary, Off) != CheckResult::Pass)
+              FailedChecks.fetch_add(1);
+          }
+        }
+        for (bool Ok : L->dlcloseBatch(Handles))
+          if (!Ok)
+            BadCloses.fetch_add(1);
+        // Interleave drains across loaders so reclamation (and range
+        // reuse) runs concurrently with other loaders' opens.
+        if ((C & 1) == (T & 1))
+          M.drainReclaim();
+      }
+      LoadersLeft.fetch_sub(1, std::memory_order_release);
+    };
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != Loaders; ++T)
+      Threads.emplace_back(Loader, T);
+    for (std::thread &T : Threads)
+      T.join();
+    for (std::thread &T : Canaries)
+      T.join();
+    ASSERT_LT(std::chrono::steady_clock::now(), Deadline)
+        << "churn storm exceeded its wall-clock budget";
+
+    EXPECT_EQ(BadHandles.load(), 0) << L->lastError();
+    EXPECT_EQ(BadCloses.load(), 0) << L->lastError();
+    EXPECT_EQ(FailedChecks.load(), 0)
+        << "a live loader's own intra-batch edge failed mid-churn";
+    EXPECT_EQ(TornWords.load(), 0u)
+        << "a table word violated the reserved-bit ID signature";
+
+    // Post-storm: drain whatever the interleaved drains left pending,
+    // then demand the same exact identities and zero-leak footprint.
+    M.drainReclaim();
+    HistoryDelta D = tally(*L, 0, 0);
+    EXPECT_EQ(D.Loaded,
+              static_cast<uint64_t>(Loaders) * PerLoader * CyclesB);
+    EXPECT_EQ(D.Closed,
+              static_cast<uint64_t>(Loaders) * PerLoader * CyclesB);
+    EXPECT_EQ(M.tables().updateCount() - U0,
+              D.Installs + D.Retires + D.Reinstalls);
+    EXPECT_EQ(M.tables().versionedUpdateCount() - V0,
+              D.NonIncremental + D.Reinstalls);
+
+    ReclaimStats RS = M.reclaimStats();
+    EXPECT_EQ(RS.PendingRegions, 0u);
+    EXPECT_EQ(RS.CondemnedECNs, 0u);
+    EXPECT_EQ(RS.FreeRanges, 0u);
+    EXPECT_EQ(RS.Retired, RS.Reclaimed);
+    EXPECT_EQ(M.codeTop(), CodeTop0);
+    EXPECT_EQ(M.modules().size(), Modules0);
+    expectNoLeakedSlots(M, CodeTop0, Bary0);
+  }
 }
 
 TEST(GuestThreads, StacksAreDisjoint) {

@@ -16,21 +16,30 @@
 ///                            (default: trace; all RunResult-identical)
 ///     --stats                print policy statistics, retired instrs,
 ///                            and the execution-tier counters
+///     --dlclose-churn <n>    while the guest runs, a host thread cycles
+///                            dlopenBatch/dlcloseBatch over every
+///                            --register library n times; after the run,
+///                            all retired ranges must reclaim (exit 2 if
+///                            any open/close fails or regions leak)
 ///
 /// Exit code: the guest's exit code; 124 on CFI violation; 125 on trap.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "metrics/Metrics.h"
+#include "metrics/UpdateMetrics.h"
 #include "toolchain/Toolchain.h"
 #include "tools/ToolCommon.h"
+
+#include <atomic>
+#include <thread>
 
 using namespace mcfi;
 using namespace mcfi::tools;
 
 int main(int argc, char **argv) {
   std::vector<std::string> Modules, Libraries;
-  uint64_t Fuel = ~0ull;
+  uint64_t Fuel = ~0ull, Churn = 0;
   bool Verify = true, Stats = false;
   ExecTier Tier = ExecTier::Trace;
 
@@ -54,6 +63,8 @@ int main(int argc, char **argv) {
         usage("mcfi-run: --tier takes interp, threaded, or trace");
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--dlclose-churn" && I + 1 < argc) {
+      Churn = std::stoull(argv[++I]);
     } else if (!Arg.empty() && Arg[0] == '-') {
       usage("mcfi-run: unknown option; see the file header for usage");
     } else {
@@ -91,15 +102,67 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "mcfi-run: link failed: %s\n", Error.c_str());
     return 2;
   }
+  std::vector<int64_t> LibIds;
   for (const std::string &Path : Libraries) {
     MCFIObject Obj;
     if (!loadObj(Path, Obj))
       return 2;
-    L.registerLibrary(std::move(Obj));
+    LibIds.push_back(L.registerLibrary(std::move(Obj)));
   }
 
+  if (Churn && LibIds.empty())
+    usage("mcfi-run: --dlclose-churn needs at least one --register library");
+
+  // The churn thread exercises module unload against the live guest:
+  // each cycle opens every registered library as one batch, closes the
+  // batch, and drains whatever reclaim grace has already elapsed.
+  std::thread ChurnThread;
+  std::atomic<uint64_t> ChurnFailures{0};
+  if (Churn)
+    ChurnThread = std::thread([&] {
+      for (uint64_t C = 0; C < Churn; ++C) {
+        std::vector<int64_t> Handles;
+        for (const DlopenResult &DR : L.dlopenBatch(LibIds)) {
+          if (DR.Handle >= 0)
+            Handles.push_back(DR.Handle);
+          else
+            ChurnFailures.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (bool Ok : L.dlcloseBatch(Handles))
+          if (!Ok)
+            ChurnFailures.fetch_add(1, std::memory_order_relaxed);
+        M.drainReclaim();
+      }
+    });
+
   RunResult R = runProgram(M, Fuel);
+  if (ChurnThread.joinable())
+    ChurnThread.join();
   std::fputs(M.takeOutput().c_str(), stdout);
+
+  if (Churn) {
+    // All guest threads are done: every retired range is past grace.
+    M.drainReclaim();
+    ReclaimStats RS = M.reclaimStats();
+    UpdateSummary US = summarizeUpdates(L, M.tables(), &RS);
+    std::fprintf(stderr, "[mcfi-run] dlclose-churn: %llu cycles x %zu libs; %s\n",
+                 static_cast<unsigned long long>(Churn), LibIds.size(),
+                 updateSummaryJSON(US, "churn").c_str());
+    // Leftover FreeRanges are legitimate when the guest's own dlopens
+    // pin modules above the churned ranges (tail-trim can't run); a real
+    // leak shows as pending regions or condemned ECNs after a full
+    // drain with zero guest threads.
+    uint64_t Failures = ChurnFailures.load(std::memory_order_relaxed);
+    if (Failures || RS.PendingRegions || RS.CondemnedECNs) {
+      std::fprintf(stderr,
+                   "mcfi-run: dlclose-churn leak: failures=%llu pending=%llu "
+                   "condemned=%llu\n",
+                   static_cast<unsigned long long>(Failures),
+                   static_cast<unsigned long long>(RS.PendingRegions),
+                   static_cast<unsigned long long>(RS.CondemnedECNs));
+      return 2;
+    }
+  }
 
   if (Stats) {
     std::fprintf(stderr,

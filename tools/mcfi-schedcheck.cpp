@@ -39,6 +39,7 @@ void printUsage() {
       "  --replay SCHED         replay one schedule (comma-separated)\n"
       "  --minimize SCHED       minimize a failing schedule, then exit\n"
       "  --mutant               enable the Bary-before-Tary phase mutant\n"
+      "  --mutant-skip-grace    enable the skip-grace mutant (unload ABA)\n"
       "  --max-schedules N      DFS schedule cap (default 500000)\n"
       "  --keep-going           report all violations, not just the first\n"
       "  --trace                print the event trace of violations\n");
@@ -151,6 +152,8 @@ int main(int argc, char **argv) {
       Opt.Minimize = Next();
     else if (Arg == "--mutant")
       Opt.Explore.MutantReorderPhases = true;
+    else if (Arg == "--mutant-skip-grace")
+      Opt.Explore.MutantSkipGrace = true;
     else if (Arg == "--max-schedules")
       Opt.Explore.MaxSchedules = std::strtoull(Next(), nullptr, 10);
     else if (Arg == "--keep-going")

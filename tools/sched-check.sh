@@ -2,13 +2,17 @@
 # Runs the deterministic schedule-exploration checker over the
 # transaction layer as a CI gate:
 #
-#   - exhaustive DFS (preemption bound 2) over all six built-in
+#   - exhaustive DFS (preemption bound 2) over all seven built-in
 #     scenarios: every interleaving's txCheck results must match a
 #     linearization point of the update sequence, observed IDs must
 #     carry the reserved-bit signature, and txCheckSlow must stay
 #     within its seqlock retry bound;
 #   - a seeded 10k-walk random exploration per scenario, for coverage
-#     beyond the preemption bound at fixed cost.
+#     beyond the preemption bound at fixed cost;
+#   - mutant detection: the skip-grace mutant (dlclose range reuse
+#     without waiting out the reclamation grace period) MUST be caught
+#     by the unload scenario as a torn use-after-retire — a checker
+#     that finds no violation there proves nothing about unload safety.
 #
 # Any violation prints a replayable schedule; reproduce with
 #   mcfi-schedcheck --scenario NAME --replay 'SCHEDULE' --trace
@@ -30,6 +34,15 @@ fi
 echo "== seeded random walks (10000 per scenario, seed 1) =="
 if ! "$SCHEDCHECK" --scenario all --random 10000 --seed 1 --keep-going; then
   status=1
+fi
+
+echo "== skip-grace mutant must be caught (unload use-after-retire) =="
+if "$SCHEDCHECK" --scenario unload --exhaustive --bound 2 \
+    --mutant-skip-grace >/dev/null 2>&1; then
+  echo "sched-check: unload scenario FAILED to catch the skip-grace mutant"
+  status=1
+else
+  echo "scenario unload       mutant-skip-grace: caught (use-after-retire)"
 fi
 
 if [ "$status" -ne 0 ]; then

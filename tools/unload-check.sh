@@ -1,0 +1,109 @@
+#!/bin/sh
+# CI gate for module unload (dlclose + epoch-based reclamation):
+#
+#   - schedcheck: the unload scenario (dlclose retire + grace-gated
+#     range reuse) must be exhaustively clean at preemption bound 2,
+#     and the skip-grace mutant must be CAUGHT — reusing a retired
+#     range without waiting out the grace period has to surface as a
+#     torn use-after-retire, or the checker proves nothing;
+#   - fail-closed: a guest that dlopens a plugin, calls it, dlcloses
+#     it, and replays the call must die with a CFI violation (exit
+#     124) after printing the pre-close result and a dead dlsym probe;
+#   - churn: mcfi-run --dlclose-churn cycles host-side
+#     dlopenBatch/dlcloseBatch against the running guest; the run must
+#     end with zero failed opens/closes, zero pending regions, and
+#     zero condemned ECNs (mcfi-run exits 2 on any leak).
+#
+# Under ThreadSanitizer the schedcheck legs are skipped (set
+# UNLOAD_CHECK_NO_SCHEDCHECK=1): the cooperative ucontext scheduler is
+# single-threaded by construction and TSan's fiber support conflicts
+# with swapcontext-based stacks. The churn leg is the TSan payload.
+#
+# Usage: tools/unload-check.sh [mcfi-schedcheck] [mcfi-cc] [mcfi-run]
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+SCHEDCHECK=${1:-"$ROOT/build/tools/mcfi-schedcheck"}
+CC=${2:-"$ROOT/build/tools/mcfi-cc"}
+RUN=${3:-"$ROOT/build/tools/mcfi-run"}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+if [ "${UNLOAD_CHECK_NO_SCHEDCHECK:-0}" != "1" ]; then
+  echo "== schedcheck: unload scenario, exhaustive (bound 2) =="
+  "$SCHEDCHECK" --scenario unload --exhaustive --bound 2
+
+  echo "== schedcheck: skip-grace mutant must be caught =="
+  if "$SCHEDCHECK" --scenario unload --exhaustive --bound 2 \
+      --mutant-skip-grace >/dev/null 2>&1; then
+    echo "unload-check: FAILED (skip-grace mutant was not caught)"
+    exit 1
+  fi
+  echo "scenario unload       mutant-skip-grace: caught (use-after-retire)"
+else
+  echo "== schedcheck legs skipped (UNLOAD_CHECK_NO_SCHEDCHECK=1) =="
+fi
+
+cat > "$WORK/plugin.minic" <<'EOF'
+long plugin_fn(long x) { return x * 10 + 1; }
+/* dlsym hands out plugin_fn's address, so it must be address-taken. */
+long (*plugin_exports)(long) = plugin_fn;
+EOF
+
+cat > "$WORK/host.minic" <<'EOF'
+long plugin_fn(long x);
+int main() {
+  long h = dlopen(0);
+  if (h < 0) return 1;
+  print_int(plugin_fn(4));                 /* works while loaded */
+  if (dlclose(h) != 0) return 2;
+  long (*f)(long) = (long (*)(long))dlsym(h, "plugin_fn");
+  if (f) print_str("stale handle resolved\n");
+  else print_str("gone\n");
+  print_int(plugin_fn(5));                 /* must fail closed */
+  return 0;
+}
+EOF
+
+# A self-contained spinner whose print syscalls are quiescence points,
+# so reclaim grace keeps advancing while the churn thread hammers.
+cat > "$WORK/spin.minic" <<'EOF'
+int main() {
+  long i;
+  long acc = 0;
+  for (i = 0; i < 400; i = i + 1) {
+    acc = acc + i;
+    print_int(i);
+  }
+  if (acc == 79800) return 0;
+  return 1;
+}
+EOF
+
+"$CC" --plt -o "$WORK/host.mcfo" "$WORK/host.minic"
+"$CC" -o "$WORK/plugin.mcfo" "$WORK/plugin.minic"
+"$CC" -o "$WORK/spin.mcfo" "$WORK/spin.minic"
+
+echo "== guest dlclose fails closed (replayed call -> CFI violation) =="
+status=0
+"$RUN" --register "$WORK/plugin.mcfo" "$WORK/host.mcfo" \
+    > "$WORK/host.out" 2>/dev/null || status=$?
+if [ "$status" -ne 124 ]; then
+  echo "unload-check: FAILED (expected exit 124, got $status)"
+  exit 1
+fi
+if ! printf '41\ngone\n' | cmp -s - "$WORK/host.out"; then
+  echo "unload-check: FAILED (unexpected guest output)"
+  cat "$WORK/host.out"
+  exit 1
+fi
+
+echo "== dlclose churn: 25 open/close cycles against the running guest =="
+if ! "$RUN" --register "$WORK/plugin.mcfo" --dlclose-churn 25 \
+    "$WORK/spin.mcfo" > /dev/null; then
+  echo "unload-check: FAILED (churn leaked or an open/close failed)"
+  exit 1
+fi
+
+echo "unload-check: retire, fail-closed, and reclamation all verified"
