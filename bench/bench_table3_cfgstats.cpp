@@ -13,10 +13,17 @@
 /// observes fewer EQCs with tail calls because returns merge through
 /// tail-call chains.
 ///
+/// Appended after the original columns: the FLTA-vs-MLTA precision
+/// deltas (the Burow et al. comparison) — equivalence-class count gain,
+/// largest-class shrink (absolute and %), and average-class shrink (%)
+/// per tail-call mode. MLTA must never lose: dEQC >= 0 and dLgst > 0 on
+/// every profile, or the bench fails.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
 #include "metrics/Harness.h"
+#include "metrics/Metrics.h"
 
 #include <cstdio>
 
@@ -24,42 +31,100 @@ using namespace mcfi;
 
 namespace {
 
-CFGPolicy statsFor(const BenchProfile &P, bool TailCalls) {
+PrecisionReport statsFor(const BenchProfile &P, bool TailCalls, bool Mlta) {
   std::string Source = generateWorkload(P, WorkloadVariant::Fixed);
   BuildSpec Spec;
   Spec.TailCalls = TailCalls;
+  Spec.Mlta = Mlta;
   BuiltProgram BP = buildProgram({Source}, Spec);
   if (!BP.Ok) {
     std::fprintf(stderr, "%s failed: %s\n", P.Name.c_str(),
                  BP.Error.c_str());
     std::exit(1);
   }
-  return BP.L->policy();
+  return computePrecision(BP.L->policy());
+}
+
+std::string pct(uint64_t From, uint64_t To) {
+  if (!From)
+    return "0.0%";
+  return formatString("%.1f%%", 100.0 * (double)(From - To) / (double)From);
 }
 
 } // namespace
 
 int main() {
-  benchHeader("CFG statistics: IBs / IBTs / EQCs, statically linked with rt",
-              "Table 3");
+  benchHeader("CFG statistics: IBs / IBTs / EQCs, statically linked with rt;"
+              " FLTA vs MLTA deltas",
+              "Table 3 + the Burow et al. precision comparison");
 
   TablePrinter Table;
   Table.addRow({"benchmark", "IBs(32)", "IBTs(32)", "EQCs(32)", "IBs(64)",
-                "IBTs(64)", "EQCs(64)"});
+                "IBTs(64)", "EQCs(64)", "dEQC(32)", "dLgst(32)", "dLgst%(32)",
+                "dAvg%(32)", "dEQC(64)", "dLgst(64)", "dLgst%(64)",
+                "dAvg%(64)"});
 
+  bool Ok = true;
   for (const BenchProfile &P : specProfiles()) {
-    CFGPolicy NoTail = statsFor(P, /*TailCalls=*/false);
-    CFGPolicy Tail = statsFor(P, /*TailCalls=*/true);
-    Table.addRow({P.Name, std::to_string(NoTail.NumIBs),
-                  std::to_string(NoTail.NumIBTs),
-                  std::to_string(NoTail.NumEQCs),
-                  std::to_string(Tail.NumIBs), std::to_string(Tail.NumIBTs),
-                  std::to_string(Tail.NumEQCs)});
+    PrecisionReport NoTail = statsFor(P, /*TailCalls=*/false, /*Mlta=*/false);
+    PrecisionReport Tail = statsFor(P, /*TailCalls=*/true, /*Mlta=*/false);
+    PrecisionReport MNoTail = statsFor(P, /*TailCalls=*/false, /*Mlta=*/true);
+    PrecisionReport MTail = statsFor(P, /*TailCalls=*/true, /*Mlta=*/true);
+
+    auto deltas = [&](const PrecisionReport &F, const PrecisionReport &M,
+                      std::vector<std::string> &Row) {
+      Row.push_back(formatString(
+          "%+lld", (long long)M.NumEQCs - (long long)F.NumEQCs));
+      Row.push_back(formatString(
+          "%+lld", (long long)M.LargestClass - (long long)F.LargestClass));
+      Row.push_back("-" + pct(F.LargestClass, M.LargestClass));
+      double AvgPct =
+          F.AvgClass > 0 ? 100.0 * (F.AvgClass - M.AvgClass) / F.AvgClass : 0;
+      Row.push_back(formatString("-%.1f%%", AvgPct));
+    };
+
+    std::vector<std::string> Row{
+        P.Name,
+        std::to_string(NoTail.NumIBs),
+        std::to_string(NoTail.NumIBTs),
+        std::to_string(NoTail.NumEQCs),
+        std::to_string(Tail.NumIBs),
+        std::to_string(Tail.NumIBTs),
+        std::to_string(Tail.NumEQCs)};
+    deltas(NoTail, MNoTail, Row);
+    deltas(Tail, MTail, Row);
+    Table.addRow(Row);
+
+    // The acceptance gate: the layered map must strictly shrink the
+    // largest class and never lose equivalence classes, per profile and
+    // per tail-call mode.
+    if (MNoTail.LargestClass >= NoTail.LargestClass ||
+        MTail.LargestClass >= Tail.LargestClass ||
+        MNoTail.NumEQCs < NoTail.NumEQCs || MTail.NumEQCs < Tail.NumEQCs) {
+      std::fprintf(stderr,
+                   "%s: MLTA failed to improve precision "
+                   "(largest %llu->%llu / %llu->%llu, EQCs %llu->%llu / "
+                   "%llu->%llu)\n",
+                   P.Name.c_str(), (unsigned long long)NoTail.LargestClass,
+                   (unsigned long long)MNoTail.LargestClass,
+                   (unsigned long long)Tail.LargestClass,
+                   (unsigned long long)MTail.LargestClass,
+                   (unsigned long long)NoTail.NumEQCs,
+                   (unsigned long long)MNoTail.NumEQCs,
+                   (unsigned long long)Tail.NumEQCs,
+                   (unsigned long long)MTail.NumEQCs);
+      Ok = false;
+    }
   }
   Table.print();
   std::printf("\npaper (scaled ~10x down): EQCs per benchmark are two to\n"
               "three orders of magnitude above the handful of classes that\n"
               "coarse-grained CFI enforces; the x86-64 (tail-call) column\n"
-              "has fewer or equal EQCs than x86-32\n");
+              "has fewer or equal EQCs than x86-32. MLTA deltas: dEQC >= 0\n"
+              "and dLgst < 0 (strict largest-class shrink) on every row.\n");
+  if (!Ok) {
+    std::fprintf(stderr, "\nFAIL: MLTA precision regression\n");
+    return 1;
+  }
   return 0;
 }

@@ -43,6 +43,16 @@
 ///  - code-epoch-replay: hijacks into a module dlopen'd after traces
 ///    were compiled; the stale predecoded segment must not cover the new
 ///    code, and the fallback path must re-check it in full.
+///  - mlta: cross-enclosing-type function-pointer overwrites. The MLTA
+///    victim dispatches through fnptr fields of two structurally
+///    distinct registry structs whose handlers share one signature —
+///    one FLTA equivalence class. Overwriting registry A's field with
+///    registry B's handler is therefore in-class under the plain
+///    type-matched policy (AllowedByPolicy: the documented precision
+///    boundary) but crosses classes under the MLTA-refined policy and
+///    must die at the check. The class runs each overwrite under both
+///    builds and asserts exactly that verdict flip; a same-chain swap
+///    under MLTA stays AllowedByPolicy (refinement must not overclaim).
 ///  - unload: the dlclose lifecycle. Dispatch through a pointer into a
 ///    retired-but-not-reclaimed module (the region is still mapped, the
 ///    grace period still running) must die at the check, never read the
@@ -81,8 +91,9 @@ enum class AttackClass : uint8_t {
   TraceFusedCheck,
   CodeEpochReplay,
   Unload,
+  Mlta,
 };
-constexpr unsigned NumAttackClasses = 9;
+constexpr unsigned NumAttackClasses = 10;
 
 const char *className(AttackClass C);
 bool parseClassName(const std::string &Name, AttackClass &Out);

@@ -46,6 +46,8 @@ const char *mcfi::attack::className(AttackClass C) {
     return "code-epoch-replay";
   case AttackClass::Unload:
     return "unload";
+  case AttackClass::Mlta:
+    return "mlta";
   }
   return "?";
 }
@@ -296,6 +298,15 @@ CorpusReport mcfi::attack::runCorpus(const CorpusOptions &Opts) {
           Classes.end()) {
         std::vector<AttackRecord> Recs =
             runUnloadAttacks(Tier, Victim.Name, Opts.MaxPerClass);
+        Rep.Records.insert(Rep.Records.end(), Recs.begin(), Recs.end());
+      }
+      // The MLTA differential rides the grid too: its attacks build the
+      // layered-map victim twice (type-matched and MLTA-refined) and
+      // assert the cross-enclosing-type verdict flip at this tier.
+      if (std::find(Classes.begin(), Classes.end(), AttackClass::Mlta) !=
+          Classes.end()) {
+        std::vector<AttackRecord> Recs =
+            runMltaAttacks(Tier, Victim.Name, Opts.MaxPerClass);
         Rep.Records.insert(Rep.Records.end(), Recs.begin(), Recs.end());
       }
     }

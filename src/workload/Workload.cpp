@@ -46,9 +46,14 @@ void Src::linef(const char *Fmt, ...) {
 }
 
 /// One function-pointer shape in the generated program.
+///
+/// Scalar shapes (0..3) deliberately SHARE one function signature:
+/// first-layer type analysis cannot tell their workers apart (the
+/// paper's precision ceiling), while the multi-layer map still splits
+/// them by the registry struct each worker is stored into.
 struct Shape {
   unsigned Id;
-  unsigned LongParams;   ///< shapes 0..3: 1..4 long parameters
+  unsigned LongParams;   ///< scalar shapes: long parameters (all 2)
   bool StructParam;      ///< shapes >= 4: (struct CtxN*, long)
   unsigned StructFields; ///< field count of the context struct
 
@@ -60,23 +65,14 @@ struct Shape {
       P += formatString(", long a%u", I);
     return P;
   }
-  std::string ptrType() const {
+  /// Bare parameter-type list, for function-pointer fields.
+  std::string ptrParams() const {
     if (StructParam)
-      return formatString("long (*)(struct Ctx%u *, long)", Id);
+      return formatString("struct Ctx%u *, long", Id);
     std::string P = "long";
     for (unsigned I = 1; I != LongParams; ++I)
       P += ", long";
-    return "long (*)(" + P + ")";
-  }
-  /// Declares "long (*NAME[N])(params);" style arrays.
-  std::string arrayDecl(const std::string &Name, unsigned N) const {
-    if (StructParam)
-      return formatString("long (*%s[%u])(struct Ctx%u *, long);",
-                          Name.c_str(), N, Id);
-    std::string P = "long";
-    for (unsigned I = 1; I != LongParams; ++I)
-      P += ", long";
-    return formatString("long (*%s[%u])(%s);", Name.c_str(), N, P.c_str());
+    return P;
   }
   std::string callArgs(const std::string &X) const {
     if (StructParam)
@@ -92,7 +88,7 @@ Shape makeShape(unsigned S) {
   Shape Sh;
   Sh.Id = S;
   if (S < 4) {
-    Sh.LongParams = S + 1;
+    Sh.LongParams = 2; // one shared scalar signature across shapes 0..3
     Sh.StructParam = false;
     Sh.StructFields = 0;
   } else {
@@ -101,6 +97,25 @@ Shape makeShape(unsigned S) {
     Sh.StructFields = S - 2; // distinct field counts => distinct types
   }
   return Sh;
+}
+
+/// How a shape's address-taken workers split across its dispatch
+/// registries: even live workers go to RegA, odd ones to RegB, and (with
+/// enough workers) the last one to the never-dispatched retired registry
+/// RegR — address-taken but provably uncalled under the layered map.
+struct RegistrySplit {
+  unsigned NumA = 1;
+  unsigned NumB = 0;
+  unsigned Retired = 0;
+};
+
+RegistrySplit splitFor(unsigned Taken) {
+  RegistrySplit R;
+  R.Retired = Taken >= 4 ? 1 : 0;
+  unsigned Live = Taken - R.Retired;
+  R.NumA = (Live + 1) / 2;
+  R.NumB = Live / 2;
+  return R;
 }
 
 class Generator {
@@ -137,6 +152,28 @@ private:
       for (unsigned F = 0; F != Sh.StructFields; ++F)
         Fields += formatString(" long f%u;", F);
       S.linef("struct Ctx%u {%s };", Sh.Id, Fields.c_str());
+    }
+    // Per-shape dispatch registries. Pad-field counts make every
+    // registry structurally unique (records are keyed by canonical
+    // structural signature), so the layered type map keeps them apart
+    // even where the function-pointer signatures collide.
+    unsigned NumShapes = static_cast<unsigned>(Shapes.size());
+    for (const Shape &Sh : Shapes) {
+      RegistrySplit Sp = splitFor(TakenPerShape);
+      auto emitReg = [&](const char *Kind, unsigned Pads, unsigned Count) {
+        std::string Fields;
+        for (unsigned F = 0; F != Pads; ++F)
+          Fields += formatString(" long p%u;", F);
+        S.linef("struct Reg%s%u {%s long (*h)(%s); };", Kind, Sh.Id,
+                Fields.c_str(), Sh.ptrParams().c_str());
+        S.linef("struct Reg%s%u reg%s%u[%u];", Kind, Sh.Id, Kind, Sh.Id,
+                Count);
+      };
+      emitReg("A", 2 * Sh.Id + 1, Sp.NumA);
+      if (Sp.NumB)
+        emitReg("B", 2 * Sh.Id + 2, Sp.NumB);
+      if (Sp.Retired)
+        emitReg("R", 2 * NumShapes + 1 + Sh.Id, Sp.Retired);
     }
   }
 
@@ -178,60 +215,113 @@ private:
   void emitVariadic() {
     for (unsigned I = 0; I != P.VariadicWorkers; ++I) {
       // Alternate arity so the variadic fixed-prefix rule has targets
-      // with extended fixed-parameter lists.
+      // with extended fixed-parameter lists. The char* lead parameter
+      // keeps the variadic prefix from matching the scalar dispatch
+      // signature (the fixed-prefix rule matches non-variadic callees
+      // too, and the unrefinable vfp site must not re-merge them).
       if (I % 2 == 0)
-        S.linef("long vw%u(long a, ...) { return a * %u + 1; }", I, I + 3);
-      else
-        S.linef("long vw%u(long a, long b, ...) { return a * %u + b; }", I,
+        S.linef("long vw%u(char *s, ...) { return (long)s * %u + 1; }", I,
                 I + 3);
+      else
+        S.linef("long vw%u(char *s, long b, ...) { return (long)s * %u + b;"
+                " }",
+                I, I + 3);
     }
     if (P.VariadicWorkers) {
-      S.line("long (*vfp)(long, ...) = vw0;");
-      S.line("long call_variadic(long x) { return vfp(x, x + 1, x + 2); }");
+      S.line("long (*vfp)(char *, ...) = vw0;");
+      S.line("long call_variadic(long x) {"
+             " return vfp((char *)x, x + 1, x + 2); }");
     }
   }
 
   void emitTables() {
-    for (const Shape &Sh : Shapes)
-      S.line(Sh.arrayDecl(formatString("tab%u", Sh.Id), TakenPerShape));
+    // Fill the registries: even live workers into RegA, odd into RegB,
+    // the last taken worker (when present) into the retired registry no
+    // dispatcher ever reads.
     S.line("void init_tables(void) {");
-    for (const Shape &Sh : Shapes)
-      for (unsigned J = 0; J != TakenPerShape; ++J)
-        S.linef("  tab%u[%u] = w%u_%u;", Sh.Id, J, Sh.Id, J);
+    for (const Shape &Sh : Shapes) {
+      RegistrySplit Sp = splitFor(TakenPerShape);
+      for (unsigned J = 0; J != Sp.NumA; ++J)
+        S.linef("  regA%u[%u].h = w%u_%u;", Sh.Id, J, Sh.Id, 2 * J);
+      for (unsigned J = 0; J != Sp.NumB; ++J)
+        S.linef("  regB%u[%u].h = w%u_%u;", Sh.Id, J, Sh.Id, 2 * J + 1);
+      if (Sp.Retired)
+        S.linef("  regR%u[0].h = w%u_%u;", Sh.Id, Sh.Id, TakenPerShape - 1);
+    }
     S.line("}");
   }
 
   void emitDispatchers() {
     for (const Shape &Sh : Shapes) {
+      RegistrySplit Sp = splitFor(TakenPerShape);
+      // One indirect call per dispatcher function: the refinement key is
+      // (owner function, pointer signature), so each registry's load
+      // site must live in its own function to get its own refined set.
+      auto emitDisp = [&](const char *Kind, unsigned Count) {
+        S.linef("long disp%s%u(long x) {", Kind, Sh.Id);
+        if (Sh.StructParam) {
+          S.linef("  struct Ctx%u ctx;", Sh.Id);
+          S.linef("  ctx.f0 = x + 7;");
+        }
+        S.linef("  long xx = x;");
+        S.linef("  if (xx < 0) xx = -xx;");
+        S.linef("  return reg%s%u[xx %% %u].h(%s);", Kind, Sh.Id, Count,
+                Sh.callArgs("x").c_str());
+        S.line("}");
+      };
+      emitDisp("A", Sp.NumA);
+      if (Sp.NumB)
+        emitDisp("B", Sp.NumB);
       S.linef("long disp%u(long x) {", Sh.Id);
-      if (Sh.StructParam) {
-        S.linef("  struct Ctx%u ctx;", Sh.Id);
-        S.linef("  ctx.f0 = x + 7;");
+      if (Sp.NumB) {
+        S.line("  long xx = x;");
+        S.line("  if (xx < 0) xx = -xx;");
+        S.linef("  if (xx %% 2 == 1) return dispB%u(x);", Sh.Id);
       }
-      S.linef("  long xx = x;");
-      S.linef("  if (xx < 0) xx = -xx;");
-      S.linef("  return tab%u[xx %% %u](%s);", Sh.Id, TakenPerShape,
-              Sh.callArgs("x").c_str());
+      S.linef("  return dispA%u(x);", Sh.Id);
       S.line("}");
-      // A direct-call chain of the same shape for the baseline mix.
+      // A direct-call chain of the same shape for the baseline mix; the
+      // callee is a dedicated never-address-taken worker so the direct
+      // call sites' return classes stay disjoint from the registries'.
+      S.linef("long d%u(%s) {", Sh.Id, Sh.paramList().c_str());
+      emitBody(Sh, WorkersPerShape + 1);
+      S.line("}");
       S.linef("long direct%u(long x) {", Sh.Id);
       if (Sh.StructParam) {
         S.linef("  struct Ctx%u ctx;", Sh.Id);
         S.linef("  ctx.f0 = x + 7;");
       }
-      S.linef("  return w%u_0(%s);", Sh.Id, Sh.callArgs("x").c_str());
+      S.linef("  return d%u(%s);", Sh.Id, Sh.callArgs("x").c_str());
       S.line("}");
     }
   }
 
   void emitSwitches() {
+    // Each arm tail-calls its own dedicated worker: a shared callee
+    // would fold every switch's return class into one program-wide
+    // class and mask the registry-level precision the bench measures.
     for (unsigned W = 0; W != P.Switches; ++W) {
+      for (unsigned C = 0; C != 8; ++C) {
+        S.linef("long swk%u_%u(long x) {", W, C);
+        S.line("  long v = x;");
+        if (P.WorkPerCall == 0) {
+          S.linef("  v = v * 2654435761 + %u;", W * 8 + C + 2);
+          S.line("  v = v ^ (v >> 13);");
+        } else {
+          S.line("  long i;");
+          S.linef("  for (i = 0; i < %u; i = i + 1) {", P.WorkPerCall);
+          S.linef("    v = v * 2654435761 + %u;", W * 8 + C + 2);
+          S.line("    v = v ^ (v >> 13);");
+          S.line("  }");
+        }
+        S.line("  return v;");
+        S.line("}");
+      }
       S.linef("long sw%u(long x) {", W);
       S.line("  long xx = x; if (xx < 0) xx = -xx;");
       S.line("  switch (xx % 8) {");
       for (unsigned C = 0; C != 8; ++C)
-        S.linef("  case %u: return direct%u(x + %u);", C,
-                C % static_cast<unsigned>(Shapes.size()), W);
+        S.linef("  case %u: return swk%u_%u(x + %u);", C, W, C, W);
       S.line("  default: return 0;");
       S.line("  }");
       S.line("}");
@@ -245,22 +335,29 @@ private:
   void emitViolations() {
     bool NeedBase = P.Upcasts || P.Downcasts || P.MallocCasts ||
                     P.NullUpdates || P.NfAccesses;
+    unsigned UpcastCount = P.Upcasts - (P.Downcasts ? 1 : 0);
+    // One use_base clone per six upcast sites: a single shared callee
+    // would accrete a return class as large as the upcast count, hiding
+    // the registry-level precision the FLTA-vs-MLTA bench measures
+    // behind an unrelated direct-call class.
+    unsigned BaseClones = P.Upcasts ? (UpcastCount + 5) / 6 : 0;
     if (NeedBase) {
       S.line("struct VBase { long tag; long val; };");
       S.line("struct VDer { long tag; long val; long extra;"
              " long (*fp)(long); };");
-      S.line("long use_base(struct VBase *b) { return b->val; }");
+      for (unsigned I = 0; I != std::max(BaseClones, 1u); ++I)
+        S.linef("long use_base%u(struct VBase *b) { return b->val + %u; }", I,
+                I);
     }
 
     if (P.Upcasts) {
       // main() passes "(struct VBase *)&vd" to do_downcasts when
       // downcasts are seeded; that is itself one upcast, so emit one
       // fewer here to keep the Table-1 counts exact.
-      unsigned Count = P.Upcasts - (P.Downcasts ? 1 : 0);
       S.line("long do_upcasts(void) {");
       S.line("  struct VDer d; d.tag = 1; d.val = 5; long r = 0;");
-      for (unsigned I = 0; I != Count; ++I)
-        S.linef("  r = r + use_base((struct VBase *)&d) + %u;", I);
+      for (unsigned I = 0; I != UpcastCount; ++I)
+        S.linef("  r = r + use_base%u((struct VBase *)&d) + %u;", I / 6, I);
       S.line("  return r;");
       S.line("}");
     }
@@ -514,19 +611,21 @@ long rt_hash(char *s) {
   return h;
 }
 
-/* Callback-driven insertion sort: a library API that makes indirect
-   calls into application code (cross-module return edges + indirect
-   call type matching). */
-void rt_sort(long *a, long n, long (*cmp)(long, long)) {
+/* Key-callback insertion sort: a library API that makes indirect calls
+   into application code (cross-module return edges + indirect call type
+   matching). The key signature deliberately avoids the workload's
+   dispatch signatures so the library's unrefinable callback site never
+   re-merges application equivalence classes. */
+void rt_sort(long *a, long n, long (*key)(long)) {
   long i;
   for (i = 1; i < n; i = i + 1) {
-    long key = a[i];
+    long cur = a[i];
     long j = i - 1;
-    while (j >= 0 && cmp(a[j], key) > 0) {
+    while (j >= 0 && key(a[j]) > key(cur)) {
       a[j + 1] = a[j];
       j = j - 1;
     }
-    a[j + 1] = key;
+    a[j + 1] = cur;
   }
 }
 

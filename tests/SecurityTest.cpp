@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "attack/AttackInternal.h"
 #include "metrics/Harness.h"
 #include "tables/ID.h"
 
@@ -305,6 +306,22 @@ TEST_P(SecurityTierTest, SignalHandlerMustBeValidTarget) {
   ASSERT_TRUE(BP.Ok) << BP.Error;
   Measured M = measureRun(BP);
   EXPECT_EQ(M.Result.Reason, StopReason::CfiViolation) << M.Result.Message;
+}
+
+TEST_P(SecurityTierTest, MltaRefinementFlipsCrossRegistryVerdict) {
+  // The MLTA differential, pinned per tier: the identical
+  // cross-enclosing-type overwrite is an in-class transfer the plain
+  // type-matched policy allows, dies at the check under the refined
+  // policy, and a same-chain swap stays allowed under refinement.
+  std::vector<attack::AttackRecord> Recs =
+      attack::runMltaAttacks(GetParam(), "builtin", 3);
+  ASSERT_EQ(Recs.size(), 3u);
+  EXPECT_EQ(Recs[0].Name, "mlta:flta:cross-registry");
+  EXPECT_EQ(Recs[0].V, attack::Verdict::AllowedByPolicy) << Recs[0].Detail;
+  EXPECT_EQ(Recs[1].Name, "mlta:refined:cross-registry");
+  EXPECT_EQ(Recs[1].V, attack::Verdict::CaughtByCheck) << Recs[1].Detail;
+  EXPECT_EQ(Recs[2].Name, "mlta:refined:same-chain");
+  EXPECT_EQ(Recs[2].V, attack::Verdict::AllowedByPolicy) << Recs[2].Detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(

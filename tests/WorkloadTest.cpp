@@ -106,8 +106,8 @@ TEST(RtLibrary, CompilesAndAnalyzes) {
 
 TEST(RtLibrary, SortWithApplicationCallback) {
   std::string Main = R"(
-    void rt_sort(long *a, long n, long (*cmp)(long, long));
-    long by_value(long a, long b) { return a - b; }
+    void rt_sort(long *a, long n, long (*key)(long));
+    long by_value(long a) { return a; }
     int main() {
       long v[5];
       v[0] = 5; v[1] = 1; v[2] = 4; v[3] = 2; v[4] = 3;

@@ -28,6 +28,15 @@
 ///   --expect-refinement  exit 1 unless the refined CFG strictly
 ///                        improves: EQCs no worse, largest class
 ///                        strictly smaller, AIR no worse
+///   --mlta               run the multi-layer type analysis, audit the
+///                        MLTA-refined CFG, and check the per-call-site
+///                        soundness differential MLTA ⊆ FLTA (any
+///                        violation fails the audit)
+///   --fail-on-eqc-regression <N>
+///                        exit 1 if the audited policy (MLTA if --mlta,
+///                        else refined if --refine, else type-matched)
+///                        has fewer than N equivalence classes — CI pins
+///                        the current EQC count against regressions
 ///
 /// Exit code: 0 clean, 1 gate failed, 2 bad invocation or load error.
 ///
@@ -36,6 +45,7 @@
 #include "analyzer/Analyzer.h"
 #include "dataflow/Dataflow.h"
 #include "metrics/Metrics.h"
+#include "mlta/Mlta.h"
 #include "toolchain/Toolchain.h"
 #include "tools/ToolCommon.h"
 #include "verifier/Verifier.h"
@@ -54,6 +64,8 @@ struct Options {
   bool Refine = false;
   bool Json = false;
   bool ExpectRefinement = false;
+  bool Mlta = false;
+  long long EqcFloor = -1; ///< --fail-on-eqc-regression; -1 = off
   std::string FailOn = "none";
   std::set<std::string> Tagged;
   std::vector<std::string> Inputs;
@@ -82,10 +94,41 @@ void jsonPrecision(std::ostringstream &O, const PrecisionReport &P,
     << ",\"avgClass\":" << P.AvgClass << ",\"air\":" << Air << "}";
 }
 
+void jsonMlta(std::ostringstream &O, const mlta::MltaResult &MR,
+              const PrecisionReport &Ml, double MlAir,
+              size_t SubsetViolations) {
+  O << ",\"mlta\":{\"precision\":";
+  jsonPrecision(O, Ml, MlAir);
+  size_t Refined = 0;
+  for (const mlta::MltaSite &S : MR.Sites)
+    Refined += S.Refined;
+  O << ",\"sites\":" << MR.Sites.size() << ",\"refined\":" << Refined
+    << ",\"escapedRecords\":" << MR.EscapedRecords.size()
+    << ",\"keepTargets\":" << MR.KeepTargets.size() << ",\"havoc\":"
+    << (MR.Havoc ? "true" : "false") << ",\"subsetViolations\":"
+    << SubsetViolations << ",\"perSite\":[";
+  for (size_t I = 0; I < MR.Sites.size(); ++I) {
+    const mlta::MltaSite &S = MR.Sites[I];
+    if (I)
+      O << ",";
+    O << "{\"caller\":\"" << jsonEscape(S.Caller) << "\",\"module\":\""
+      << jsonEscape(S.Module) << "\",\"line\":" << S.Loc.Line << ",\"sig\":\""
+      << jsonEscape(S.PointerSig) << "\",\"chain\":\""
+      << jsonEscape(mlta::chainKey(S.Chain)) << "\",\"refined\":"
+      << (S.Refined ? "true" : "false") << ",\"mltaTargets\":"
+      << S.Targets.size() << ",\"fltaTargets\":" << S.Flta.size();
+    if (!S.Refined)
+      O << ",\"fallback\":\"" << jsonEscape(S.FallbackWhy) << "\"";
+    O << "}";
+  }
+  O << "]}";
+}
+
 std::string jsonReport(const std::vector<AuditedModule> &Mods,
                        const DataflowResult &Flow, const PrecisionReport &Un,
                        double UnAir, const PrecisionReport *Re, double ReAir,
-                       bool Ok) {
+                       const mlta::MltaResult *MR, const PrecisionReport &Ml,
+                       double MlAir, size_t SubsetViolations, bool Ok) {
   std::ostringstream O;
   O << "{\"tool\":\"mcfi-audit\",\"modules\":[";
   for (size_t I = 0; I < Mods.size(); ++I) {
@@ -140,7 +183,10 @@ std::string jsonReport(const std::vector<AuditedModule> &Mods,
     O << ",\"refined\":";
     jsonPrecision(O, *Re, ReAir);
   }
-  O << "},\"ok\":" << (Ok ? "true" : "false") << "}";
+  O << "}";
+  if (MR)
+    jsonMlta(O, *MR, Ml, MlAir, SubsetViolations);
+  O << ",\"ok\":" << (Ok ? "true" : "false") << "}";
   return O.str();
 }
 
@@ -150,7 +196,9 @@ std::string jsonReport(const std::vector<AuditedModule> &Mods,
 
 void printHuman(const std::vector<AuditedModule> &Mods,
                 const DataflowResult &Flow, const PrecisionReport &Un,
-                double UnAir, const PrecisionReport *Re, double ReAir) {
+                double UnAir, const PrecisionReport *Re, double ReAir,
+                const mlta::MltaResult *MR, const PrecisionReport &Ml,
+                double MlAir) {
   std::printf("== modules ==\n");
   for (const AuditedModule &M : Mods) {
     std::printf("  %-12s %5zu bytes, %3zu branch sites, verify %s\n",
@@ -202,6 +250,34 @@ void printHuman(const std::vector<AuditedModule> &Mods,
                 (unsigned long long)Re->NumIBTs,
                 (unsigned long long)Re->NumEQCs,
                 (unsigned long long)Re->LargestClass, Re->AvgClass, ReAir);
+  if (MR) {
+    std::printf("  %-12s %6llu %6llu %6llu %8llu %7.2f %8.5f\n", "mlta",
+                (unsigned long long)Ml.NumIBs, (unsigned long long)Ml.NumIBTs,
+                (unsigned long long)Ml.NumEQCs,
+                (unsigned long long)Ml.LargestClass, Ml.AvgClass, MlAir);
+
+    std::printf("\n== layered type map ==\n");
+    std::printf("  %u records, %u chains, %u stores, %u copy edges, "
+                "%u fixpoint rounds; %zu escaped records, %zu kept targets, "
+                "havoc: %s\n",
+                MR->Stats.Records, MR->Stats.Chains, MR->Stats.Stores,
+                MR->Stats.CopyEdges, MR->Stats.Iterations,
+                MR->EscapedRecords.size(), MR->KeepTargets.size(),
+                MR->Havoc ? "YES" : "no");
+    for (const mlta::MltaSite &S : MR->Sites) {
+      if (S.Refined)
+        std::printf("  %s:%u (%s) chain %s: %zu of %zu FLTA targets\n",
+                    S.Caller.c_str(), S.Loc.Line, S.Module.c_str(),
+                    mlta::chainKey(S.Chain).c_str(), S.Targets.size(),
+                    S.Flta.size());
+      else
+        std::printf("  %s:%u (%s): FLTA fallback (%s), %zu targets\n",
+                    S.Caller.c_str(), S.Loc.Line, S.Module.c_str(),
+                    S.FallbackWhy.c_str(), S.Flta.size());
+    }
+    for (const std::string &N : MR->Notes)
+      std::printf("  note: %s\n", N.c_str());
+  }
 }
 
 } // namespace
@@ -218,6 +294,12 @@ int main(int argc, char **argv) {
       O.Json = true;
     } else if (A == "--expect-refinement") {
       O.ExpectRefinement = O.Refine = true;
+    } else if (A == "--mlta") {
+      O.Mlta = true;
+    } else if (A == "--fail-on-eqc-regression" && I + 1 < argc) {
+      O.EqcFloor = std::atoll(argv[++I]);
+      if (O.EqcFloor < 0)
+        usage("mcfi-audit: --fail-on-eqc-regression expects a count >= 0");
     } else if (A == "--fail-on" && I + 1 < argc) {
       O.FailOn = argv[++I];
     } else if (A == "--tagged" && I + 1 < argc) {
@@ -233,9 +315,9 @@ int main(int argc, char **argv) {
     }
   }
   if (O.Inputs.empty())
-    usage("usage: mcfi-audit [--extract] [--refine] [--json] "
+    usage("usage: mcfi-audit [--extract] [--refine] [--mlta] [--json] "
           "[--fail-on K1|K2|C1|C2|none] [--tagged t1,t2] "
-          "[--expect-refinement] input...");
+          "[--expect-refinement] [--fail-on-eqc-regression N] input...");
   if (O.FailOn != "none" && O.FailOn != "K1" && O.FailOn != "K2" &&
       O.FailOn != "C1" && O.FailOn != "C2")
     usage("mcfi-audit: --fail-on expects K1, K2, C1, C2, or none");
@@ -325,8 +407,36 @@ int main(int argc, char **argv) {
     ReAir = computeAIR(Refined, Views, CodeSize).MCFI;
   }
 
+  // The layered type map: MLTA-refined CFG precision plus the per-site
+  // soundness differential (every refined set must sit inside the FLTA
+  // set the type-matched CFG would enforce).
+  mlta::MltaResult MR;
+  PrecisionReport Ml;
+  double MlAir = 0;
+  size_t SubsetViolations = 0;
+  if (O.Mlta) {
+    MR = mlta::analyzeLayeredTypes(FlowMods);
+    CFGRefinement MltaRef = mlta::computeMltaRefinement(MR);
+    CFGPolicy MltaPolicy = generateCFG(Views, &MltaRef);
+    Ml = computePrecision(MltaPolicy);
+    MlAir = computeAIR(MltaPolicy, Views, CodeSize).MCFI;
+    for (const mlta::MltaSite &S : MR.Sites) {
+      if (!S.Refined)
+        continue;
+      std::set<std::string> F(S.Flta.begin(), S.Flta.end());
+      for (const std::string &T : S.Targets)
+        if (!F.count(T)) {
+          std::fprintf(stderr,
+                       "mcfi-audit: MLTA soundness violation at %s:%u: "
+                       "target %s outside the FLTA set\n",
+                       S.Caller.c_str(), S.Loc.Line, T.c_str());
+          ++SubsetViolations;
+        }
+    }
+  }
+
   // Gates.
-  bool Ok = true;
+  bool Ok = SubsetViolations == 0;
   for (const AuditedModule &M : Mods) {
     if (!M.Verify.Ok)
       Ok = false;
@@ -343,13 +453,25 @@ int main(int argc, char **argv) {
       !(Re.NumEQCs <= Un.NumEQCs && Re.LargestClass < Un.LargestClass &&
         ReAir >= UnAir))
     Ok = false;
+  if (O.EqcFloor >= 0) {
+    const PrecisionReport &Gate = O.Mlta ? Ml : O.Refine ? Re : Un;
+    if ((long long)Gate.NumEQCs < O.EqcFloor) {
+      std::fprintf(stderr,
+                   "mcfi-audit: EQC regression: %llu classes, floor %lld\n",
+                   (unsigned long long)Gate.NumEQCs, O.EqcFloor);
+      Ok = false;
+    }
+  }
 
   if (O.Json) {
-    std::printf("%s\n", jsonReport(Mods, Flow, Un, UnAir,
-                                   O.Refine ? &Re : nullptr, ReAir, Ok)
-                            .c_str());
+    std::printf("%s\n",
+                jsonReport(Mods, Flow, Un, UnAir, O.Refine ? &Re : nullptr,
+                           ReAir, O.Mlta ? &MR : nullptr, Ml, MlAir,
+                           SubsetViolations, Ok)
+                    .c_str());
   } else {
-    printHuman(Mods, Flow, Un, UnAir, O.Refine ? &Re : nullptr, ReAir);
+    printHuman(Mods, Flow, Un, UnAir, O.Refine ? &Re : nullptr, ReAir,
+               O.Mlta ? &MR : nullptr, Ml, MlAir);
     std::printf("\nstatus: %s\n", Ok ? "OK" : "FAILED");
   }
   return Ok ? 0 : 1;

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Runs the layered-type-map (MLTA) gate over the examples, as CI:
+#
+#   - every embedded module must compile and verify under --mlta;
+#   - the per-call-site soundness differential must hold: each refined
+#     site's MLTA target set is a subset of its FLTA set (mcfi-audit
+#     exits nonzero on any "MLTA soundness violation");
+#   - the fixed-corpus EQC floor must hold: the MLTA-refined policy of
+#     each example may never regress below the class count recorded
+#     here (--fail-on-eqc-regression N);
+#   - the JSON view must report zero subset violations and no havoc on
+#     the headroom fixture;
+#   - the mlta_headroom example binary must pass end-to-end: identical
+#     outputs under the plain and refined policies across a dlopen, a
+#     strictly smaller largest class, and no fewer classes.
+#
+# Usage: tools/mlta-check.sh [mcfi-audit] [examples-dir] [mlta_headroom]
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+AUDIT=${1:-"$ROOT/build/tools/mcfi-audit"}
+EXAMPLES=${2:-"$ROOT/examples"}
+HEADROOM=${3:-"$ROOT/build/examples/mlta_headroom"}
+
+status=0
+
+# example:floor pairs — the MLTA-refined EQC counts of the fixed corpus.
+for entry in separate_compilation:2 dynamic_plugin:3 mlta_headroom:4; do
+  example=${entry%:*}
+  floor=${entry#*:}
+  echo "== mlta-auditing $example (EQC floor $floor) =="
+  if ! "$AUDIT" --extract --mlta --fail-on-eqc-regression "$floor" \
+      "$EXAMPLES/$example.cpp"; then
+    echo "mlta-check: $example FAILED"
+    status=1
+  fi
+done
+
+echo "== JSON soundness view (mlta_headroom) =="
+json=$("$AUDIT" --extract --mlta --json "$EXAMPLES/mlta_headroom.cpp") || {
+  echo "mlta-check: JSON audit FAILED"
+  status=1
+}
+case $json in
+*'"subsetViolations":0'*) ;;
+*)
+  echo "mlta-check: JSON reports subset violations (or lost the field)"
+  status=1
+  ;;
+esac
+case $json in
+*'"havoc":false'*) ;;
+*)
+  echo "mlta-check: headroom fixture fell back to havoc"
+  status=1
+  ;;
+esac
+
+echo "== end-to-end headroom run =="
+if ! "$HEADROOM"; then
+  echo "mlta-check: mlta_headroom FAILED"
+  status=1
+fi
+
+exit $status

@@ -14,7 +14,10 @@
 # by construction, and must be TSan-clean — and the unload gate
 # (unload_check), whose --dlclose-churn leg races dlopenBatch/
 # dlcloseBatch retirement and epoch reclamation against a running guest
-# (its single-threaded ucontext schedcheck legs are skipped under TSan).
+# (its single-threaded ucontext schedcheck legs are skipped under TSan),
+# and the layered-type-map suite (test_mlta), whose tier-parameterized
+# refined builds run the parallel CFG-merge pipeline under an MLTA
+# refinement on every execution tier.
 #
 # Usage: tools/tsan-check.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -28,7 +31,7 @@ cmake --build "$BUILD" -j "$(nproc)"
 # scheduler is single-threaded by construction and TSan's fiber support
 # conflicts with swapcontext-based stacks.
 if ! ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
-    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants|tierdiff|attackcorpus)|merge_check|verify_check|attack_check|unload_check'; then
+    -R 'test_(tables|threads|dynlink|runtime|linker|parallelmerge|verifier|absint|verifiermutants|tierdiff|attackcorpus|mlta)|merge_check|verify_check|attack_check|unload_check'; then
   cat >&2 <<'EOF'
 tsan-check: FAILED.
 If the failure is in the tables' check/update transactions, hunt the
